@@ -1,0 +1,427 @@
+// Package repro's benchmark suite regenerates the paper's evaluation
+// artifacts (see DESIGN.md for the experiment index):
+//
+//	Fig 1  - BenchmarkFig1 (per-machine / per-application throughput)
+//	Fig 3  - BenchmarkFig3 (happened-before join example execution)
+//	Fig 6  - BenchmarkFig6Traffic (optimized vs global evaluation)
+//	Fig 8  - BenchmarkFig8ReplicaBug
+//	Fig 9  - BenchmarkFig9Limplock
+//	Fig 10 - BenchmarkFig10{Pack,Unpack,Serialize,Deserialize}
+//	Tbl 3  - BenchmarkTable3Rewrites (ablation: optimizations on/off)
+//	Tbl 5  - BenchmarkTable5Overhead
+//	§6.3   - BenchmarkWeave (dynamic weave/unweave, the class-reload analog)
+//
+// Wall-clock numbers for the simulated experiments measure the simulator,
+// not the monitored system; the *reported metrics* (tuples/s, overhead %,
+// bytes) are the reproduction targets.
+package repro
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/advice"
+	"repro/internal/agg"
+	"repro/internal/baggage"
+	"repro/internal/experiments"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/tracepoint"
+	"repro/internal/tuple"
+)
+
+// tupleCounts are the x-axis of Fig 10.
+var tupleCounts = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// fig10Baggage builds baggage holding n randomly-valued 8-byte tuples.
+func fig10Baggage(n int) *baggage.Baggage {
+	b := baggage.New()
+	spec := baggage.SetSpec{Kind: baggage.All, Fields: tuple.Schema{"v"}}
+	for i := 0; i < n; i++ {
+		b.Pack("bench", spec, tuple.Tuple{tuple.Int(int64(i) * 0x1E3779B97F4A7C15)})
+	}
+	return b
+}
+
+// BenchmarkFig10Pack measures packing 1 tuple into baggage already holding
+// N tuples (Fig 10a).
+func BenchmarkFig10Pack(b *testing.B) {
+	spec := baggage.SetSpec{Kind: baggage.All, Fields: tuple.Schema{"v"}}
+	for _, n := range tupleCounts {
+		b.Run(fmt.Sprintf("tuples=%d", n), func(b *testing.B) {
+			bag := fig10Baggage(n)
+			t := tuple.Tuple{tuple.Int(42)}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bag.Pack("bench2", spec, t)
+			}
+		})
+	}
+}
+
+// BenchmarkFig10Unpack measures unpacking all N tuples (Fig 10b).
+func BenchmarkFig10Unpack(b *testing.B) {
+	for _, n := range tupleCounts {
+		b.Run(fmt.Sprintf("tuples=%d", n), func(b *testing.B) {
+			bag := fig10Baggage(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := bag.Unpack("bench"); len(got) != n {
+					b.Fatalf("unpacked %d", len(got))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig10Serialize measures serializing baggage with N tuples
+// (Fig 10c).
+func BenchmarkFig10Serialize(b *testing.B) {
+	for _, n := range tupleCounts {
+		b.Run(fmt.Sprintf("tuples=%d", n), func(b *testing.B) {
+			bag := fig10Baggage(n)
+			size := len(bag.Serialize())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if out := bag.Serialize(); len(out) != size {
+					b.Fatal("size changed")
+				}
+			}
+			b.ReportMetric(float64(size), "wire-bytes")
+		})
+	}
+}
+
+// BenchmarkFig10Deserialize measures deserializing baggage with N tuples,
+// forcing the lazy decode by unpacking (Fig 10d).
+func BenchmarkFig10Deserialize(b *testing.B) {
+	for _, n := range tupleCounts {
+		b.Run(fmt.Sprintf("tuples=%d", n), func(b *testing.B) {
+			wire := fig10Baggage(n).Serialize()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bag := baggage.Deserialize(wire)
+				if got := bag.Unpack("bench"); len(got) != n {
+					b.Fatalf("unpacked %d", len(got))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBaggageLazyForwarding is the laziness ablation (§5): a process
+// that merely forwards baggage (serialize what it received) pays no decode
+// cost, unlike an eager implementation.
+func BenchmarkBaggageLazyForwarding(b *testing.B) {
+	wire := fig10Baggage(64).Serialize()
+	b.Run("lazy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bag := baggage.Deserialize(wire)
+			if out := bag.Serialize(); len(out) != len(wire) {
+				b.Fatal("roundtrip changed size")
+			}
+		}
+	})
+	b.Run("eager", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bag := baggage.Deserialize(wire)
+			bag.TupleCount() // force the decode
+			if out := bag.Serialize(); len(out) != len(wire) {
+				b.Fatal("roundtrip changed size")
+			}
+		}
+	})
+}
+
+// BenchmarkTracepoint measures the zero-overhead-when-disabled claim and
+// the per-crossing cost with advice woven.
+func BenchmarkTracepoint(b *testing.B) {
+	reg := tracepoint.NewRegistry()
+	tp := reg.Define("Bench.Tracepoint", "v")
+	ctx := tracepoint.WithProc(context.Background(),
+		tracepoint.ProcInfo{Host: "h", ProcName: "p"})
+	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tp.Here(ctx, i)
+		}
+	})
+	b.Run("woven-q1-style", func(b *testing.B) {
+		q, _ := query.Parse(`From e In Bench.Tracepoint GroupBy e.host Select e.host, SUM(e.v)`)
+		q.Name = "bench"
+		p, err := plan.Compile(q, reg, nil, plan.Optimized)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc := advice.NewAccumulator(p.Emit.Emit)
+		adv := &advice.Advice{Prog: p.Programs[0], Emitter: emitterFunc(func(prog *advice.Program, w tuple.Tuple) {
+			acc.Add(w)
+		})}
+		reg.Weave("Bench.Tracepoint", adv)
+		defer reg.Unweave("Bench.Tracepoint", adv)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tp.Here(ctx, i)
+		}
+	})
+}
+
+type emitterFunc func(*advice.Program, tuple.Tuple)
+
+func (f emitterFunc) EmitTuple(p *advice.Program, w tuple.Tuple) { f(p, w) }
+
+// BenchmarkWeave measures dynamic weave + unweave of a compiled query —
+// the analog of the paper's ~100 ms JVM class reload (§6.3). The Go
+// implementation swaps an atomic pointer instead of rewriting bytecode.
+func BenchmarkWeave(b *testing.B) {
+	reg := tracepoint.NewRegistry()
+	reg.Define("Bench.Tracepoint", "v")
+	q, _ := query.Parse(`From e In Bench.Tracepoint GroupBy e.host Select e.host, SUM(e.v)`)
+	q.Name = "bench"
+	p, err := plan.Compile(q, reg, nil, plan.Optimized)
+	if err != nil {
+		b.Fatal(err)
+	}
+	adv := &advice.Advice{Prog: p.Programs[0]}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reg.Weave("Bench.Tracepoint", adv)
+		reg.Unweave("Bench.Tracepoint", adv)
+	}
+}
+
+// BenchmarkCompile measures query-to-advice compilation (install path).
+func BenchmarkCompile(b *testing.B) {
+	reg := tracepoint.NewRegistry()
+	reg.Define("DN.DataTransferProtocol")
+	reg.Define("NN.GetBlockLocations", "replicas")
+	reg.Define("StressTest.DoNextOp")
+	text := `From DNop In DN.DataTransferProtocol
+	  Join getloc In NN.GetBlockLocations On getloc -> DNop
+	  Join st In StressTest.DoNextOp On st -> getloc
+	  Where st.host != DNop.host
+	  GroupBy DNop.host, getloc.replicas
+	  Select DNop.host, getloc.replicas, COUNT`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q, err := query.Parse(text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q.Name = "q7"
+		if _, err := plan.Compile(q, reg, nil, plan.Optimized); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Rewrites is the optimization ablation: evaluate the same
+// chained query with the Table 3 rewrites on and off and report the
+// baggage bytes a request carries.
+func BenchmarkTable3Rewrites(b *testing.B) {
+	text := `From DNop In DN.DataTransferProtocol
+	  Join getloc In NN.GetBlockLocations On getloc -> DNop
+	  Join st In StressTest.DoNextOp On st -> getloc
+	  Where st.host != DNop.host
+	  GroupBy DNop.host
+	  Select DNop.host, COUNT`
+	for _, mode := range []struct {
+		name string
+		opts plan.Options
+	}{
+		{"optimized", plan.Options{Optimize: true}},
+		{"unoptimized", plan.Options{Optimize: false}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			reg := tracepoint.NewRegistry()
+			reg.Define("DN.DataTransferProtocol")
+			reg.Define("NN.GetBlockLocations", "replicas")
+			reg.Define("StressTest.DoNextOp")
+			q, _ := query.Parse(text)
+			q.Name = "q"
+			p, err := plan.Compile(q, reg, nil, mode.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc := advice.NewAccumulator(p.Emit.Emit)
+			em := emitterFunc(func(prog *advice.Program, w tuple.Tuple) { acc.Add(w) })
+			for _, prog := range p.Programs {
+				reg.Weave(prog.Tracepoint, &advice.Advice{Prog: prog, Emitter: em})
+			}
+			st := reg.Lookup("StressTest.DoNextOp")
+			nn := reg.Lookup("NN.GetBlockLocations")
+			dn := reg.Lookup("DN.DataTransferProtocol")
+
+			var bytes int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx := tracepoint.WithProc(context.Background(),
+					tracepoint.ProcInfo{Host: "client", ProcName: "StressTest"})
+				ctx = baggage.NewContext(ctx, baggage.New())
+				st.Here(ctx)
+				nn.Here(ctx, "r1,r2,r3")
+				bytes += int64(baggage.FromContext(ctx).ByteSize())
+				dn.Here(ctx)
+			}
+			b.ReportMetric(float64(bytes)/float64(b.N), "baggage-bytes/req")
+		})
+	}
+}
+
+// BenchmarkPartialAggregation is the process-local aggregation ablation:
+// accumulating emitted tuples into groups versus buffering them raw.
+func BenchmarkPartialAggregation(b *testing.B) {
+	op := &advice.EmitOp{
+		Cols:    []advice.EmitCol{{Pos: 0}, {IsAgg: true, Pos: 1, Fn: agg.Sum}},
+		GroupBy: []int{0},
+		Schema:  tuple.Schema{"host", "SUM(v)"},
+	}
+	w := tuple.Tuple{tuple.String("host-1"), tuple.Int(8192)}
+	b.Run("aggregated", func(b *testing.B) {
+		acc := advice.NewAccumulator(op)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			acc.Add(w)
+		}
+		b.ReportMetric(float64(len(acc.Groups())), "rows-to-report")
+	})
+	b.Run("raw-buffered", func(b *testing.B) {
+		buf := make([]tuple.Tuple, 0, b.N)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = append(buf, w.Clone())
+		}
+		b.ReportMetric(float64(len(buf)), "rows-to-report")
+	})
+}
+
+// BenchmarkFig3 evaluates the example-execution queries of Figure 3.
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1 runs a scaled Fig 1 experiment and reports the
+// per-application attribution (Fig 1b's reproduction target).
+func BenchmarkFig1(b *testing.B) {
+	cfg := experiments.Fig1Config{
+		Hosts: 4, Duration: 10 * time.Second,
+		Sort10g: 512e6, Sort100g: 1e9, Files: 8,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.AppSeries) == 0 {
+			b.Fatal("no per-application series")
+		}
+	}
+}
+
+// BenchmarkFig6Traffic runs the evaluation-strategy comparison and reports
+// the tuple traffic of both strategies.
+func BenchmarkFig6Traffic(b *testing.B) {
+	cfg := experiments.TrafficConfig{Hosts: 4, Readers: 3, OpsPerReader: 100, Files: 8}
+	var last *experiments.TrafficResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTraffic(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.ResultsMatch {
+			b.Fatal("strategies disagree")
+		}
+		last = res
+	}
+	b.ReportMetric(last.OptReportedPerDNPerSec, "opt-rows/s/dn")
+	b.ReportMetric(last.OptEmittedPerDNPerSec, "opt-emitted/s/dn")
+	b.ReportMetric(last.BaseEmittedPerDNPerSec, "base-tuples/s/dn")
+}
+
+// BenchmarkFig8ReplicaBug runs the scaled §6.1 case study and reports the
+// selection skew (max column share of Q6's matrix).
+func BenchmarkFig8ReplicaBug(b *testing.B) {
+	cfg := experiments.Fig8Config{
+		Hosts: 4, ClientsPerHost: 2, Files: 100,
+		Duration: 5 * time.Second, Think: 2 * time.Millisecond,
+	}
+	var maxShare float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total, col := 0.0, map[string]float64{}
+		for _, row := range res.SelectFreq {
+			for c, v := range row {
+				col[c] += v
+				total += v
+			}
+		}
+		maxShare = 0
+		for _, v := range col {
+			if s := v / total; s > maxShare {
+				maxShare = s
+			}
+		}
+	}
+	b.ReportMetric(maxShare, "max-selection-share")
+}
+
+// BenchmarkFig9Limplock runs the scaled network limplock case study and
+// reports the worst faulty-host transfer span.
+func BenchmarkFig9Limplock(b *testing.B) {
+	cfg := experiments.Fig9Config{
+		Hosts: 4, Duration: 20 * time.Second, FaultAt: 10 * time.Second,
+		FaultHost: 1, Scanners: 3, Getters: 2,
+	}
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for key, v := range res.After["DN transfer"] {
+			if v > worst && containsHost(key, res.FaultHost) {
+				worst = v
+			}
+		}
+	}
+	b.ReportMetric(worst, "faulty-xfer-sec")
+}
+
+func containsHost(key, host string) bool {
+	return len(key) >= len(host) && (key[:len(host)] == host || key[len(key)-len(host):] == host)
+}
+
+// BenchmarkTable5Overhead runs the scaled overhead experiment and reports
+// the Open-op overhead with 60 packed tuples (the paper's worst case).
+func BenchmarkTable5Overhead(b *testing.B) {
+	cfg := experiments.Table5Config{
+		Hosts: 2, Duration: 5 * time.Second,
+		RPCLatency: 20 * time.Microsecond, Think: time.Millisecond,
+	}
+	var open60 float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		open60 = res.Overhead[experiments.CfgBaggage60]["Open"]
+	}
+	b.ReportMetric(open60, "open-60tuple-overhead-pct")
+}

@@ -1,0 +1,34 @@
+// Command hadoopsim runs the paper's §2.1 motivating experiment (Fig 1):
+// six client applications — FSread4m, FSread64m, Hget, Hscan, MRsort10g,
+// MRsort100g — share a simulated Hadoop cluster while three Pivot Tracing
+// queries apportion disk bandwidth per machine, per application, and per
+// (machine, source process) for the MRsort10g pivot table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.DefaultFig1Config()
+	flag.IntVar(&cfg.Hosts, "hosts", cfg.Hosts, "worker host count")
+	flag.DurationVar(&cfg.Duration, "duration", cfg.Duration, "virtual experiment duration")
+	flag.Float64Var(&cfg.Sort10g, "sort10g", cfg.Sort10g, "MRsort10g input bytes")
+	flag.Float64Var(&cfg.Sort100g, "sort100g", cfg.Sort100g, "MRsort100g input bytes")
+	flag.Parse()
+
+	start := time.Now()
+	res, err := experiments.RunFig1(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hadoopsim:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Render())
+	fmt.Printf("\n(%v of virtual time simulated in %v)\n",
+		cfg.Duration, time.Since(start).Round(time.Millisecond))
+}

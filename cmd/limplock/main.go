@@ -1,0 +1,71 @@
+// Command limplock reproduces the §6.2 end-to-end latency case studies:
+//
+//	limplock          network limplock (Fig 9): one NIC degrades 1G -> 100M
+//	limplock -gc      rogue garbage collection in an HBase RegionServer
+//	limplock -nnlock  NameNode overload from exclusive write locking
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	gc := flag.Bool("gc", false, "run the rogue-GC replication instead")
+	nnlock := flag.Bool("nnlock", false, "run the NameNode locking replication instead")
+	hosts := flag.Int("hosts", 8, "worker host count")
+	duration := flag.Duration("duration", 0, "virtual experiment duration (0 = default)")
+	flag.Parse()
+
+	start := time.Now()
+	var render string
+	var dur time.Duration
+	switch {
+	case *gc:
+		cfg := experiments.DefaultGCConfig()
+		cfg.Hosts = *hosts
+		if *duration > 0 {
+			cfg.Duration = *duration
+		}
+		dur = cfg.Duration
+		res, err := experiments.RunGC(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "limplock:", err)
+			os.Exit(1)
+		}
+		render = res.Render()
+	case *nnlock:
+		cfg := experiments.DefaultNNLockConfig()
+		cfg.Hosts = *hosts
+		if *duration > 0 {
+			cfg.Duration = *duration
+		}
+		dur = 2 * cfg.Duration
+		res, err := experiments.RunNNLock(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "limplock:", err)
+			os.Exit(1)
+		}
+		render = res.Render()
+	default:
+		cfg := experiments.DefaultFig9Config()
+		cfg.Hosts = *hosts
+		if *duration > 0 {
+			cfg.Duration = *duration
+		}
+		dur = cfg.Duration
+		res, err := experiments.RunFig9(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "limplock:", err)
+			os.Exit(1)
+		}
+		render = res.Render()
+	}
+	fmt.Print(render)
+	fmt.Printf("\n(%v of virtual time simulated in %v)\n",
+		dur, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,31 @@
+// Command overhead reproduces Table 5 (§6.3): application-level latency
+// overheads of Pivot Tracing on an HDFS stress test, under six
+// instrumentation configurations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.DefaultTable5Config()
+	flag.IntVar(&cfg.Hosts, "hosts", cfg.Hosts, "worker host count")
+	flag.DurationVar(&cfg.Duration, "duration", cfg.Duration, "virtual duration per configuration")
+	flag.DurationVar(&cfg.RPCLatency, "rpclatency", cfg.RPCLatency, "one-way RPC latency")
+	flag.Parse()
+
+	start := time.Now()
+	res, err := experiments.RunTable5(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "overhead:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Render())
+	fmt.Printf("\n(%d configurations x %v of virtual time in %v)\n",
+		len(experiments.Configs), cfg.Duration, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,105 @@
+// Command ptq parses, analyzes, and explains Pivot Tracing queries: it
+// prints the canonicalized query, the output schema, and the compiled
+// advice for each tracepoint in the paper's notation (§3).
+//
+// Usage:
+//
+//	ptq [-unoptimized] 'From incr In DataNodeMetrics.incrBytesRead ...'
+//	echo 'From dnop In DN.DataTransferProtocol ...' | ptq
+//
+// Queries are resolved against the simulated Hadoop stack's tracepoint
+// vocabulary (the same definitions the experiment harnesses use).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/tracepoint"
+)
+
+// vocabulary returns the tracepoint definitions of the simulated stack.
+func vocabulary() *tracepoint.Registry {
+	reg := tracepoint.NewRegistry()
+	reg.Define("ClientProtocols")
+	reg.Define("DataNodeMetrics.incrBytesRead", "delta")
+	reg.Define("DataNodeMetrics.incrBytesWritten", "delta")
+	reg.Define("DN.DataTransferProtocol", "op", "size")
+	reg.Define("DN.OpQueued", "op")
+	reg.Define("DN.OpStart", "op")
+	reg.Define("DN.TransferStart", "size", "dest")
+	reg.Define("DN.TransferEnd", "size", "dest")
+	reg.Define("NN.GetBlockLocations", "src", "replicas")
+	reg.Define("NN.Create", "src")
+	reg.Define("NN.Open", "src")
+	reg.Define("NN.Rename", "src", "dst")
+	reg.Define("NN.Complete", "src")
+	reg.Define("RS.ClientService", "op", "row", "size")
+	reg.Define("RS.Enqueue", "op")
+	reg.Define("RS.Dequeue", "op")
+	reg.Define("RS.ProcessEnd", "op")
+	reg.Define("RS.GCStart")
+	reg.Define("RS.GCEnd")
+	reg.Define("StressTest.DoNextOp", "op")
+	reg.Define("FileInputStream.read", "length")
+	reg.Define("FileOutputStream.write", "length")
+	reg.Define("RPC.Receive", "method")
+	reg.Define("RPC.Respond", "method")
+	reg.Define("JobComplete", "id")
+	reg.Define("AM.JobStart", "id")
+	reg.Define("SendResponse")
+	reg.Define("ReceiveRequest")
+	return reg
+}
+
+func main() {
+	unopt := flag.Bool("unoptimized", false, "disable the Table 3 query rewrites")
+	listTPs := flag.Bool("tracepoints", false, "list the known tracepoint vocabulary and exit")
+	flag.Parse()
+
+	reg := vocabulary()
+	if *listTPs {
+		for _, name := range reg.Names() {
+			tp := reg.Lookup(name)
+			fmt.Printf("%-36s exports: %s\n", name, tp.Schema())
+		}
+		return
+	}
+
+	text := strings.Join(flag.Args(), " ")
+	if strings.TrimSpace(text) == "" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ptq:", err)
+			os.Exit(1)
+		}
+		text = string(data)
+	}
+	if strings.TrimSpace(text) == "" {
+		fmt.Fprintln(os.Stderr, "ptq: no query given (pass as argument or on stdin)")
+		os.Exit(2)
+	}
+
+	q, err := query.Parse(text)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptq:", err)
+		os.Exit(1)
+	}
+	q.Name = "Q"
+	opts := plan.Optimized
+	opts.Optimize = !*unopt
+	p, err := plan.Compile(q, reg, nil, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptq:", err)
+		os.Exit(1)
+	}
+	fmt.Println("query:  ", q)
+	fmt.Println("outputs:", p.Schema)
+	fmt.Println()
+	fmt.Println(p.Explain())
+}

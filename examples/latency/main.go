@@ -1,0 +1,74 @@
+// Latency: reproduce the paper's Q8/Q9 pattern — measure per-request
+// latency with a MostRecent timestamp join, then aggregate those
+// measurements per job by joining the *query* Q8 as a source of Q9.
+//
+//	go run ./examples/latency
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/pivot"
+)
+
+func main() {
+	pt := pivot.New("worker")
+	tpRecv := pt.Define("ReceiveRequest")
+	tpSend := pt.Define("SendResponse")
+	tpJob := pt.Define("JobComplete", "id")
+
+	// Q8: request latency = response time minus the most recent receive
+	// time, computed inline from packed timestamps.
+	if _, err := pt.InstallNamed("Q8", `
+		From response In SendResponse
+		Join request In MostRecent(ReceiveRequest) On request -> response
+		Select response.time - request.time`); err != nil {
+		panic(err)
+	}
+
+	// Q9: average request latency per job, joining Q8's output — a query
+	// over a query.
+	q9, err := pt.Install(`
+		From job In JobComplete
+		Join latencyMeasurement In Q8 On latencyMeasurement -> end
+		GroupBy job.id
+		Select job.id, COUNT(latencyMeasurement), AVERAGE(latencyMeasurement)`)
+	if err != nil {
+		panic(err)
+	}
+
+	// Simulate three jobs, each issuing several requests whose handling
+	// time we model by manufacturing timestamps via a fake clock.
+	rng := rand.New(rand.NewSource(3))
+	for j := 1; j <= 3; j++ {
+		ctx := pt.NewRequest(context.Background())
+		now := time.Duration(0)
+		for r := 0; r < 4+rng.Intn(4); r++ {
+			now += time.Duration(rng.Intn(10)) * time.Millisecond
+			tpRecv.Here(clockAt(ctx, now))
+			// jobs get slower with their number: j*5ms ± noise
+			now += time.Duration(j)*5*time.Millisecond + time.Duration(rng.Intn(3))*time.Millisecond
+			tpSend.Here(clockAt(ctx, now))
+		}
+		tpJob.Here(clockAt(ctx, now), fmt.Sprintf("job-%d", j))
+	}
+
+	pt.Flush()
+	fmt.Printf("%-8s %10s %16s\n", "job", "requests", "avg latency")
+	for _, row := range q9.Rows() {
+		fmt.Printf("%-8s %10s %16v\n",
+			row[0], row[1], time.Duration(row[2].Float()).Round(time.Microsecond))
+	}
+}
+
+// fakeClock pins the tracepoint "time" export for demonstration purposes.
+type fakeClock time.Duration
+
+func (c fakeClock) Now() time.Duration { return time.Duration(c) }
+
+func clockAt(ctx context.Context, t time.Duration) context.Context {
+	return pivot.WithClock(ctx, fakeClock(t))
+}

@@ -1,0 +1,144 @@
+package advice
+
+import (
+	"repro/internal/agg"
+	"repro/internal/tuple"
+)
+
+// Group is one group-by bucket of partially aggregated results. Groups are
+// the unit of transport between agents and the query frontend: partial
+// aggregate states merge correctly across processes (unlike final values —
+// an average of averages is not the average).
+type Group struct {
+	Key    string
+	Rep    tuple.Tuple // representative working tuple for non-agg columns
+	States []*agg.State
+}
+
+// Clone deep-copies the group.
+func (g *Group) Clone() *Group {
+	c := &Group{Key: g.Key, Rep: g.Rep.Clone()}
+	for _, s := range g.States {
+		c.States = append(c.States, s.Clone())
+	}
+	return c
+}
+
+// Accumulator aggregates emitted working tuples for one EmitOp. The same
+// type serves process-local aggregation in agents (fed by Add) and global
+// aggregation at the frontend (fed by MergeGroup/MergeRaw).
+type Accumulator struct {
+	Op     *EmitOp
+	groups map[string]*Group
+	order  []string
+	raws   []tuple.Tuple
+}
+
+// NewAccumulator returns an empty accumulator for op.
+func NewAccumulator(op *EmitOp) *Accumulator {
+	return &Accumulator{Op: op, groups: make(map[string]*Group)}
+}
+
+// Add folds one emitted working tuple.
+func (a *Accumulator) Add(w tuple.Tuple) {
+	if a.Op.Raw {
+		row := make(tuple.Tuple, len(a.Op.Cols))
+		for i, col := range a.Op.Cols {
+			row[i] = w[col.Pos]
+		}
+		a.raws = append(a.raws, row)
+		return
+	}
+	key := w.Key(a.Op.GroupBy)
+	g, ok := a.groups[key]
+	if !ok {
+		g = &Group{Key: key, Rep: w.Clone()}
+		for _, col := range a.Op.Cols {
+			if col.IsAgg {
+				g.States = append(g.States, agg.New(col.Fn))
+			}
+		}
+		a.groups[key] = g
+		a.order = append(a.order, key)
+	}
+	k := 0
+	for _, col := range a.Op.Cols {
+		if !col.IsAgg {
+			continue
+		}
+		if col.Pos >= 0 {
+			g.States[k].Add(w[col.Pos])
+		} else {
+			g.States[k].Add(tuple.Null) // bare COUNT
+		}
+		k++
+	}
+}
+
+// MergeGroup folds a partial group from another accumulator (e.g. an
+// agent's report) into this one.
+func (a *Accumulator) MergeGroup(g *Group) {
+	mine, ok := a.groups[g.Key]
+	if !ok {
+		a.groups[g.Key] = g.Clone()
+		a.order = append(a.order, g.Key)
+		return
+	}
+	for i, s := range g.States {
+		mine.States[i].Merge(s)
+	}
+}
+
+// MergeRaw folds a raw row from another accumulator.
+func (a *Accumulator) MergeRaw(row tuple.Tuple) {
+	a.raws = append(a.raws, row.Clone())
+}
+
+// Groups snapshots the current partial groups, in first-seen order.
+func (a *Accumulator) Groups() []*Group {
+	out := make([]*Group, 0, len(a.order))
+	for _, key := range a.order {
+		out = append(out, a.groups[key])
+	}
+	return out
+}
+
+// Raws returns the accumulated raw rows.
+func (a *Accumulator) Raws() []tuple.Tuple { return a.raws }
+
+// Rows materializes the final result rows in Select-column order.
+func (a *Accumulator) Rows() []tuple.Tuple {
+	if a.Op.Raw {
+		out := make([]tuple.Tuple, len(a.raws))
+		copy(out, a.raws)
+		return out
+	}
+	out := make([]tuple.Tuple, 0, len(a.order))
+	for _, key := range a.order {
+		g := a.groups[key]
+		row := make(tuple.Tuple, len(a.Op.Cols))
+		k := 0
+		for i, col := range a.Op.Cols {
+			if col.IsAgg {
+				row[i] = g.States[k].Result()
+				k++
+			} else {
+				row[i] = g.Rep[col.Pos]
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// Empty reports whether the accumulator holds no data.
+func (a *Accumulator) Empty() bool {
+	return len(a.order) == 0 && len(a.raws) == 0
+}
+
+// Reset clears the accumulator for the next reporting interval.
+func (a *Accumulator) Reset() {
+	a.groups = make(map[string]*Group)
+	a.order = nil
+	a.raws = nil
+}

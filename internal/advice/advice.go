@@ -1,0 +1,304 @@
+// Package advice implements Pivot Tracing's advice: the intermediate
+// representation queries compile to (§3, Table 2 of the paper), and the
+// engine that evaluates it at tracepoints.
+//
+// An advice program is a fixed pipeline — Observe, then zero or more
+// Unpacks, then Filters, then Pack and/or Emit. There are no jumps and no
+// recursion, so advice is guaranteed to terminate (the paper's safety
+// argument). Unpack joins tuples packed by advice at causally-preceding
+// tracepoints, which is how the happened-before join is evaluated inline
+// during request execution.
+package advice
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/agg"
+	"repro/internal/baggage"
+	"repro/internal/query"
+	"repro/internal/tuple"
+)
+
+// Cost counts what a program's advice actually does at runtime — the
+// paper's §4 "explain"-style live cost analysis (count tuples rather than
+// aggregate them). Counters are cheap atomics shared by every woven copy
+// of the program, so installed queries can be profiled without a separate
+// counting run.
+type Cost struct {
+	// Invocations counts tracepoint crossings that reached this advice.
+	Invocations atomic.Int64
+	// Sampled counts crossings skipped by sampling (§8 future work).
+	Sampled atomic.Int64
+	// DroppedByJoin counts crossings discarded because an Unpack found no
+	// causally-preceding tuples (inner-join misses).
+	DroppedByJoin atomic.Int64
+	// TuplesPacked counts tuples stored into baggage.
+	TuplesPacked atomic.Int64
+	// TuplesEmitted counts tuples sent to the process-local aggregator.
+	TuplesEmitted atomic.Int64
+}
+
+// UnpackOp retrieves tuples packed under Slot by advice earlier in the
+// execution and joins them (cartesian) with the working tuples.
+type UnpackOp struct {
+	Slot   string
+	Fields tuple.Schema // names of the unpacked fields, for explain output
+}
+
+// FilterOp discards working tuples that do not satisfy the predicate.
+type FilterOp struct {
+	Expr query.Expr
+	// Bindings resolves the expression's field references to positions in
+	// the working tuple.
+	Bindings map[query.FieldRef]int
+}
+
+// Eval evaluates the filter against one working tuple.
+func (f *FilterOp) Eval(w tuple.Tuple) bool {
+	return f.Expr.Eval(func(ref query.FieldRef) tuple.Value {
+		pos, ok := f.Bindings[ref]
+		if !ok || pos >= len(w) {
+			return tuple.Null
+		}
+		return w[pos]
+	}).Bool()
+}
+
+// PackOp stores a projection of each working tuple into the baggage for
+// advice at later tracepoints.
+type PackOp struct {
+	Slot   string
+	Spec   baggage.SetSpec
+	Source []int // positions of the working tuple to pack, in Spec.Fields order
+}
+
+// ComputeOp evaluates an expression over the working tuple and appends the
+// result as a new column — used for computed outputs such as
+// response.time - request.time.
+type ComputeOp struct {
+	Expr     query.Expr
+	Bindings map[query.FieldRef]int
+}
+
+// Eval computes the derived value for one working tuple.
+func (c *ComputeOp) Eval(w tuple.Tuple) tuple.Value {
+	return c.Expr.Eval(func(ref query.FieldRef) tuple.Value {
+		pos, ok := c.Bindings[ref]
+		if !ok || pos >= len(w) {
+			return tuple.Null
+		}
+		return w[pos]
+	})
+}
+
+// EmitCol is one output column of an Emit, in Select order.
+type EmitCol struct {
+	IsAgg bool
+	// Pos is the working-tuple position the column reads; -1 for a bare
+	// COUNT.
+	Pos int
+	Fn  agg.Func // aggregator, when IsAgg
+}
+
+// EmitOp outputs rows to the process-local aggregator: one aggregated row
+// per group, or — for queries with no grouping or aggregation — one raw
+// row per working tuple.
+type EmitOp struct {
+	Cols    []EmitCol
+	GroupBy []int // group-key positions in the working tuple
+	Raw     bool  // no aggregation: emit each computed row
+	// Schema names the emitted columns.
+	Schema tuple.Schema
+}
+
+// Program is compiled advice for one tracepoint of one query.
+type Program struct {
+	// QueryID identifies the owning query; advice for the same query
+	// shares baggage slots namespaced by this ID.
+	QueryID string
+	// Tracepoint is the name of the tracepoint this advice weaves into.
+	Tracepoint string
+	// Observe projects the tracepoint's exported tuple into the working
+	// tuple (the OBSERVE operation); Fields names the observed values.
+	Observe       []int
+	ObserveFields tuple.Schema
+	Unpacks       []UnpackOp
+	Filters       []FilterOp
+	Computes      []ComputeOp
+	Pack          *PackOp
+	Emit          *EmitOp
+
+	// SampleEvery, when > 1, makes the advice process only one in every
+	// SampleEvery crossings (the paper's §8 advice-level sampling).
+	// Aggregates computed from sampled advice are correspondingly scaled
+	// estimates; COUNT and SUM results must be multiplied by SampleEvery.
+	SampleEvery int64
+
+	// Cost holds the program's live execution counters.
+	Cost Cost
+}
+
+// WorkingSchema returns the field names of the working tuple: observed
+// fields then each unpack's fields.
+func (p *Program) WorkingSchema() tuple.Schema {
+	s := p.ObserveFields
+	for _, u := range p.Unpacks {
+		s = s.Concat(u.Fields)
+	}
+	return s
+}
+
+// String renders the program in the paper's advice notation, e.g.
+//
+//	A2: OBSERVE delta
+//	    UNPACK procName
+//	    EMIT procName, SUM(delta)
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "OBSERVE %s", join(p.ObserveFields))
+	for _, u := range p.Unpacks {
+		fmt.Fprintf(&b, "\nUNPACK %s", join(u.Fields))
+	}
+	for _, f := range p.Filters {
+		fmt.Fprintf(&b, "\nFILTER %s", f.Expr)
+	}
+	for _, c := range p.Computes {
+		fmt.Fprintf(&b, "\nCOMPUTE %s", c.Expr)
+	}
+	if p.Pack != nil {
+		kind := ""
+		switch p.Pack.Spec.Kind {
+		case baggage.First:
+			kind = "-FIRST"
+		case baggage.FirstN:
+			kind = fmt.Sprintf("-FIRST%d", p.Pack.Spec.N)
+		case baggage.Recent:
+			kind = "-RECENT"
+		case baggage.RecentN:
+			kind = fmt.Sprintf("-RECENT%d", p.Pack.Spec.N)
+		case baggage.Agg:
+			kind = "-AGG"
+		}
+		fmt.Fprintf(&b, "\nPACK%s %s", kind, describePack(p.Pack.Spec))
+	}
+	if p.Emit != nil {
+		fmt.Fprintf(&b, "\nEMIT %s", join(p.Emit.Schema))
+	}
+	return b.String()
+}
+
+func describePack(spec baggage.SetSpec) string {
+	if spec.Kind != baggage.Agg {
+		return join(spec.Fields)
+	}
+	parts := make([]string, 0, len(spec.GroupBy)+len(spec.Aggs))
+	for _, g := range spec.GroupBy {
+		parts = append(parts, spec.Fields[g])
+	}
+	for _, a := range spec.Aggs {
+		parts = append(parts, fmt.Sprintf("%s(%s)", a.Fn, spec.Fields[a.Pos]))
+	}
+	return strings.Join(parts, ", ")
+}
+
+func join(s tuple.Schema) string {
+	if len(s) == 0 {
+		return "-"
+	}
+	return strings.Join(s, ", ")
+}
+
+// Emitter receives tuples emitted by advice for process-local aggregation;
+// the Pivot Tracing agent implements it.
+type Emitter interface {
+	// EmitTuple delivers one working tuple to the aggregator for the
+	// given program's Emit operation.
+	EmitTuple(p *Program, w tuple.Tuple)
+}
+
+// Advice is a woven instance of a program bound to an emitter. It
+// implements the tracepoint.Advice interface.
+type Advice struct {
+	Prog    *Program
+	Emitter Emitter
+}
+
+// Invoke runs the advice pipeline for one tracepoint crossing.
+func (a *Advice) Invoke(ctx context.Context, vals tuple.Tuple) {
+	p := a.Prog
+	if n := p.SampleEvery; n > 1 {
+		if p.Cost.Invocations.Add(1)%n != 0 {
+			p.Cost.Sampled.Add(1)
+			return
+		}
+	} else {
+		p.Cost.Invocations.Add(1)
+	}
+	working := []tuple.Tuple{vals.Project(p.Observe)}
+
+	// UNPACK: join tuples from causally-preceding advice. Missing baggage
+	// or an empty slot means no causal predecessor: inner-join semantics
+	// drop the observation.
+	var bag *baggage.Baggage
+	if len(p.Unpacks) > 0 || p.Pack != nil {
+		bag = baggage.FromContext(ctx)
+	}
+	for _, u := range p.Unpacks {
+		if bag == nil {
+			p.Cost.DroppedByJoin.Add(1)
+			return
+		}
+		unpacked := bag.Unpack(u.Slot)
+		if len(unpacked) == 0 {
+			p.Cost.DroppedByJoin.Add(1)
+			return
+		}
+		next := make([]tuple.Tuple, 0, len(working)*len(unpacked))
+		for _, w := range working {
+			for _, t := range unpacked {
+				next = append(next, w.Concat(t))
+			}
+		}
+		working = next
+	}
+
+	// FILTER
+	for _, f := range p.Filters {
+		kept := working[:0]
+		for _, w := range working {
+			if f.Eval(w) {
+				kept = append(kept, w)
+			}
+		}
+		working = kept
+		if len(working) == 0 {
+			return
+		}
+	}
+
+	// COMPUTE: append derived columns.
+	for _, cop := range p.Computes {
+		for i, w := range working {
+			working[i] = append(w, cop.Eval(w))
+		}
+	}
+
+	// PACK
+	if p.Pack != nil && bag != nil {
+		for _, w := range working {
+			bag.Pack(p.Pack.Slot, p.Pack.Spec, w.Project(p.Pack.Source))
+		}
+		p.Cost.TuplesPacked.Add(int64(len(working)))
+	}
+
+	// EMIT
+	if p.Emit != nil && a.Emitter != nil {
+		for _, w := range working {
+			a.Emitter.EmitTuple(p, w)
+		}
+		p.Cost.TuplesEmitted.Add(int64(len(working)))
+	}
+}

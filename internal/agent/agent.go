@@ -1,0 +1,316 @@
+// Package agent implements the per-process Pivot Tracing agent (§5): it
+// awaits weave/unweave instructions on the control topic, installs advice
+// at the process's tracepoints, performs process-local partial aggregation
+// of emitted tuples, and publishes partial query results at a configurable
+// interval (one second by default).
+package agent
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/advice"
+	"repro/internal/bus"
+	"repro/internal/simtime"
+	"repro/internal/tracepoint"
+	"repro/internal/tuple"
+)
+
+// Topics used on the message bus.
+const (
+	ControlTopic = "pt.control"
+	ResultsTopic = "pt.results"
+)
+
+// Install instructs agents to weave a query's advice programs. Each agent
+// weaves the programs whose tracepoints exist in its process.
+type Install struct {
+	QueryID  string
+	Programs []*advice.Program
+}
+
+// Uninstall instructs agents to remove a query's advice.
+type Uninstall struct {
+	QueryID string
+}
+
+// Report is one interval's partial results from one process for one query.
+type Report struct {
+	QueryID  string
+	Host     string
+	ProcName string
+	Time     time.Duration
+	Groups   []*advice.Group
+	Raws     []tuple.Tuple
+}
+
+// DefaultInterval is the agent reporting interval (the paper's default).
+const DefaultInterval = time.Second
+
+// Stats counts an agent's activity, used by the tuple-traffic experiments
+// (Fig 6, and the §4 claim that Q2 drops from ~600 emitted tuples/s to 6
+// reported tuples/s per DataNode).
+type Stats struct {
+	TuplesEmitted int64 // advice EMIT operations executed
+	RowsReported  int64 // aggregated rows published to the bus
+	Reports       int64 // report messages published
+}
+
+// Agent is the per-process Pivot Tracing runtime.
+type Agent struct {
+	env      *simtime.Env
+	proc     tracepoint.ProcInfo
+	reg      *tracepoint.Registry
+	bus      *bus.Bus
+	interval time.Duration
+
+	mu      sync.Mutex
+	queries map[string]*queryState
+
+	tuplesEmitted atomic.Int64
+	rowsReported  atomic.Int64
+	reports       atomic.Int64
+
+	controlSub bus.Subscription
+}
+
+type queryState struct {
+	programs []*advice.Program
+	acc      *advice.Accumulator
+	woven    []weave
+	wovenTPs map[string]bool
+}
+
+type weave struct {
+	tp string
+	a  tracepoint.Advice
+}
+
+// New starts an agent for one process. The agent subscribes to the control
+// topic immediately. With a simulation environment it begins a virtual-time
+// reporting loop; with env == nil (a real, non-simulated process) reports
+// are produced by explicit Flush calls or a wall-clock ticker the embedder
+// runs.
+func New(env *simtime.Env, proc tracepoint.ProcInfo, reg *tracepoint.Registry, b *bus.Bus, interval time.Duration) *Agent {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	a := &Agent{
+		env: env, proc: proc, reg: reg, bus: b, interval: interval,
+		queries: make(map[string]*queryState),
+	}
+	a.controlSub = b.Subscribe(ControlTopic, a.onControl)
+	// Weave standing queries into tracepoints defined after installation.
+	reg.OnDefine(func(*tracepoint.Tracepoint) { a.reweave() })
+	if env != nil {
+		env.Go(a.reportLoop)
+	}
+	return a
+}
+
+// now returns the agent's report timestamp: virtual time under simulation,
+// wall-clock time since the Unix epoch otherwise.
+func (a *Agent) now() time.Duration {
+	if a.env != nil {
+		return a.env.Now()
+	}
+	return time.Duration(time.Now().UnixNano())
+}
+
+// reweave attempts to weave any installed programs whose tracepoints have
+// since become defined in this process.
+func (a *Agent) reweave() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, qs := range a.queries {
+		a.weaveLocked(qs)
+	}
+}
+
+// Deliver injects a control message directly (used to replay standing
+// queries to agents that start after installation).
+func (a *Agent) Deliver(msg any) { a.onControl(msg) }
+
+// onControl handles weave/unweave instructions.
+func (a *Agent) onControl(msg any) {
+	switch m := msg.(type) {
+	case Install:
+		a.install(m)
+	case Uninstall:
+		a.uninstall(m.QueryID)
+	}
+}
+
+func (a *Agent) install(m Install) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.queries[m.QueryID]; ok {
+		return // already installed
+	}
+	qs := &queryState{programs: m.Programs, wovenTPs: make(map[string]bool)}
+	a.queries[m.QueryID] = qs
+	a.weaveLocked(qs)
+}
+
+// weaveLocked weaves the query's programs into every tracepoint currently
+// defined in this process. Caller holds a.mu.
+func (a *Agent) weaveLocked(qs *queryState) {
+	for _, prog := range qs.programs {
+		if qs.wovenTPs[prog.Tracepoint] {
+			continue
+		}
+		if a.reg.Lookup(prog.Tracepoint) == nil {
+			continue // tracepoint not (yet) present in this process
+		}
+		if prog.Emit != nil && qs.acc == nil {
+			qs.acc = advice.NewAccumulator(prog.Emit)
+		}
+		adv := &advice.Advice{Prog: prog, Emitter: a}
+		if err := a.reg.Weave(prog.Tracepoint, adv); err != nil {
+			continue
+		}
+		qs.wovenTPs[prog.Tracepoint] = true
+		qs.woven = append(qs.woven, weave{tp: prog.Tracepoint, a: adv})
+	}
+}
+
+func (a *Agent) uninstall(queryID string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	qs, ok := a.queries[queryID]
+	if !ok {
+		return
+	}
+	for _, w := range qs.woven {
+		a.reg.Unweave(w.tp, w.a)
+	}
+	delete(a.queries, queryID)
+}
+
+// EmitTuple implements advice.Emitter: process-local aggregation.
+func (a *Agent) EmitTuple(p *advice.Program, w tuple.Tuple) {
+	a.tuplesEmitted.Add(1)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	qs, ok := a.queries[p.QueryID]
+	if !ok {
+		return
+	}
+	if qs.acc == nil {
+		qs.acc = advice.NewAccumulator(p.Emit)
+	}
+	qs.acc.Add(w)
+}
+
+// reportLoop publishes partial results every interval until the simulation
+// ends.
+func (a *Agent) reportLoop() {
+	for !a.env.Done() {
+		a.env.Sleep(a.interval)
+		a.Flush()
+	}
+}
+
+// Flush publishes the current partial results immediately (also called by
+// tests and by experiment harnesses at shutdown to avoid losing the last
+// interval).
+func (a *Agent) Flush() {
+	a.mu.Lock()
+	type pending struct {
+		id     string
+		groups []*advice.Group
+		raws   []tuple.Tuple
+	}
+	var out []pending
+	for id, qs := range a.queries {
+		if qs.acc == nil || qs.acc.Empty() {
+			continue
+		}
+		p := pending{id: id}
+		for _, g := range qs.acc.Groups() {
+			p.groups = append(p.groups, g.Clone())
+		}
+		p.raws = append(p.raws, qs.acc.Raws()...)
+		qs.acc.Reset()
+		out = append(out, p)
+	}
+	a.mu.Unlock()
+
+	// Deterministic order across queries.
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].id < out[k-1].id; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	for _, p := range out {
+		a.rowsReported.Add(int64(len(p.groups) + len(p.raws)))
+		a.reports.Add(1)
+		a.bus.Publish(ResultsTopic, Report{
+			QueryID:  p.id,
+			Host:     a.proc.Host,
+			ProcName: a.proc.ProcName,
+			Time:     a.now(),
+			Groups:   p.groups,
+			Raws:     p.raws,
+		})
+	}
+}
+
+// CostReport renders the live per-tracepoint cost counters of every query
+// installed in this process (the distributed complement of the frontend's
+// Installed.CostReport, whose counters only cover advice woven from the
+// same process).
+func (a *Agent) CostReport() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ids := make([]string, 0, len(a.queries))
+	for id := range a.queries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&b, "cost of %s in %s/%s:\n", id, a.proc.Host, a.proc.ProcName)
+		fmt.Fprintf(&b, "  %-36s %12s %9s %9s %9s %9s\n",
+			"tracepoint", "invocations", "sampled", "dropped", "packed", "emitted")
+		for _, prog := range a.queries[id].programs {
+			if a.reg.Lookup(prog.Tracepoint) == nil {
+				continue
+			}
+			c := &prog.Cost
+			fmt.Fprintf(&b, "  %-36s %12d %9d %9d %9d %9d\n",
+				prog.Tracepoint,
+				c.Invocations.Load(), c.Sampled.Load(), c.DroppedByJoin.Load(),
+				c.TuplesPacked.Load(), c.TuplesEmitted.Load())
+		}
+	}
+	return b.String()
+}
+
+// Stats returns the agent's activity counters.
+func (a *Agent) Stats() Stats {
+	return Stats{
+		TuplesEmitted: a.tuplesEmitted.Load(),
+		RowsReported:  a.rowsReported.Load(),
+		Reports:       a.reports.Load(),
+	}
+}
+
+// Close unsubscribes the agent from the control topic and unweaves all
+// advice.
+func (a *Agent) Close() {
+	a.bus.Unsubscribe(a.controlSub)
+	a.mu.Lock()
+	ids := make([]string, 0, len(a.queries))
+	for id := range a.queries {
+		ids = append(ids, id)
+	}
+	a.mu.Unlock()
+	for _, id := range ids {
+		a.uninstall(id)
+	}
+}

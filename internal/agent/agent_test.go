@@ -1,0 +1,207 @@
+package agent
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/advice"
+	"repro/internal/agg"
+	"repro/internal/baggage"
+	"repro/internal/bus"
+	"repro/internal/simtime"
+	"repro/internal/tracepoint"
+	"repro/internal/tuple"
+)
+
+// q1Program compiles by hand a Q1-style program over tracepoint "Tp".
+func q1Program() *advice.Program {
+	return &advice.Program{
+		QueryID:       "Q",
+		Tracepoint:    "Tp",
+		Observe:       []int{0, 5},
+		ObserveFields: tuple.Schema{"e.host", "e.v"},
+		Emit: &advice.EmitOp{
+			Cols:    []advice.EmitCol{{Pos: 0}, {IsAgg: true, Pos: 1, Fn: agg.Sum}},
+			GroupBy: []int{0},
+			Schema:  tuple.Schema{"host", "SUM(v)"},
+		},
+	}
+}
+
+func info(host string) tracepoint.ProcInfo {
+	return tracepoint.ProcInfo{Host: host, ProcName: "p", ProcID: 1}
+}
+
+func request(host string) context.Context {
+	ctx := tracepoint.WithProc(context.Background(), info(host))
+	return baggage.NewContext(ctx, baggage.New())
+}
+
+func TestAgentWeavesOnInstallAndReports(t *testing.T) {
+	env := simtime.NewEnv()
+	var reports []Report
+	env.Run(func() {
+		b := bus.New()
+		reg := tracepoint.NewRegistry()
+		tp := reg.Define("Tp", "v")
+		New(env, info("h1"), reg, b, time.Second)
+		b.Subscribe(ResultsTopic, func(msg any) { reports = append(reports, msg.(Report)) })
+
+		b.Publish(ControlTopic, Install{QueryID: "Q", Programs: []*advice.Program{q1Program()}})
+		if !tp.Enabled() {
+			t.Error("tracepoint not woven")
+		}
+		tp.Here(request("h1"), 10)
+		tp.Here(request("h1"), 5)
+		env.Sleep(1500 * time.Millisecond) // one reporting interval
+	})
+	if len(reports) != 1 {
+		t.Fatalf("reports = %v", reports)
+	}
+	r := reports[0]
+	if r.QueryID != "Q" || r.Host != "h1" || len(r.Groups) != 1 {
+		t.Fatalf("report = %+v", r)
+	}
+	if got := r.Groups[0].States[0].Result(); got.Int() != 15 {
+		t.Fatalf("partial sum = %v", got)
+	}
+}
+
+func TestAgentSkipsUnknownTracepoints(t *testing.T) {
+	env := simtime.NewEnv()
+	env.Run(func() {
+		b := bus.New()
+		reg := tracepoint.NewRegistry() // no "Tp" here
+		a := New(env, info("h1"), reg, b, time.Second)
+		b.Publish(ControlTopic, Install{QueryID: "Q", Programs: []*advice.Program{q1Program()}})
+		a.Flush() // nothing to report, no panic
+	})
+}
+
+func TestAgentWeavesWhenTracepointDefinedLater(t *testing.T) {
+	env := simtime.NewEnv()
+	env.Run(func() {
+		b := bus.New()
+		reg := tracepoint.NewRegistry()
+		New(env, info("h1"), reg, b, time.Second)
+		b.Publish(ControlTopic, Install{QueryID: "Q", Programs: []*advice.Program{q1Program()}})
+		tp := reg.Define("Tp", "v") // defined after installation
+		if !tp.Enabled() {
+			t.Error("standing query not woven into late-defined tracepoint")
+		}
+	})
+}
+
+func TestAgentUninstallUnweaves(t *testing.T) {
+	env := simtime.NewEnv()
+	env.Run(func() {
+		b := bus.New()
+		reg := tracepoint.NewRegistry()
+		tp := reg.Define("Tp", "v")
+		New(env, info("h1"), reg, b, time.Second)
+		b.Publish(ControlTopic, Install{QueryID: "Q", Programs: []*advice.Program{q1Program()}})
+		b.Publish(ControlTopic, Uninstall{QueryID: "Q"})
+		if tp.Enabled() {
+			t.Error("tracepoint still woven after uninstall")
+		}
+	})
+}
+
+func TestAgentEmptyIntervalsProduceNoReports(t *testing.T) {
+	env := simtime.NewEnv()
+	reports := 0
+	env.Run(func() {
+		b := bus.New()
+		reg := tracepoint.NewRegistry()
+		reg.Define("Tp", "v")
+		New(env, info("h1"), reg, b, time.Second)
+		b.Subscribe(ResultsTopic, func(any) { reports++ })
+		b.Publish(ControlTopic, Install{QueryID: "Q", Programs: []*advice.Program{q1Program()}})
+		env.Sleep(5 * time.Second)
+	})
+	if reports != 0 {
+		t.Fatalf("reports = %d, want 0 for idle query", reports)
+	}
+}
+
+func TestAgentStatsCountEmissions(t *testing.T) {
+	env := simtime.NewEnv()
+	env.Run(func() {
+		b := bus.New()
+		reg := tracepoint.NewRegistry()
+		tp := reg.Define("Tp", "v")
+		a := New(env, info("h1"), reg, b, time.Second)
+		b.Publish(ControlTopic, Install{QueryID: "Q", Programs: []*advice.Program{q1Program()}})
+		for i := 0; i < 50; i++ {
+			tp.Here(request("h1"), 1)
+		}
+		a.Flush()
+		st := a.Stats()
+		if st.TuplesEmitted != 50 {
+			t.Errorf("TuplesEmitted = %d", st.TuplesEmitted)
+		}
+		if st.RowsReported != 1 {
+			t.Errorf("RowsReported = %d (aggregation should collapse to one group)", st.RowsReported)
+		}
+		if st.Reports != 1 {
+			t.Errorf("Reports = %d", st.Reports)
+		}
+	})
+}
+
+func TestAgentCloseUnweavesEverything(t *testing.T) {
+	env := simtime.NewEnv()
+	env.Run(func() {
+		b := bus.New()
+		reg := tracepoint.NewRegistry()
+		tp := reg.Define("Tp", "v")
+		a := New(env, info("h1"), reg, b, time.Second)
+		b.Publish(ControlTopic, Install{QueryID: "Q", Programs: []*advice.Program{q1Program()}})
+		a.Close()
+		if tp.Enabled() {
+			t.Error("tracepoint still woven after Close")
+		}
+		// Control messages after Close are ignored.
+		b.Publish(ControlTopic, Install{QueryID: "Q2", Programs: []*advice.Program{q1Program()}})
+		if tp.Enabled() {
+			t.Error("closed agent still handling control messages")
+		}
+	})
+}
+
+func TestAgentDuplicateInstallIgnored(t *testing.T) {
+	env := simtime.NewEnv()
+	env.Run(func() {
+		b := bus.New()
+		reg := tracepoint.NewRegistry()
+		tp := reg.Define("Tp", "v")
+		a := New(env, info("h1"), reg, b, time.Second)
+		msg := Install{QueryID: "Q", Programs: []*advice.Program{q1Program()}}
+		b.Publish(ControlTopic, msg)
+		b.Publish(ControlTopic, msg)
+		tp.Here(request("h1"), 1)
+		a.Flush()
+		if st := a.Stats(); st.TuplesEmitted != 1 {
+			t.Errorf("duplicate install double-weaved: %d emissions", st.TuplesEmitted)
+		}
+	})
+}
+
+func TestNilEnvAgentManualFlush(t *testing.T) {
+	b := bus.New()
+	reg := tracepoint.NewRegistry()
+	tp := reg.Define("Tp", "v")
+	a := New(nil, info("h1"), reg, b, 0)
+	var reports []Report
+	b.Subscribe(ResultsTopic, func(msg any) { reports = append(reports, msg.(Report)) })
+	b.Publish(ControlTopic, Install{QueryID: "Q", Programs: []*advice.Program{q1Program()}})
+	tp.Here(request("h1"), 3)
+	a.Flush()
+	if len(reports) != 1 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if reports[0].Time <= 0 {
+		t.Error("wall-clock report time expected")
+	}
+}

@@ -1,0 +1,235 @@
+// Package agg implements Pivot Tracing's aggregators — Count, Sum, Min, Max,
+// Average — as mergeable partial states. The same state type is used at
+// every aggregation stage: pack-time aggregation in baggage (Table 3's
+// Combine rewrites), process-local aggregation in agents, and global
+// aggregation at the query frontend. Merge is associative and commutative,
+// so the stages compose.
+package agg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/tuple"
+)
+
+// Func identifies an aggregation function.
+type Func uint8
+
+// Supported aggregators.
+const (
+	Count Func = iota
+	Sum
+	Min
+	Max
+	Average
+)
+
+// FromName parses an aggregator name as written in queries (COUNT, SUM...).
+func FromName(name string) (Func, bool) {
+	switch name {
+	case "COUNT":
+		return Count, true
+	case "SUM":
+		return Sum, true
+	case "MIN":
+		return Min, true
+	case "MAX":
+		return Max, true
+	case "AVERAGE", "AVG":
+		return Average, true
+	default:
+		return 0, false
+	}
+}
+
+func (f Func) String() string {
+	switch f {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	case Average:
+		return "AVERAGE"
+	default:
+		return fmt.Sprintf("agg(%d)", uint8(f))
+	}
+}
+
+// Combiner returns the aggregator that merges partial results of f across
+// stages: COUNT partials are summed, everything else merges with itself.
+// (Table 3 of the paper calls this the aggregator's combiner.)
+func (f Func) Combiner() Func {
+	if f == Count {
+		return Sum
+	}
+	return f
+}
+
+// State is a mergeable partial aggregate. The zero value is not usable;
+// construct with New.
+type State struct {
+	fn       Func
+	count    int64
+	sumI     int64
+	sumF     float64
+	anyFloat bool
+	minmax   tuple.Value // current MIN or MAX value
+	seen     bool
+}
+
+// New returns an empty partial state for fn.
+func New(fn Func) *State { return &State{fn: fn} }
+
+// Fn returns the state's aggregator.
+func (s *State) Fn() Func { return s.fn }
+
+// Add folds one observed value into the state.
+func (s *State) Add(v tuple.Value) {
+	s.count++
+	switch s.fn {
+	case Count:
+		// nothing but the count
+	case Sum, Average:
+		if v.Kind() == tuple.KindFloat {
+			s.anyFloat = true
+		}
+		s.sumI += v.Int()
+		s.sumF += v.Float()
+	case Min:
+		if !s.seen || v.Compare(s.minmax) < 0 {
+			s.minmax = v
+		}
+	case Max:
+		if !s.seen || v.Compare(s.minmax) > 0 {
+			s.minmax = v
+		}
+	}
+	s.seen = true
+}
+
+// Merge folds another partial state (same aggregator) into s.
+func (s *State) Merge(o *State) {
+	if s.fn != o.fn {
+		panic(fmt.Sprintf("agg: merging %v into %v", o.fn, s.fn))
+	}
+	if !o.seen {
+		return
+	}
+	s.count += o.count
+	switch s.fn {
+	case Count:
+	case Sum, Average:
+		s.anyFloat = s.anyFloat || o.anyFloat
+		s.sumI += o.sumI
+		s.sumF += o.sumF
+	case Min:
+		if !s.seen || o.minmax.Compare(s.minmax) < 0 {
+			s.minmax = o.minmax
+		}
+	case Max:
+		if !s.seen || o.minmax.Compare(s.minmax) > 0 {
+			s.minmax = o.minmax
+		}
+	}
+	s.seen = true
+}
+
+// Result returns the aggregate value for the state.
+func (s *State) Result() tuple.Value {
+	switch s.fn {
+	case Count:
+		return tuple.Int(s.count)
+	case Sum:
+		if s.anyFloat {
+			return tuple.Float(s.sumF)
+		}
+		return tuple.Int(s.sumI)
+	case Average:
+		if s.count == 0 {
+			return tuple.Null
+		}
+		return tuple.Float(s.sumF / float64(s.count))
+	case Min, Max:
+		if !s.seen {
+			return tuple.Null
+		}
+		return s.minmax
+	default:
+		return tuple.Null
+	}
+}
+
+// Count returns the number of values folded into the state.
+func (s *State) Count() int64 { return s.count }
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	c := *s
+	return &c
+}
+
+var errTruncated = errors.New("agg: truncated encoding")
+
+// Append serializes the state to buf (for baggage and bus transport).
+func (s *State) Append(buf []byte) []byte {
+	buf = append(buf, byte(s.fn))
+	var flags byte
+	if s.anyFloat {
+		flags |= 1
+	}
+	if s.seen {
+		flags |= 2
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendVarint(buf, s.count)
+	buf = binary.AppendVarint(buf, s.sumI)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], floatBits(s.sumF))
+	buf = append(buf, tmp[:]...)
+	return tuple.AppendValue(buf, s.minmax)
+}
+
+// Decode deserializes one state from the front of buf.
+func Decode(buf []byte) (*State, []byte, error) {
+	if len(buf) < 2 {
+		return nil, nil, errTruncated
+	}
+	s := &State{fn: Func(buf[0])}
+	flags := buf[1]
+	s.anyFloat = flags&1 != 0
+	s.seen = flags&2 != 0
+	rest := buf[2:]
+	var k int
+	s.count, k = binary.Varint(rest)
+	if k <= 0 {
+		return nil, nil, errTruncated
+	}
+	rest = rest[k:]
+	s.sumI, k = binary.Varint(rest)
+	if k <= 0 {
+		return nil, nil, errTruncated
+	}
+	rest = rest[k:]
+	if len(rest) < 8 {
+		return nil, nil, errTruncated
+	}
+	s.sumF = floatFromBits(binary.LittleEndian.Uint64(rest))
+	rest = rest[8:]
+	var err error
+	s.minmax, rest, err = tuple.DecodeValue(rest)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, rest, nil
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,304 @@
+package baggage
+
+import (
+	"context"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/itc"
+	"repro/internal/tuple"
+)
+
+// nonceBase randomizes instance nonces per process so that instances
+// created in different processes never collide; the counter makes them
+// unique within a process.
+var (
+	nonceBase    = func() uint64 { return uint64(time.Now().UnixNano()) * 0x9E3779B97F4A7C15 }()
+	nonceCounter atomic.Uint64
+)
+
+func newNonce() uint64 { return nonceBase ^ nonceCounter.Add(1) }
+
+// instance is one versioned baggage instance (§5). The first instance of a
+// Baggage is the active one for the current branch; the rest are frozen
+// read-only copies inherited from before branch points. The nonce is the
+// instance's globally unique identity: frozen copies propagated down both
+// sides of a branch share it (so they deduplicate at the rejoin), while
+// distinct instances — even ones that coincidentally share an interval
+// tree ID and contents — never do.
+type instance struct {
+	stamp *itc.Stamp
+	nonce uint64
+	slots map[string]*Set
+	order []string // deterministic slot iteration
+}
+
+func newInstance(stamp *itc.Stamp) *instance {
+	return &instance{stamp: stamp, nonce: newNonce(), slots: make(map[string]*Set)}
+}
+
+func (in *instance) set(slot string, spec SetSpec) *Set {
+	s, ok := in.slots[slot]
+	if !ok {
+		s = NewSet(spec)
+		in.slots[slot] = s
+		in.order = append(in.order, slot)
+	} else if !s.Spec.Equal(spec) {
+		panic("baggage: conflicting specs for slot " + slot)
+	}
+	return s
+}
+
+func (in *instance) clone() *instance {
+	c := &instance{
+		stamp: in.stamp.Clone(),
+		nonce: in.nonce,
+		slots: make(map[string]*Set),
+	}
+	for _, slot := range in.order {
+		c.slots[slot] = in.slots[slot].Clone()
+		c.order = append(c.order, slot)
+	}
+	return c
+}
+
+// Baggage is the per-request tuple container. The zero value (or New()) is
+// empty baggage that serializes to zero bytes. Baggage is lazily
+// deserialized: a Baggage constructed by Deserialize keeps the raw bytes
+// and only decodes them when a Pack/Unpack/Split/Join touches the contents,
+// so processes that merely forward baggage pay no decode cost.
+//
+// Baggage is not safe for concurrent use; an execution branching into
+// parallel work must call Split and give each branch its own Baggage.
+type Baggage struct {
+	raw     []byte // lazily-decoded serialized form (nil once decoded)
+	insts   []*instance
+	decoded bool
+}
+
+// New returns empty baggage.
+func New() *Baggage {
+	return &Baggage{decoded: true}
+}
+
+func (b *Baggage) ensureDecoded() {
+	if b.decoded {
+		return
+	}
+	insts, err := decodeInstances(b.raw)
+	if err != nil {
+		// Corrupt baggage is dropped rather than poisoning the request;
+		// monitoring must never break the application.
+		insts = nil
+	}
+	b.insts = insts
+	b.raw = nil
+	b.decoded = true
+}
+
+// active returns the active instance, creating it (with a fresh seed stamp)
+// if the baggage is empty.
+func (b *Baggage) active() *instance {
+	b.ensureDecoded()
+	if len(b.insts) == 0 {
+		b.insts = append(b.insts, newInstance(itc.Seed()))
+	}
+	return b.insts[0]
+}
+
+// Pack stores tuples into the active instance under the given slot,
+// applying the spec's retention/aggregation semantics.
+func (b *Baggage) Pack(slot string, spec SetSpec, tuples ...tuple.Tuple) {
+	set := b.active().set(slot, spec)
+	for _, t := range tuples {
+		set.Pack(t)
+	}
+	b.raw = nil
+}
+
+// Unpack retrieves the tuples packed under slot, merging contributions from
+// every instance (active and frozen) according to the slot's semantics.
+// Instances are ordered newest (active) to oldest (earliest frozen), so
+// RECENT kinds merge in that order while FIRST kinds merge oldest-first:
+// a FIRST tuple packed before a branch point wins over one packed inside a
+// branch, preserving the paper's "first event of the execution" semantics.
+func (b *Baggage) Unpack(slot string) []tuple.Tuple {
+	b.ensureDecoded()
+	sets := make([]*Set, 0, len(b.insts))
+	for _, in := range b.insts {
+		if s, ok := in.slots[slot]; ok {
+			sets = append(sets, s)
+		}
+	}
+	if len(sets) == 0 {
+		return nil
+	}
+	if k := sets[0].Spec.Kind; k == First || k == FirstN {
+		for i, j := 0, len(sets)-1; i < j; i, j = i+1, j-1 {
+			sets[i], sets[j] = sets[j], sets[i]
+		}
+	}
+	acc := sets[0].Clone()
+	for _, s := range sets[1:] {
+		acc.Merge(s)
+	}
+	return acc.Unpack()
+}
+
+// Slots returns the slot names present in any instance, sorted.
+func (b *Baggage) Slots() []string {
+	b.ensureDecoded()
+	seen := map[string]bool{}
+	var out []string
+	for _, in := range b.insts {
+		for _, slot := range in.order {
+			if !seen[slot] {
+				seen[slot] = true
+				out = append(out, slot)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TupleCount returns the total number of stored tuples (groups for AGG
+// sets) across all instances — the paper's cost metric for propagation.
+func (b *Baggage) TupleCount() int {
+	b.ensureDecoded()
+	n := 0
+	for _, in := range b.insts {
+		for _, s := range in.slots {
+			n += s.Len()
+		}
+	}
+	return n
+}
+
+// Split divides the baggage for a branching execution. The receiver's
+// active instance is frozen and copied to both sides; each side gets a new
+// empty active instance tagged with half of the divided interval tree ID,
+// so tuples packed by one branch are invisible to the other until Join.
+// The receiver must not be used after Split.
+func (b *Baggage) Split() (*Baggage, *Baggage) {
+	b.ensureDecoded()
+	act := b.active()
+	s1, s2 := act.stamp.Fork()
+
+	frozen := make([]*instance, 0, len(b.insts))
+	for _, in := range b.insts {
+		frozen = append(frozen, in)
+	}
+
+	mk := func(stamp *itc.Stamp) *Baggage {
+		nb := New()
+		nb.insts = append(nb.insts, newInstance(stamp))
+		for _, in := range frozen {
+			nb.insts = append(nb.insts, in.clone())
+		}
+		return nb
+	}
+	return mk(s1), mk(s2)
+}
+
+// Join merges the baggage of two rejoining branches: the active instances'
+// contents merge into a new active instance whose ID joins the two halves,
+// and frozen instances from both sides are kept with duplicates discarded.
+// The arguments must not be used after Join. Join(nil, b) == b.
+func Join(a, b *Baggage) *Baggage {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	a.ensureDecoded()
+	b.ensureDecoded()
+	if len(a.insts) == 0 {
+		return b
+	}
+	if len(b.insts) == 0 {
+		return a
+	}
+	actA, actB := a.insts[0], b.insts[0]
+	merged := newInstance(itc.Join(actA.stamp, actB.stamp))
+	for _, src := range []*instance{actA, actB} {
+		for _, slot := range src.order {
+			set := src.slots[slot]
+			dst, ok := merged.slots[slot]
+			if !ok {
+				merged.slots[slot] = set.Clone()
+				merged.order = append(merged.order, slot)
+				continue
+			}
+			dst.Merge(set)
+		}
+	}
+	out := New()
+	out.insts = append(out.insts, merged)
+	seen := map[uint64]bool{}
+	for _, in := range append(a.insts[1:], b.insts[1:]...) {
+		if seen[in.nonce] {
+			continue
+		}
+		seen[in.nonce] = true
+		out.insts = append(out.insts, in)
+	}
+	return out
+}
+
+// Adopt replaces b's contents with o's. RPC layers use it to propagate
+// baggage back along a synchronous call: the response baggage (which
+// causally extends the request baggage) overwrites the caller's copy while
+// existing context references to b stay valid.
+func (b *Baggage) Adopt(o *Baggage) {
+	if o == nil {
+		return
+	}
+	b.raw = o.raw
+	b.insts = o.insts
+	b.decoded = o.decoded
+}
+
+// Clone deep-copies the baggage (undecoded baggage stays lazy).
+func (b *Baggage) Clone() *Baggage {
+	if b == nil {
+		return nil
+	}
+	if !b.decoded {
+		raw := make([]byte, len(b.raw))
+		copy(raw, b.raw)
+		return &Baggage{raw: raw}
+	}
+	c := New()
+	for _, in := range b.insts {
+		c.insts = append(c.insts, in.clone())
+	}
+	return c
+}
+
+// ctxKey is the context key type for baggage propagation.
+type ctxKey struct{}
+
+// NewContext returns a context carrying b. This is the Go analog of the
+// paper's thread-local baggage storage.
+func NewContext(ctx context.Context, b *Baggage) context.Context {
+	return context.WithValue(ctx, ctxKey{}, b)
+}
+
+// FromContext extracts the baggage from ctx, or nil if none is attached.
+func FromContext(ctx context.Context) *Baggage {
+	b, _ := ctx.Value(ctxKey{}).(*Baggage)
+	return b
+}
+
+// Ensure returns the context's baggage, attaching fresh empty baggage if
+// the context has none, along with the possibly-updated context.
+func Ensure(ctx context.Context) (context.Context, *Baggage) {
+	if b := FromContext(ctx); b != nil {
+		return ctx, b
+	}
+	b := New()
+	return NewContext(ctx, b), b
+}

@@ -1,0 +1,364 @@
+package baggage
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/tuple"
+)
+
+func allSpec(fields ...string) SetSpec {
+	return SetSpec{Kind: All, Fields: fields}
+}
+
+func TestPackUnpackRoundtrip(t *testing.T) {
+	b := New()
+	spec := allSpec("procName")
+	b.Pack("q1.0", spec, tuple.Tuple{tuple.String("HGET")})
+	b.Pack("q1.0", spec, tuple.Tuple{tuple.String("HSCAN")})
+	got := b.Unpack("q1.0")
+	if len(got) != 2 || got[0][0].Str() != "HGET" || got[1][0].Str() != "HSCAN" {
+		t.Fatalf("Unpack = %v", got)
+	}
+}
+
+func TestUnpackMissingSlot(t *testing.T) {
+	if got := New().Unpack("nope"); got != nil {
+		t.Fatalf("Unpack missing slot = %v, want nil", got)
+	}
+}
+
+func TestFirstSemantics(t *testing.T) {
+	b := New()
+	spec := SetSpec{Kind: First, Fields: tuple.Schema{"v"}}
+	b.Pack("s", spec, tuple.Tuple{tuple.Int(1)}, tuple.Tuple{tuple.Int(2)})
+	b.Pack("s", spec, tuple.Tuple{tuple.Int(3)})
+	got := b.Unpack("s")
+	if len(got) != 1 || got[0][0].Int() != 1 {
+		t.Fatalf("FIRST = %v, want [(1)]", got)
+	}
+}
+
+func TestRecentSemantics(t *testing.T) {
+	b := New()
+	spec := SetSpec{Kind: Recent, Fields: tuple.Schema{"v"}}
+	for i := int64(1); i <= 5; i++ {
+		b.Pack("s", spec, tuple.Tuple{tuple.Int(i)})
+	}
+	got := b.Unpack("s")
+	if len(got) != 1 || got[0][0].Int() != 5 {
+		t.Fatalf("RECENT = %v, want [(5)]", got)
+	}
+}
+
+func TestFirstNAndRecentN(t *testing.T) {
+	b := New()
+	fn := SetSpec{Kind: FirstN, N: 2, Fields: tuple.Schema{"v"}}
+	rn := SetSpec{Kind: RecentN, N: 2, Fields: tuple.Schema{"v"}}
+	for i := int64(1); i <= 4; i++ {
+		b.Pack("f", fn, tuple.Tuple{tuple.Int(i)})
+		b.Pack("r", rn, tuple.Tuple{tuple.Int(i)})
+	}
+	f := b.Unpack("f")
+	if len(f) != 2 || f[0][0].Int() != 1 || f[1][0].Int() != 2 {
+		t.Fatalf("FIRSTN = %v", f)
+	}
+	r := b.Unpack("r")
+	if len(r) != 2 || r[0][0].Int() != 3 || r[1][0].Int() != 4 {
+		t.Fatalf("RECENTN = %v", r)
+	}
+}
+
+func TestAggPackAggregatesInPlace(t *testing.T) {
+	b := New()
+	spec := SetSpec{
+		Kind:    Agg,
+		Fields:  tuple.Schema{"host", "delta"},
+		GroupBy: []int{0},
+		Aggs:    []AggField{{Pos: 1, Fn: agg.Sum}},
+	}
+	b.Pack("s", spec, tuple.Tuple{tuple.String("a"), tuple.Int(10)})
+	b.Pack("s", spec, tuple.Tuple{tuple.String("b"), tuple.Int(5)})
+	b.Pack("s", spec, tuple.Tuple{tuple.String("a"), tuple.Int(7)})
+	got := b.Unpack("s")
+	if len(got) != 2 {
+		t.Fatalf("AGG groups = %v", got)
+	}
+	if got[0][0].Str() != "a" || got[0][1].Int() != 17 {
+		t.Errorf("group a = %v, want (a, 17)", got[0])
+	}
+	if got[1][0].Str() != "b" || got[1][1].Int() != 5 {
+		t.Errorf("group b = %v, want (b, 5)", got[1])
+	}
+	// Aggregated pack keeps tuple count at #groups, not #packs.
+	if b.TupleCount() != 2 {
+		t.Errorf("TupleCount = %d, want 2", b.TupleCount())
+	}
+}
+
+func TestConflictingSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b := New()
+	b.Pack("s", allSpec("a"), tuple.Tuple{tuple.Int(1)})
+	b.Pack("s", SetSpec{Kind: First, Fields: tuple.Schema{"a"}}, tuple.Tuple{tuple.Int(2)})
+}
+
+func TestSerializeEmptyIsZeroBytes(t *testing.T) {
+	if n := New().ByteSize(); n != 0 {
+		t.Fatalf("empty baggage serializes to %d bytes, want 0", n)
+	}
+	var b *Baggage
+	if b.Serialize() != nil || b.ByteSize() != 0 {
+		t.Fatal("nil baggage should serialize to nothing")
+	}
+}
+
+func TestSerializeDeserializeRoundtrip(t *testing.T) {
+	b := New()
+	b.Pack("q2.0", SetSpec{Kind: First, Fields: tuple.Schema{"procName"}},
+		tuple.Tuple{tuple.String("MRSORT10G")})
+	b.Pack("q3.0", allSpec("host", "port"),
+		tuple.Tuple{tuple.String("h1"), tuple.Int(50010)})
+	buf := b.Serialize()
+	d := Deserialize(buf)
+	got := d.Unpack("q2.0")
+	if len(got) != 1 || got[0][0].Str() != "MRSORT10G" {
+		t.Fatalf("roundtrip q2.0 = %v", got)
+	}
+	got = d.Unpack("q3.0")
+	if len(got) != 1 || got[0][1].Int() != 50010 {
+		t.Fatalf("roundtrip q3.0 = %v", got)
+	}
+}
+
+func TestLazyDeserializePreservesBytesWithoutDecode(t *testing.T) {
+	b := New()
+	b.Pack("s", allSpec("v"), tuple.Tuple{tuple.Int(42)})
+	buf := b.Serialize()
+	d := Deserialize(buf)
+	if d.decoded {
+		t.Fatal("Deserialize should not eagerly decode")
+	}
+	out := d.Serialize()
+	if d.decoded {
+		t.Fatal("Serialize of untouched baggage should not decode")
+	}
+	if string(out) != string(buf) {
+		t.Fatal("lazy round-trip changed bytes")
+	}
+}
+
+func TestCorruptBaggageDropsSilently(t *testing.T) {
+	d := Deserialize([]byte{99, 1, 2, 3})
+	if got := d.Unpack("s"); got != nil {
+		t.Fatalf("corrupt baggage unpacked %v", got)
+	}
+}
+
+func TestSplitIsolatesBranches(t *testing.T) {
+	b := New()
+	b.Pack("pre", allSpec("v"), tuple.Tuple{tuple.Int(1)})
+	l, r := b.Split()
+	l.Pack("left", allSpec("v"), tuple.Tuple{tuple.Int(2)})
+	r.Pack("right", allSpec("v"), tuple.Tuple{tuple.Int(3)})
+
+	// Both branches see pre-branch tuples.
+	if got := l.Unpack("pre"); len(got) != 1 {
+		t.Fatalf("left lost pre-branch tuples: %v", got)
+	}
+	if got := r.Unpack("pre"); len(got) != 1 {
+		t.Fatalf("right lost pre-branch tuples: %v", got)
+	}
+	// Branch isolation: left's packs invisible to right and vice versa.
+	if got := r.Unpack("left"); got != nil {
+		t.Fatalf("right sees left's tuples: %v", got)
+	}
+	if got := l.Unpack("right"); got != nil {
+		t.Fatalf("left sees right's tuples: %v", got)
+	}
+}
+
+func TestJoinMergesBranchesWithoutDuplicatingPreBranchTuples(t *testing.T) {
+	b := New()
+	spec := SetSpec{Kind: Agg, Fields: tuple.Schema{"k", "v"},
+		GroupBy: []int{0}, Aggs: []AggField{{Pos: 1, Fn: agg.Sum}}}
+	b.Pack("sum", spec, tuple.Tuple{tuple.String("x"), tuple.Int(100)})
+	l, r := b.Split()
+	l.Pack("sum", spec, tuple.Tuple{tuple.String("x"), tuple.Int(10)})
+	r.Pack("sum", spec, tuple.Tuple{tuple.String("x"), tuple.Int(1)})
+	j := Join(l, r)
+	got := j.Unpack("sum")
+	if len(got) != 1 || got[0][1].Int() != 111 {
+		t.Fatalf("joined sum = %v, want 111 (no double-count of pre-branch 100)", got)
+	}
+}
+
+func TestNestedSplitJoin(t *testing.T) {
+	b := New()
+	spec := SetSpec{Kind: Agg, Fields: tuple.Schema{"v"},
+		GroupBy: nil, Aggs: []AggField{{Pos: 0, Fn: agg.Count}}}
+	b.Pack("c", spec, tuple.Tuple{tuple.Int(0)})
+	l, r := b.Split()
+	l1, l2 := l.Split()
+	l1.Pack("c", spec, tuple.Tuple{tuple.Int(0)})
+	l2.Pack("c", spec, tuple.Tuple{tuple.Int(0)})
+	l = Join(l1, l2)
+	r.Pack("c", spec, tuple.Tuple{tuple.Int(0)})
+	j := Join(l, r)
+	got := j.Unpack("c")
+	if len(got) != 1 || got[0][0].Int() != 4 {
+		t.Fatalf("nested join count = %v, want 4", got)
+	}
+}
+
+func TestJoinWithNilAndEmpty(t *testing.T) {
+	b := New()
+	b.Pack("s", allSpec("v"), tuple.Tuple{tuple.Int(1)})
+	if j := Join(nil, b); j != b {
+		t.Error("Join(nil, b) should be b")
+	}
+	if j := Join(b, nil); j != b {
+		t.Error("Join(b, nil) should be b")
+	}
+	if j := Join(New(), b); len(j.Unpack("s")) != 1 {
+		t.Error("Join(empty, b) lost tuples")
+	}
+}
+
+func TestSplitSerializeAcrossProcessesJoin(t *testing.T) {
+	// Simulate branches traveling over the network: split, serialize each
+	// half, deserialize remotely, pack, return, join.
+	b := New()
+	spec := SetSpec{Kind: Agg, Fields: tuple.Schema{"v"},
+		Aggs: []AggField{{Pos: 0, Fn: agg.Sum}}}
+	b.Pack("s", spec, tuple.Tuple{tuple.Int(1)})
+	l, r := b.Split()
+	lw := Deserialize(l.Serialize())
+	rw := Deserialize(r.Serialize())
+	lw.Pack("s", spec, tuple.Tuple{tuple.Int(10)})
+	rw.Pack("s", spec, tuple.Tuple{tuple.Int(100)})
+	j := Join(Deserialize(lw.Serialize()), Deserialize(rw.Serialize()))
+	got := j.Unpack("s")
+	if len(got) != 1 || got[0][0].Int() != 111 {
+		t.Fatalf("cross-process join = %v, want 111", got)
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	ctx := context.Background()
+	if FromContext(ctx) != nil {
+		t.Fatal("background context should have no baggage")
+	}
+	ctx, b := Ensure(ctx)
+	if FromContext(ctx) != b {
+		t.Fatal("Ensure should attach baggage")
+	}
+	ctx2, b2 := Ensure(ctx)
+	if ctx2 != ctx || b2 != b {
+		t.Fatal("Ensure should be idempotent")
+	}
+}
+
+func TestSlotsSorted(t *testing.T) {
+	b := New()
+	b.Pack("zz", allSpec("v"), tuple.Tuple{tuple.Int(1)})
+	b.Pack("aa", allSpec("v"), tuple.Tuple{tuple.Int(2)})
+	got := b.Slots()
+	if len(got) != 2 || got[0] != "aa" || got[1] != "zz" {
+		t.Fatalf("Slots = %v", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	b := New()
+	b.Pack("s", allSpec("v"), tuple.Tuple{tuple.Int(1)})
+	c := b.Clone()
+	c.Pack("s", allSpec("v"), tuple.Tuple{tuple.Int(2)})
+	if len(b.Unpack("s")) != 1 {
+		t.Fatal("Clone aliases receiver")
+	}
+	if len(c.Unpack("s")) != 2 {
+		t.Fatal("Clone lost tuples")
+	}
+}
+
+func TestByteSizeGrowsLinearly(t *testing.T) {
+	prev := 0
+	for _, n := range []int{1, 2, 4, 8} {
+		b := New()
+		for i := 0; i < n; i++ {
+			b.Pack("s", allSpec("a", "b"),
+				tuple.Tuple{tuple.Int(int64(i)), tuple.Int(int64(i * 2))})
+		}
+		size := b.ByteSize()
+		if size <= prev {
+			t.Fatalf("size(%d tuples) = %d, not growing", n, size)
+		}
+		prev = size
+	}
+}
+
+func TestQ7StyleBaggageIsSmall(t *testing.T) {
+	// §6.3: Q7 packs the stress-test hostname plus 3 replica locations
+	// (4 tuples) at ~137 bytes per request. Our encoding should be in the
+	// same ballpark (well under 250 bytes).
+	b := New()
+	b.Pack("q7.st", SetSpec{Kind: First, Fields: tuple.Schema{"host"}},
+		tuple.Tuple{tuple.String("stresstest-host-04.cluster.local")})
+	b.Pack("q7.nn", allSpec("replicas"),
+		tuple.Tuple{tuple.String("datanode-01.cluster.local")},
+		tuple.Tuple{tuple.String("datanode-02.cluster.local")},
+		tuple.Tuple{tuple.String("datanode-03.cluster.local")})
+	if size := b.ByteSize(); size > 250 {
+		t.Fatalf("Q7-style baggage = %d bytes, want <= 250", size)
+	}
+	if b.TupleCount() != 4 {
+		t.Fatalf("TupleCount = %d, want 4", b.TupleCount())
+	}
+}
+
+func TestFirstPrefersPreBranchTuple(t *testing.T) {
+	// A FIRST tuple packed before a branch point must win over tuples
+	// packed inside branches — this is what keeps Q2's application
+	// attribution correct when MapReduce tasks re-cross ClientProtocols.
+	spec := SetSpec{Kind: First, Fields: tuple.Schema{"procName"}}
+	b := New()
+	b.Pack("cl", spec, tuple.Tuple{tuple.String("MRSORT10G")})
+	l, r := b.Split()
+	l.Pack("cl", spec, tuple.Tuple{tuple.String("Map")})
+	if got := l.Unpack("cl"); len(got) != 1 || got[0][0].Str() != "MRSORT10G" {
+		t.Fatalf("branch unpack = %v, want pre-branch MRSORT10G", got)
+	}
+	j := Join(l, r)
+	if got := j.Unpack("cl"); len(got) != 1 || got[0][0].Str() != "MRSORT10G" {
+		t.Fatalf("joined unpack = %v, want MRSORT10G", got)
+	}
+}
+
+func TestRecentPrefersBranchLocalTuple(t *testing.T) {
+	spec := SetSpec{Kind: Recent, Fields: tuple.Schema{"v"}}
+	b := New()
+	b.Pack("s", spec, tuple.Tuple{tuple.Int(1)})
+	l, _ := b.Split()
+	l.Pack("s", spec, tuple.Tuple{tuple.Int(2)})
+	if got := l.Unpack("s"); len(got) != 1 || got[0][0].Int() != 2 {
+		t.Fatalf("RECENT unpack = %v, want branch-local (2)", got)
+	}
+}
+
+func TestFirstNOldestFirstAcrossBranch(t *testing.T) {
+	spec := SetSpec{Kind: FirstN, N: 3, Fields: tuple.Schema{"v"}}
+	b := New()
+	b.Pack("s", spec, tuple.Tuple{tuple.Int(1)})
+	l, _ := b.Split()
+	l.Pack("s", spec, tuple.Tuple{tuple.Int(2)}, tuple.Tuple{tuple.Int(3)}, tuple.Tuple{tuple.Int(4)})
+	got := l.Unpack("s")
+	if len(got) != 3 || got[0][0].Int() != 1 || got[1][0].Int() != 2 || got[2][0].Int() != 3 {
+		t.Fatalf("FIRSTN unpack = %v, want [1 2 3]", got)
+	}
+}

@@ -1,0 +1,138 @@
+package baggage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/agg"
+	"repro/internal/tuple"
+)
+
+// branchTree drives a random sequence of pack/split/join/serialize
+// operations over a set of live baggage branches, tracking the expected
+// total count packed into an AGG(COUNT) slot. The invariant: after joining
+// everything back together, the count equals the number of packs — every
+// tuple delivered exactly once, across any branching topology and any
+// number of wire round-trips.
+func branchTree(seed int64, steps int) (got, want int64) {
+	rng := rand.New(rand.NewSource(seed))
+	spec := SetSpec{Kind: Agg, Fields: tuple.Schema{"v"},
+		Aggs: []AggField{{Pos: 0, Fn: agg.Count}}}
+	live := []*Baggage{New()}
+	var packs int64
+	for i := 0; i < steps; i++ {
+		k := rng.Intn(len(live))
+		switch rng.Intn(5) {
+		case 0, 1: // pack
+			live[k].Pack("c", spec, tuple.Tuple{tuple.Int(int64(i))})
+			packs++
+		case 2: // split
+			a, b := live[k].Split()
+			live[k] = a
+			live = append(live, b)
+		case 3: // join two branches
+			if len(live) > 1 {
+				j := rng.Intn(len(live))
+				if j != k {
+					merged := Join(live[k], live[j])
+					live[k] = merged
+					live = append(live[:j], live[j+1:]...)
+				}
+			}
+		case 4: // wire round-trip
+			live[k] = Deserialize(live[k].Serialize())
+		}
+	}
+	all := live[0]
+	for _, b := range live[1:] {
+		all = Join(all, b)
+	}
+	rows := all.Unpack("c")
+	if len(rows) == 0 {
+		return 0, packs
+	}
+	return rows[0][0].Int(), packs
+}
+
+func TestQuickExactlyOnceAcrossBranchTopologies(t *testing.T) {
+	f := func(seed int64) bool {
+		got, want := branchTree(seed, 40)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSerializeRoundtripPreservesEverything: serialize/deserialize is
+// lossless for random baggage contents across all set kinds.
+func TestQuickSerializeRoundtripPreservesEverything(t *testing.T) {
+	kinds := []SetSpec{
+		{Kind: All, Fields: tuple.Schema{"a", "b"}},
+		{Kind: First, Fields: tuple.Schema{"a", "b"}},
+		{Kind: FirstN, N: 3, Fields: tuple.Schema{"a", "b"}},
+		{Kind: Recent, Fields: tuple.Schema{"a", "b"}},
+		{Kind: RecentN, N: 2, Fields: tuple.Schema{"a", "b"}},
+		{Kind: Frontier, Fields: tuple.Schema{"a", "b"}},
+		{Kind: Agg, Fields: tuple.Schema{"a", "b"},
+			GroupBy: []int{0}, Aggs: []AggField{{Pos: 1, Fn: agg.Sum}}},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := New()
+		for s, spec := range kinds {
+			slot := spec.Kind.String() + string(rune('0'+s))
+			for i := 0; i < 1+rng.Intn(5); i++ {
+				b.Pack(slot, spec, tuple.Tuple{
+					tuple.String(string(rune('x' + rng.Intn(3)))),
+					tuple.Int(int64(rng.Intn(100))),
+				})
+			}
+		}
+		d := Deserialize(b.Serialize())
+		for s, spec := range kinds {
+			slot := spec.Kind.String() + string(rune('0'+s))
+			want := b.Unpack(slot)
+			got := d.Unpack(slot)
+			if len(want) != len(got) {
+				return false
+			}
+			for i := range want {
+				if !want[i].Equal(got[i]) {
+					return false
+				}
+			}
+		}
+		return d.ByteSize() == b.ByteSize()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSplitNeverLeaksAcrossSiblings: tuples packed in one branch are
+// never visible in a concurrent sibling, for random nested splits.
+func TestQuickSplitNeverLeaksAcrossSiblings(t *testing.T) {
+	spec := SetSpec{Kind: All, Fields: tuple.Schema{"v"}}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		root := New()
+		a, b := root.Split()
+		// Randomly nest splits under a; pack only in the a-subtree.
+		branches := []*Baggage{a}
+		for i := 0; i < rng.Intn(4); i++ {
+			k := rng.Intn(len(branches))
+			l, r := branches[k].Split()
+			branches[k] = l
+			branches = append(branches, r)
+		}
+		for _, br := range branches {
+			br.Pack("s", spec, tuple.Tuple{tuple.Int(1)})
+		}
+		return b.Unpack("s") == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

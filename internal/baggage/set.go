@@ -1,0 +1,278 @@
+// Package baggage implements Pivot Tracing's baggage abstraction (§5 of the
+// paper): a per-request container for tuples that is propagated alongside a
+// request as it traverses thread, application, and machine boundaries.
+// Pack and Unpack store and retrieve tuples; because tuples follow the
+// request's execution path they explicitly capture the happened-before
+// relation, enabling inline evaluation of the happened-before join.
+//
+// Baggage handles branching executions with a versioning scheme based on
+// interval tree clocks: each branch packs into its own uniquely-identified
+// active instance, frozen pre-branch instances are read-only, and rejoining
+// merges actives and deduplicates the frozen copies.
+package baggage
+
+import (
+	"fmt"
+
+	"repro/internal/agg"
+	"repro/internal/tuple"
+)
+
+// SetKind selects the retention semantics of a packed tuple set, matching
+// the paper's Pack special cases (§3): ALL, FIRST, RECENT, FIRSTN, RECENTN,
+// plus AGG for pack-time aggregation (the Table 3 rewrites).
+type SetKind uint8
+
+// Set kinds.
+const (
+	All SetKind = iota
+	First
+	FirstN
+	Recent
+	RecentN
+	Agg
+	// Frontier tracks the causal frontier of an execution: Pack replaces
+	// the branch's tuple (like Recent), but merging at a branch join keeps
+	// the tuples of both branches (deduplicated). Used by the baseline
+	// global-evaluation strategy to carry X-Trace-style event identifiers.
+	Frontier
+)
+
+func (k SetKind) String() string {
+	switch k {
+	case All:
+		return "ALL"
+	case First:
+		return "FIRST"
+	case FirstN:
+		return "FIRSTN"
+	case Recent:
+		return "RECENT"
+	case RecentN:
+		return "RECENTN"
+	case Agg:
+		return "AGG"
+	case Frontier:
+		return "FRONTIER"
+	default:
+		return fmt.Sprintf("setkind(%d)", uint8(k))
+	}
+}
+
+// AggField names one aggregated position of a packed tuple.
+type AggField struct {
+	Pos int      // position in the packed tuple
+	Fn  agg.Func // aggregation function
+}
+
+// SetSpec configures a packed tuple set: its retention kind, capacity (for
+// FIRSTN/RECENTN), field names, and — for AGG sets — which positions are
+// group-by keys and which are aggregated.
+type SetSpec struct {
+	Kind    SetKind
+	N       int
+	Fields  tuple.Schema
+	GroupBy []int
+	Aggs    []AggField
+}
+
+// Equal reports whether two specs are identical.
+func (s SetSpec) Equal(o SetSpec) bool {
+	if s.Kind != o.Kind || s.N != o.N || !s.Fields.Equal(o.Fields) {
+		return false
+	}
+	if len(s.GroupBy) != len(o.GroupBy) || len(s.Aggs) != len(o.Aggs) {
+		return false
+	}
+	for i := range s.GroupBy {
+		if s.GroupBy[i] != o.GroupBy[i] {
+			return false
+		}
+	}
+	for i := range s.Aggs {
+		if s.Aggs[i] != o.Aggs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// group is one group-by bucket of an AGG set.
+type group struct {
+	keyVals tuple.Tuple // values at GroupBy positions, in GroupBy order
+	states  []*agg.State
+}
+
+// Set is a tuple set stored in a baggage instance under one slot.
+type Set struct {
+	Spec   SetSpec
+	tuples []tuple.Tuple     // non-AGG kinds
+	groups map[string]*group // AGG kind
+	order  []string          // deterministic group iteration order
+}
+
+// NewSet returns an empty set with the given spec.
+func NewSet(spec SetSpec) *Set {
+	s := &Set{Spec: spec}
+	if spec.Kind == Agg {
+		s.groups = make(map[string]*group)
+	}
+	return s
+}
+
+// Pack folds one tuple into the set according to its retention semantics.
+func (s *Set) Pack(t tuple.Tuple) {
+	switch s.Spec.Kind {
+	case All:
+		s.tuples = append(s.tuples, t)
+	case First:
+		if len(s.tuples) == 0 {
+			s.tuples = append(s.tuples, t)
+		}
+	case FirstN:
+		if len(s.tuples) < s.Spec.N {
+			s.tuples = append(s.tuples, t)
+		}
+	case Recent, Frontier:
+		s.tuples = append(s.tuples[:0], t)
+	case RecentN:
+		s.tuples = append(s.tuples, t)
+		if excess := len(s.tuples) - s.Spec.N; excess > 0 {
+			s.tuples = append(s.tuples[:0:0], s.tuples[excess:]...)
+		}
+	case Agg:
+		key := t.Key(s.Spec.GroupBy)
+		g, ok := s.groups[key]
+		if !ok {
+			g = &group{keyVals: t.Project(s.Spec.GroupBy)}
+			for _, af := range s.Spec.Aggs {
+				g.states = append(g.states, agg.New(af.Fn))
+			}
+			s.groups[key] = g
+			s.order = append(s.order, key)
+		}
+		for i, af := range s.Spec.Aggs {
+			g.states[i].Add(t[af.Pos])
+		}
+	}
+}
+
+// Merge folds another set with the same spec into s. Used when rejoining
+// branched baggage and when combining instances at unpack.
+func (s *Set) Merge(o *Set) {
+	if !s.Spec.Equal(o.Spec) {
+		panic("baggage: merging sets with different specs")
+	}
+	switch s.Spec.Kind {
+	case All:
+		s.tuples = append(s.tuples, o.tuples...)
+	case First:
+		if len(s.tuples) == 0 && len(o.tuples) > 0 {
+			s.tuples = append(s.tuples, o.tuples[0])
+		}
+	case FirstN:
+		for _, t := range o.tuples {
+			if len(s.tuples) >= s.Spec.N {
+				break
+			}
+			s.tuples = append(s.tuples, t)
+		}
+	case Recent:
+		// Deterministic tie-break across branches: the left (receiver)
+		// branch wins if it has a tuple.
+		if len(s.tuples) == 0 && len(o.tuples) > 0 {
+			s.tuples = append(s.tuples, o.tuples[0])
+		}
+	case RecentN:
+		s.tuples = append(s.tuples, o.tuples...)
+		if excess := len(s.tuples) - s.Spec.N; excess > 0 {
+			s.tuples = append(s.tuples[:0:0], s.tuples[excess:]...)
+		}
+	case Frontier:
+		// Union the branch frontiers, dropping exact duplicates.
+		for _, t := range o.tuples {
+			dup := false
+			for _, mine := range s.tuples {
+				if mine.Equal(t) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				s.tuples = append(s.tuples, t)
+			}
+		}
+	case Agg:
+		for _, key := range o.order {
+			og := o.groups[key]
+			g, ok := s.groups[key]
+			if !ok {
+				g = &group{keyVals: og.keyVals.Clone()}
+				for _, st := range og.states {
+					g.states = append(g.states, st.Clone())
+				}
+				s.groups[key] = g
+				s.order = append(s.order, key)
+				continue
+			}
+			for i, st := range og.states {
+				g.states[i].Merge(st)
+			}
+		}
+	}
+}
+
+// Unpack materializes the set's contents as tuples in the packed field
+// layout. AGG sets yield one tuple per group, with group-by positions
+// holding the key values and aggregated positions holding partial results;
+// positions covered by neither hold null.
+func (s *Set) Unpack() []tuple.Tuple {
+	if s.Spec.Kind != Agg {
+		out := make([]tuple.Tuple, len(s.tuples))
+		for i, t := range s.tuples {
+			out[i] = t.Clone()
+		}
+		return out
+	}
+	out := make([]tuple.Tuple, 0, len(s.order))
+	for _, key := range s.order {
+		g := s.groups[key]
+		t := make(tuple.Tuple, len(s.Spec.Fields))
+		for i, pos := range s.Spec.GroupBy {
+			t[pos] = g.keyVals[i]
+		}
+		for i, af := range s.Spec.Aggs {
+			t[af.Pos] = g.states[i].Result()
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Len returns the number of stored tuples (groups for AGG sets).
+func (s *Set) Len() int {
+	if s.Spec.Kind == Agg {
+		return len(s.groups)
+	}
+	return len(s.tuples)
+}
+
+// Clone deep-copies the set.
+func (s *Set) Clone() *Set {
+	c := NewSet(s.Spec)
+	for _, t := range s.tuples {
+		c.tuples = append(c.tuples, t.Clone())
+	}
+	if s.Spec.Kind == Agg {
+		for _, key := range s.order {
+			g := s.groups[key]
+			ng := &group{keyVals: g.keyVals.Clone()}
+			for _, st := range g.states {
+				ng.states = append(ng.states, st.Clone())
+			}
+			c.groups[key] = ng
+			c.order = append(c.order, key)
+		}
+	}
+	return c
+}

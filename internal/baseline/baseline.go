@@ -1,0 +1,351 @@
+// Package baseline implements the unoptimized evaluation strategy of the
+// paper's Fig 6a, used as the comparison point for Pivot Tracing's inline
+// happened-before join: every crossing of a tracepoint used by the query
+// emits its full exported tuple, tagged with X-Trace-style causal metadata
+// (a unique event id plus the ids of the execution's current causal
+// frontier, carried in constant-size baggage). A central evaluator
+// reconstructs the happened-before relation from the event DAG and
+// evaluates the join globally, Magpie-style (§7: "such a query ...
+// necessitates global evaluation").
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"context"
+
+	"repro/internal/agg"
+	"repro/internal/baggage"
+	"repro/internal/query"
+	"repro/internal/tracepoint"
+	"repro/internal/tuple"
+)
+
+// frontierSlot is the baggage slot carrying causal metadata.
+const frontierSlot = "__xtrace.frontier"
+
+var frontierSpec = baggage.SetSpec{Kind: baggage.Frontier, Fields: tuple.Schema{"eventId"}}
+
+// event is one recorded tracepoint crossing.
+type event struct {
+	id      int64
+	parents []int64
+	vals    tuple.Tuple // full exported tuple
+}
+
+// Evaluator collects events for one query and evaluates it centrally.
+type Evaluator struct {
+	q   *query.Query
+	a   *query.Analysis
+	reg *tracepoint.Registry
+
+	mu     sync.Mutex
+	events map[string][]*event // per tracepoint name
+	byID   map[int64]*event
+	nextID atomic.Int64
+
+	tuplesEmitted atomic.Int64
+	baggageBytes  atomic.Int64
+}
+
+// New builds an evaluator for the query against the registry (named
+// queries are not supported by the baseline; the paper's comparison
+// queries do not use them).
+func New(q *query.Query, reg *tracepoint.Registry) (*Evaluator, error) {
+	a, err := query.Analyze(q, reg, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Evaluator{
+		q: q, a: a, reg: reg,
+		events: make(map[string][]*event),
+		byID:   make(map[int64]*event),
+	}, nil
+}
+
+// Probe is the per-tracepoint instrumentation: emit everything, centrally.
+// It implements tracepoint.Advice.
+type Probe struct {
+	ev *Evaluator
+	tp string
+}
+
+// Probes returns one probe per tracepoint the query touches; weave each
+// into the corresponding tracepoint in every process.
+func (ev *Evaluator) Probes() map[string]*Probe {
+	out := make(map[string]*Probe)
+	add := func(src query.Source) {
+		if src.Tracepoint != "" {
+			out[src.Tracepoint] = &Probe{ev: ev, tp: src.Tracepoint}
+		}
+	}
+	for _, src := range ev.q.From.Sources {
+		add(src)
+	}
+	for _, j := range ev.q.Joins {
+		add(j.Source)
+	}
+	return out
+}
+
+// Invoke records the crossing and advances the causal frontier.
+func (p *Probe) Invoke(ctx context.Context, vals tuple.Tuple) {
+	ev := p.ev
+	id := ev.nextID.Add(1)
+	e := &event{id: id, vals: vals.Clone()}
+	bag := baggage.FromContext(ctx)
+	if bag != nil {
+		for _, t := range bag.Unpack(frontierSlot) {
+			e.parents = append(e.parents, t[0].Int())
+		}
+		bag.Pack(frontierSlot, frontierSpec, tuple.Tuple{tuple.Int(id)})
+		ev.baggageBytes.Add(int64(bag.ByteSize()))
+	}
+	ev.tuplesEmitted.Add(1)
+	ev.mu.Lock()
+	ev.events[p.tp] = append(ev.events[p.tp], e)
+	ev.byID[id] = e
+	ev.mu.Unlock()
+}
+
+// Stats returns the traffic metrics: tuples shipped to the central
+// evaluator and cumulative baggage bytes observed on the wire.
+func (ev *Evaluator) Stats() (tuples int64, baggageBytes int64) {
+	return ev.tuplesEmitted.Load(), ev.baggageBytes.Load()
+}
+
+// ancestors computes the transitive causal ancestors of an event.
+func (ev *Evaluator) ancestors(e *event, memo map[int64]map[int64]bool) map[int64]bool {
+	if got, ok := memo[e.id]; ok {
+		return got
+	}
+	out := make(map[int64]bool)
+	memo[e.id] = out // break cycles defensively (DAG: none expected)
+	for _, pid := range e.parents {
+		out[pid] = true
+		if pe, ok := ev.byID[pid]; ok {
+			for a := range ev.ancestors(pe, memo) {
+				out[a] = true
+			}
+		}
+	}
+	return out
+}
+
+// Evaluate runs the query over all recorded events, returning the result
+// rows in group order — equivalent to what the optimized in-baggage plan
+// produces, but computed centrally.
+func (ev *Evaluator) Evaluate() ([]tuple.Tuple, error) {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+
+	memo := make(map[int64]map[int64]bool)
+
+	// alias -> tracepoint events
+	aliasEvents := func(alias string) ([]*event, error) {
+		if alias == ev.q.From.Alias {
+			var out []*event
+			for _, src := range ev.q.From.Sources {
+				out = append(out, ev.events[src.Tracepoint]...)
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+			return out, nil
+		}
+		for _, j := range ev.q.Joins {
+			if j.Alias == alias {
+				return ev.events[j.Source.Tracepoint], nil
+			}
+		}
+		return nil, fmt.Errorf("baseline: unknown alias %q", alias)
+	}
+
+	// Recursive binding of aliases in join order.
+	type binding = map[string]*event
+	bindings := []binding{}
+	fromEvents, err := aliasEvents(ev.q.From.Alias)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range fromEvents {
+		bindings = append(bindings, binding{ev.q.From.Alias: e})
+	}
+
+	// Resolve joins in declaration order; each join's Right alias is
+	// already bound (the analyzer guarantees the chain structure).
+	for _, j := range ev.q.Joins {
+		if j.Source.IsSubquery() {
+			return nil, fmt.Errorf("baseline: subquery joins unsupported")
+		}
+		candidates, err := aliasEvents(j.Alias)
+		if err != nil {
+			return nil, err
+		}
+		var next []binding
+		for _, b := range bindings {
+			right, ok := b[j.Right]
+			if !ok {
+				return nil, fmt.Errorf("baseline: join alias %q unbound", j.Right)
+			}
+			anc := ev.ancestors(right, memo)
+			var matches []*event
+			for _, c := range candidates {
+				if anc[c.id] {
+					matches = append(matches, c)
+				}
+			}
+			matches = applyTempFilter(matches, j.Source.Filter, j.Source.N)
+			for _, m := range matches {
+				nb := make(binding, len(b)+1)
+				for k, v := range b {
+					nb[k] = v
+				}
+				nb[j.Alias] = m
+				next = append(next, nb)
+			}
+		}
+		bindings = next
+	}
+
+	// Where, GroupBy, Select via expression evaluation.
+	resolve := func(b binding) func(query.FieldRef) tuple.Value {
+		return func(f query.FieldRef) tuple.Value {
+			e, ok := b[f.Alias]
+			if !ok {
+				return tuple.Null
+			}
+			schema := ev.a.Schemas[f.Alias]
+			idx := schema.Index(f.Field)
+			if idx < 0 || idx >= len(e.vals) {
+				return tuple.Null
+			}
+			return e.vals[idx]
+		}
+	}
+
+	kept := bindings[:0]
+	for _, b := range bindings {
+		ok := true
+		for _, w := range ev.q.Where {
+			if !w.Eval(resolve(b)).Bool() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, b)
+		}
+	}
+
+	return ev.project(kept, resolve)
+}
+
+// project computes the Select outputs with grouping and aggregation.
+func (ev *Evaluator) project(bindings []map[string]*event, resolve func(map[string]*event) func(query.FieldRef) tuple.Value) ([]tuple.Tuple, error) {
+	hasAgg := false
+	for _, si := range ev.q.Select {
+		if si.HasAgg {
+			hasAgg = true
+		}
+	}
+	if !hasAgg && len(ev.q.GroupBy) == 0 {
+		out := make([]tuple.Tuple, 0, len(bindings))
+		for _, b := range bindings {
+			row := make(tuple.Tuple, len(ev.q.Select))
+			for i, si := range ev.q.Select {
+				row[i] = si.Expr.Eval(resolve(b))
+			}
+			out = append(out, row)
+		}
+		return out, nil
+	}
+
+	type g struct {
+		rep    map[string]*event
+		states []*agg.State
+	}
+	groups := map[string]*g{}
+	var order []string
+	for _, b := range bindings {
+		keyVals := make(tuple.Tuple, len(ev.q.GroupBy))
+		for i, gb := range ev.q.GroupBy {
+			keyVals[i] = gb.Eval(resolve(b))
+		}
+		key := keyVals.Key(identity(len(keyVals)))
+		grp, ok := groups[key]
+		if !ok {
+			grp = &g{rep: b}
+			for _, si := range ev.q.Select {
+				if si.HasAgg {
+					grp.states = append(grp.states, agg.New(si.Agg))
+				}
+			}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		k := 0
+		for _, si := range ev.q.Select {
+			if !si.HasAgg {
+				continue
+			}
+			if si.Expr != nil {
+				grp.states[k].Add(si.Expr.Eval(resolve(b)))
+			} else {
+				grp.states[k].Add(tuple.Null)
+			}
+			k++
+		}
+	}
+	out := make([]tuple.Tuple, 0, len(order))
+	for _, key := range order {
+		grp := groups[key]
+		row := make(tuple.Tuple, len(ev.q.Select))
+		k := 0
+		for i, si := range ev.q.Select {
+			if si.HasAgg {
+				row[i] = grp.states[k].Result()
+				k++
+			} else {
+				row[i] = si.Expr.Eval(resolve(grp.rep))
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func identity(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// applyTempFilter keeps the first/last 1 or N candidates (candidates are
+// in event-id order, which is creation order).
+func applyTempFilter(matches []*event, f query.TempFilter, n int) []*event {
+	sort.Slice(matches, func(i, j int) bool { return matches[i].id < matches[j].id })
+	if n < 1 {
+		n = 1
+	}
+	switch f {
+	case query.FilterFirst:
+		n = 1
+		fallthrough
+	case query.FilterFirstN:
+		if len(matches) > n {
+			matches = matches[:n]
+		}
+	case query.FilterMostRecent:
+		n = 1
+		fallthrough
+	case query.FilterMostRecentN:
+		if len(matches) > n {
+			matches = matches[len(matches)-n:]
+		}
+	}
+	return matches
+}

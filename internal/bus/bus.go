@@ -1,0 +1,92 @@
+// Package bus provides the pub/sub message bus connecting Pivot Tracing
+// agents to the query frontend (§5 of the paper: agents await instruction
+// via a central pub/sub server and publish partial query results).
+//
+// The bus is in-process and synchronous: Publish invokes every subscriber
+// before returning, which keeps simulated experiments deterministic. The
+// asynchrony of a real deployment lives in the simulated network of the
+// cluster layer, not here.
+package bus
+
+import "sync"
+
+// Handler consumes messages published to a topic.
+type Handler func(msg any)
+
+// Subscription identifies an active subscription for cancellation.
+type Subscription struct {
+	topic string
+	id    int
+}
+
+// Bus is a topic-based publish/subscribe hub.
+type Bus struct {
+	mu     sync.Mutex
+	nextID int
+	topics map[string]map[int]Handler
+
+	published int64
+}
+
+// New returns an empty bus.
+func New() *Bus {
+	return &Bus{topics: make(map[string]map[int]Handler)}
+}
+
+// Subscribe registers a handler for a topic and returns its subscription.
+func (b *Bus) Subscribe(topic string, h Handler) Subscription {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextID++
+	m, ok := b.topics[topic]
+	if !ok {
+		m = make(map[int]Handler)
+		b.topics[topic] = m
+	}
+	m[b.nextID] = h
+	return Subscription{topic: topic, id: b.nextID}
+}
+
+// Unsubscribe cancels a subscription; it is safe to call twice.
+func (b *Bus) Unsubscribe(s Subscription) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if m, ok := b.topics[s.topic]; ok {
+		delete(m, s.id)
+	}
+}
+
+// Publish delivers msg to every subscriber of the topic, synchronously, in
+// subscription order.
+func (b *Bus) Publish(topic string, msg any) {
+	b.mu.Lock()
+	b.published++
+	m := b.topics[topic]
+	hs := make([]struct {
+		id int
+		h  Handler
+	}, 0, len(m))
+	for id, h := range m {
+		hs = append(hs, struct {
+			id int
+			h  Handler
+		}{id, h})
+	}
+	b.mu.Unlock()
+	// Deliver in subscription order for determinism.
+	for i := 1; i < len(hs); i++ {
+		for k := i; k > 0 && hs[k].id < hs[k-1].id; k-- {
+			hs[k], hs[k-1] = hs[k-1], hs[k]
+		}
+	}
+	for _, s := range hs {
+		s.h(msg)
+	}
+}
+
+// Published returns the total number of messages published.
+func (b *Bus) Published() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.published
+}

@@ -1,0 +1,89 @@
+package bus
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPublishReachesSubscribers(t *testing.T) {
+	b := New()
+	var got []any
+	b.Subscribe("t", func(msg any) { got = append(got, msg) })
+	b.Publish("t", 1)
+	b.Publish("t", 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got = %v", got)
+	}
+	if b.Published() != 2 {
+		t.Fatalf("published = %d", b.Published())
+	}
+}
+
+func TestTopicsAreIsolated(t *testing.T) {
+	b := New()
+	var a, c int
+	b.Subscribe("a", func(any) { a++ })
+	b.Subscribe("c", func(any) { c++ })
+	b.Publish("a", nil)
+	if a != 1 || c != 0 {
+		t.Fatalf("a=%d c=%d", a, c)
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	b := New()
+	n := 0
+	sub := b.Subscribe("t", func(any) { n++ })
+	b.Publish("t", nil)
+	b.Unsubscribe(sub)
+	b.Unsubscribe(sub) // idempotent
+	b.Publish("t", nil)
+	if n != 1 {
+		t.Fatalf("n = %d", n)
+	}
+}
+
+func TestDeliveryInSubscriptionOrder(t *testing.T) {
+	b := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		b.Subscribe("t", func(any) { order = append(order, i) })
+	}
+	b.Publish("t", nil)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestPublishToEmptyTopic(t *testing.T) {
+	b := New()
+	b.Publish("nobody", "msg") // must not panic
+}
+
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	b := New()
+	var mu sync.Mutex
+	count := 0
+	b.Subscribe("t", func(any) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				b.Publish("t", k)
+			}
+		}()
+	}
+	wg.Wait()
+	if count != 800 {
+		t.Fatalf("count = %d", count)
+	}
+}

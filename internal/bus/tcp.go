@@ -1,0 +1,244 @@
+package bus
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+)
+
+// This file implements the distributed form of the message bus: the
+// paper's central pub/sub server (§5) that connects per-process agents to
+// the query frontend across machine boundaries. A Server relays framed
+// (topic, payload) messages between connections; a Link bridges a remote
+// connection onto a process's local Bus, marshaling messages with a
+// caller-supplied codec. Topics flow one direction per process (control:
+// frontend -> agents; results: agents -> frontend), so bridging cannot
+// loop.
+
+// Codec translates between in-memory bus messages and wire payloads.
+type Codec interface {
+	Marshal(msg any) ([]byte, error)
+	Unmarshal(data []byte) (any, error)
+}
+
+// frame layout: uvarint topic length, topic, uvarint payload length,
+// payload.
+func writeFrame(w *bufio.Writer, topic string, payload []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(topic)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(topic); err != nil {
+		return err
+	}
+	n = binary.PutUvarint(hdr[:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+const maxFrame = 64 << 20
+
+func readFrame(r *bufio.Reader) (topic string, payload []byte, err error) {
+	tlen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", nil, err
+	}
+	if tlen > maxFrame {
+		return "", nil, errors.New("bus: oversized topic")
+	}
+	tbuf := make([]byte, tlen)
+	if _, err := io.ReadFull(r, tbuf); err != nil {
+		return "", nil, err
+	}
+	plen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", nil, err
+	}
+	if plen > maxFrame {
+		return "", nil, errors.New("bus: oversized payload")
+	}
+	pbuf := make([]byte, plen)
+	if _, err := io.ReadFull(r, pbuf); err != nil {
+		return "", nil, err
+	}
+	return string(tbuf), pbuf, nil
+}
+
+// Server is the central pub/sub relay: every frame received from one
+// connection is forwarded to all other connections. Subscription filtering
+// happens client-side (the deployments are small; the paper's pub/sub
+// server is likewise a simple hub).
+type Server struct {
+	ln net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]*bufio.Writer
+	done  bool
+}
+
+// Serve starts a pub/sub server on addr (e.g. "127.0.0.1:0") and returns
+// it; the listener address is available via Addr.
+func Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, conns: make(map[net.Conn]*bufio.Writer)}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.done {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = bufio.NewWriter(conn)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReader(conn)
+	for {
+		topic, payload, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		for other, w := range s.conns {
+			if other == conn {
+				continue
+			}
+			if err := writeFrame(w, topic, payload); err != nil {
+				other.Close()
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Close shuts the server down and drops all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.done = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Link bridges a process's local Bus to a remote pub/sub server: messages
+// published locally on the send topics are marshaled and forwarded;
+// frames received for the recv topics are unmarshaled and published
+// locally. Close the link to disconnect.
+type Link struct {
+	conn net.Conn
+	w    *bufio.Writer
+	wmu  sync.Mutex
+	subs []Subscription
+	bus  *Bus
+	errs chan error
+}
+
+// Connect dials the server and starts bridging.
+func Connect(b *Bus, addr string, codec Codec, send, recv []string) (*Link, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &Link{conn: conn, w: bufio.NewWriter(conn), bus: b, errs: make(chan error, 1)}
+
+	for _, topic := range send {
+		topic := topic
+		sub := b.Subscribe(topic, func(msg any) {
+			payload, err := codec.Marshal(msg)
+			if err != nil {
+				return // unmarshalable local-only message
+			}
+			l.wmu.Lock()
+			defer l.wmu.Unlock()
+			writeFrame(l.w, topic, payload)
+		})
+		l.subs = append(l.subs, sub)
+	}
+
+	recvSet := make(map[string]bool, len(recv))
+	for _, t := range recv {
+		recvSet[t] = true
+	}
+	go func() {
+		r := bufio.NewReader(conn)
+		for {
+			topic, payload, err := readFrame(r)
+			if err != nil {
+				select {
+				case l.errs <- err:
+				default:
+				}
+				return
+			}
+			if !recvSet[topic] {
+				continue
+			}
+			msg, err := codec.Unmarshal(payload)
+			if err != nil {
+				continue
+			}
+			b.Publish(topic, msg)
+		}
+	}()
+	return l, nil
+}
+
+// Close stops bridging and closes the connection.
+func (l *Link) Close() {
+	for _, sub := range l.subs {
+		l.bus.Unsubscribe(sub)
+	}
+	l.conn.Close()
+}
+
+// Err reports the first receive-loop error, if any (nil while healthy).
+func (l *Link) Err() error {
+	select {
+	case err := <-l.errs:
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		return err
+	default:
+		return nil
+	}
+}

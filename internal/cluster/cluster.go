@@ -1,0 +1,273 @@
+// Package cluster wires a complete simulated deployment: hosts with NICs
+// and disks (netsim), processes with per-process tracepoint registries and
+// Pivot Tracing agents, a baggage-propagating RPC layer, and the Pivot
+// Tracing frontend — the substrate the Hadoop-stack systems (hdfs, hbase,
+// yarn, mapreduce) run on.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/baggage"
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+	"repro/internal/tracepoint"
+)
+
+// Config sets cluster-wide parameters.
+type Config struct {
+	// NICRate and DiskRate are per-host resource capacities in bytes/s.
+	NICRate  float64
+	DiskRate float64
+	// ReportInterval is the agent reporting interval.
+	ReportInterval time.Duration
+	// RPCLatency is the fixed one-way message latency.
+	RPCLatency time.Duration
+	// BaggageFixedCost and BaggageByteCost model the CPU cost of
+	// serializing/deserializing non-empty baggage at each process
+	// boundary crossing (the overheads Table 5 measures). Empty baggage
+	// costs nothing — the paper's zero-byte default.
+	BaggageFixedCost time.Duration
+	BaggageByteCost  time.Duration
+}
+
+// DefaultConfig models the paper's testbed: 1 Gbit NICs, commodity disks,
+// one-second agent reports.
+func DefaultConfig() Config {
+	return Config{
+		NICRate:          netsim.Gbit,
+		DiskRate:         netsim.DiskRate,
+		ReportInterval:   agent.DefaultInterval,
+		RPCLatency:       200 * time.Microsecond,
+		BaggageFixedCost: 500 * time.Nanosecond,
+		BaggageByteCost:  2 * time.Nanosecond,
+	}
+}
+
+// Cluster is one simulated deployment.
+type Cluster struct {
+	Env *simtime.Env
+	Net *netsim.Network
+	Bus *bus.Bus
+	// PT is the Pivot Tracing frontend for this deployment.
+	PT  *core.PivotTracing
+	cfg Config
+
+	mu     sync.Mutex
+	hosts  map[string]*netsim.Host
+	procs  []*Process
+	byName map[string]*Process // "host/proc"
+	nextID int64
+}
+
+// New creates an empty cluster.
+func New(env *simtime.Env, cfg Config) *Cluster {
+	c := &Cluster{
+		Env:    env,
+		Net:    netsim.New(env),
+		Bus:    bus.New(),
+		cfg:    cfg,
+		hosts:  make(map[string]*netsim.Host),
+		byName: make(map[string]*Process),
+	}
+	c.PT = core.New(c.Bus, tracepoint.NewRegistry())
+	return c
+}
+
+// clock adapts the simulation environment to the tracepoint.Clock
+// interface so tracepoints export virtual time.
+type clock struct{ env *simtime.Env }
+
+func (c clock) Now() time.Duration { return c.env.Now() }
+
+// Host returns (creating if needed) the named host.
+func (c *Cluster) Host(name string) *netsim.Host {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.hosts[name]
+	if !ok {
+		h = c.Net.NewHost(name, c.cfg.NICRate, c.cfg.DiskRate)
+		h.Latency = c.cfg.RPCLatency
+		c.hosts[name] = h
+	}
+	return h
+}
+
+// Hosts returns all host names in creation order... map order is not
+// stable, so callers that need ordering should track their own lists.
+func (c *Cluster) Hosts() []*netsim.Host {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*netsim.Host, 0, len(c.hosts))
+	for _, h := range c.hosts {
+		out = append(out, h)
+	}
+	return out
+}
+
+// Process is one simulated OS process: an identity, a host, a private
+// tracepoint registry, a Pivot Tracing agent, and a set of RPC handlers.
+type Process struct {
+	C    *Cluster
+	Info tracepoint.ProcInfo
+	Host *netsim.Host
+	Reg  *tracepoint.Registry
+	// Agent is the process's Pivot Tracing agent; nil if the process was
+	// started without one (unmonitored).
+	Agent *agent.Agent
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+
+	fileIn, fileOut  *tracepoint.Tracepoint
+	rpcRecv, rpcResp *tracepoint.Tracepoint
+}
+
+// Handler serves one RPC method.
+type Handler func(ctx context.Context, req any) (any, error)
+
+// Start launches a process on a host with a Pivot Tracing agent.
+func (c *Cluster) Start(hostName, procName string) *Process {
+	return c.start(hostName, procName, true)
+}
+
+// StartUnmonitored launches a process without a Pivot Tracing agent
+// (baggage still propagates through it — the paper's §8 note that systems
+// without agents still forward baggage).
+func (c *Cluster) StartUnmonitored(hostName, procName string) *Process {
+	return c.start(hostName, procName, false)
+}
+
+func (c *Cluster) start(hostName, procName string, monitored bool) *Process {
+	host := c.Host(hostName)
+	c.mu.Lock()
+	c.nextID++
+	p := &Process{
+		C: c,
+		Info: tracepoint.ProcInfo{
+			Host: hostName, ProcName: procName, ProcID: c.nextID,
+		},
+		Host:     host,
+		Reg:      tracepoint.NewRegistry(),
+		handlers: make(map[string]Handler),
+	}
+	key := hostName + "/" + procName
+	if _, dup := c.byName[key]; dup {
+		c.mu.Unlock()
+		panic(fmt.Sprintf("cluster: duplicate process %s", key))
+	}
+	c.byName[key] = p
+	c.procs = append(c.procs, p)
+	c.mu.Unlock()
+	if monitored {
+		p.Agent = agent.New(c.Env, p.Info, p.Reg, c.Bus, c.cfg.ReportInterval)
+		// Replay standing queries so late-started processes participate.
+		for _, msg := range c.PT.Installs() {
+			p.Agent.Deliver(msg)
+		}
+	}
+	// Every process has the file-stream tracepoints (the paper instruments
+	// Java's FileInputStream/FileOutputStream via the boot classpath to
+	// capture all direct disk IO — Fig 1c).
+	p.fileIn = p.Define("FileInputStream.read", "length")
+	p.fileOut = p.Define("FileOutputStream.write", "length")
+	// Every server also has generic RPC boundary tracepoints, the natural
+	// home of the paper's Q8 latency query.
+	p.rpcRecv = p.Define("RPC.Receive", "method")
+	p.rpcResp = p.Define("RPC.Respond", "method")
+	return p
+}
+
+// DiskRead reads n bytes from the process's local disk, contending with
+// other disk users on the host and crossing the FileInputStream tracepoint.
+func (p *Process) DiskRead(ctx context.Context, n float64) {
+	p.fileIn.Here(ctx, n)
+	p.Host.DiskRead(n)
+}
+
+// DiskWrite writes n bytes to the process's local disk.
+func (p *Process) DiskWrite(ctx context.Context, n float64) {
+	p.fileOut.Here(ctx, n)
+	p.Host.DiskWrite(n)
+}
+
+// Proc returns the process named "procName" on hostName, or nil.
+func (c *Cluster) Proc(hostName, procName string) *Process {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byName[hostName+"/"+procName]
+}
+
+// Procs returns all processes in start order.
+func (c *Cluster) Procs() []*Process {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Process(nil), c.procs...)
+}
+
+// FlushAgents forces every agent to report immediately (used at experiment
+// shutdown so the final interval is not lost).
+func (c *Cluster) FlushAgents() {
+	for _, p := range c.Procs() {
+		if p.Agent != nil {
+			p.Agent.Flush()
+		}
+	}
+}
+
+// WeaveAll weaves advice into the named tracepoint in every process that
+// defines it, returning the number of weaves. Used by the baseline
+// global-evaluation strategy, which bypasses agents.
+func (c *Cluster) WeaveAll(tpName string, adv tracepoint.Advice) int {
+	n := 0
+	for _, p := range c.Procs() {
+		if p.Reg.Lookup(tpName) != nil {
+			if p.Reg.Weave(tpName, adv) == nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Define declares a tracepoint in this process and mirrors the definition
+// into the cluster's master registry (the query vocabulary).
+func (p *Process) Define(name string, exports ...string) *tracepoint.Tracepoint {
+	p.C.PT.Registry().Define(name, exports...)
+	return p.Reg.Define(name, exports...)
+}
+
+// Context returns the base context for code executing in this process:
+// process identity and the virtual clock, but no request baggage.
+func (p *Process) Context() context.Context {
+	ctx := tracepoint.WithProc(context.Background(), p.Info)
+	return tracepoint.WithClock(ctx, clock{env: p.C.Env})
+}
+
+// NewRequest returns a context for a fresh request originating in this
+// process: identity, clock, and new empty baggage.
+func (p *Process) NewRequest() context.Context {
+	return baggage.NewContext(p.Context(), baggage.New())
+}
+
+// In adapts a context to this process: the same request baggage, but this
+// process's identity and clock. Used when an execution logically moves into
+// another process without an RPC (e.g. a task launching in a container).
+func (p *Process) In(ctx context.Context) context.Context {
+	ctx = tracepoint.WithProc(ctx, p.Info)
+	return tracepoint.WithClock(ctx, clock{env: p.C.Env})
+}
+
+// reenter adapts an inbound context to this process: same baggage and
+// deadline, this process's identity.
+func (p *Process) reenter(ctx context.Context, bag *baggage.Baggage) context.Context {
+	ctx = tracepoint.WithProc(ctx, p.Info)
+	ctx = tracepoint.WithClock(ctx, clock{env: p.C.Env})
+	return baggage.NewContext(ctx, bag)
+}

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/baggage"
+)
+
+// rpcStats counts cluster-wide RPC activity and the bytes of baggage that
+// rode along (the paper's propagation-overhead metric).
+type rpcStats struct {
+	calls        atomic.Int64
+	baggageBytes atomic.Int64
+}
+
+var stats rpcStats
+
+// RPCCalls returns the total number of RPCs issued across all clusters in
+// this process (benchmarks use single clusters, so this is effectively
+// per-cluster).
+func RPCCalls() int64 { return stats.calls.Load() }
+
+// BaggageBytes returns the total serialized baggage bytes carried on RPCs.
+func BaggageBytes() int64 { return stats.baggageBytes.Load() }
+
+// Handle registers an RPC handler under "Service.Method".
+func (p *Process) Handle(method string, h Handler) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.handlers[method]; dup {
+		panic(fmt.Sprintf("cluster: duplicate handler %s on %s/%s",
+			method, p.Info.Host, p.Info.ProcName))
+	}
+	p.handlers[method] = h
+}
+
+// Sizes gives the simulated payload sizes of an RPC, in bytes (baggage
+// bytes are added automatically).
+type Sizes struct {
+	Request  float64
+	Response float64
+}
+
+// Call issues a synchronous RPC from the process owning ctx to the target
+// process. Baggage is serialized into the request message, deserialized at
+// the callee (lazily), propagated through the handler, and carried back in
+// the response; the caller's baggage is replaced by the response baggage —
+// the paper's execution-path propagation across process boundaries.
+//
+// The transfer contends for the caller's transmit link and the callee's
+// receive link (and the reverse for the response).
+func (p *Process) Call(ctx context.Context, target *Process, method string, req any, sz Sizes) (any, error) {
+	target.mu.Lock()
+	h, ok := target.handlers[method]
+	target.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("rpc: no handler %s on %s/%s",
+			method, target.Info.Host, target.Info.ProcName)
+	}
+	stats.calls.Add(1)
+
+	callerBag := baggage.FromContext(ctx)
+	var wire []byte
+	if callerBag != nil {
+		wire = callerBag.Serialize()
+	}
+	stats.baggageBytes.Add(int64(len(wire)))
+	p.chargeBaggageCost(len(wire))
+
+	// Request transfer (payload + baggage on the wire).
+	p.Host.Send(target.Host, sz.Request+float64(len(wire)))
+
+	// The callee sees its own deserialized copy — process isolation.
+	calleeBag := baggage.Deserialize(wire)
+	calleeCtx := target.reenter(ctx, calleeBag)
+	target.rpcRecv.Here(calleeCtx, method)
+	resp, err := h(calleeCtx, req)
+	target.rpcResp.Here(calleeCtx, method)
+
+	respWire := calleeBag.Serialize()
+	stats.baggageBytes.Add(int64(len(respWire)))
+	target.chargeBaggageCost(len(respWire))
+
+	// Response transfer.
+	target.Host.Send(p.Host, sz.Response+float64(len(respWire)))
+
+	// Propagate the response baggage back into the caller's context.
+	if callerBag != nil {
+		callerBag.Adopt(baggage.Deserialize(respWire))
+	}
+	return resp, err
+}
+
+// chargeBaggageCost burns virtual CPU time for serializing non-empty
+// baggage at a process boundary (the Table 5 overhead model).
+func (p *Process) chargeBaggageCost(wireBytes int) {
+	if wireBytes == 0 {
+		return
+	}
+	cfg := p.C.cfg
+	cost := cfg.BaggageFixedCost + time.Duration(wireBytes)*cfg.BaggageByteCost
+	if cost > 0 {
+		p.C.Env.Sleep(cost)
+	}
+}
+
+// Go runs fn as a new thread of this process with its own branch of the
+// request's baggage; it returns a join function that blocks until fn
+// completes and merges the branch back (the paper's split/join for
+// branching executions). The pattern:
+//
+//	join := p.Go(ctx, func(ctx context.Context) { ... })
+//	...
+//	join()
+func (p *Process) Go(ctx context.Context, fn func(ctx context.Context)) (join func()) {
+	parent := baggage.FromContext(ctx)
+	var mine, theirs *baggage.Baggage
+	if parent != nil {
+		mine, theirs = parent.Split()
+		parent.Adopt(mine)
+	}
+	done := p.C.Env.NewWaitGroup()
+	done.Add(1)
+	p.C.Env.Go(func() {
+		defer done.Done()
+		branchCtx := ctx
+		if theirs != nil {
+			branchCtx = baggage.NewContext(ctx, theirs)
+		}
+		fn(branchCtx)
+	})
+	return func() {
+		done.Wait()
+		if parent != nil {
+			merged := baggage.Join(parent.Clone(), theirs)
+			parent.Adopt(merged)
+		}
+	}
+}

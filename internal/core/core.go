@@ -1,0 +1,235 @@
+// Package core implements the Pivot Tracing frontend: the component users
+// submit queries to (§2.2 of the paper). The frontend parses and compiles
+// queries to advice, distributes the advice to per-process agents over the
+// message bus, and performs global aggregation of the partial results the
+// agents report, exposing a streaming result dataset.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/advice"
+	"repro/internal/agent"
+	"repro/internal/bus"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/tracepoint"
+	"repro/internal/tuple"
+)
+
+// PivotTracing is the query frontend.
+type PivotTracing struct {
+	bus *bus.Bus
+	reg *tracepoint.Registry
+
+	mu        sync.Mutex
+	installed map[string]*Installed
+	named     map[string]*query.Query
+	nextID    int
+
+	resultsSub bus.Subscription
+}
+
+// New creates a frontend bound to the bus and the master tracepoint
+// registry (the shared vocabulary of tracepoint definitions).
+func New(b *bus.Bus, reg *tracepoint.Registry) *PivotTracing {
+	pt := &PivotTracing{
+		bus:       b,
+		reg:       reg,
+		installed: make(map[string]*Installed),
+		named:     make(map[string]*query.Query),
+	}
+	pt.resultsSub = b.Subscribe(agent.ResultsTopic, pt.onReport)
+	return pt
+}
+
+// Registry returns the master tracepoint registry.
+func (pt *PivotTracing) Registry() *tracepoint.Registry { return pt.reg }
+
+// Installed is a handle to an installed query: a streaming dataset of
+// results plus the compiled plan.
+type Installed struct {
+	pt   *PivotTracing
+	Name string
+	Plan *plan.Plan
+
+	mu        sync.Mutex
+	global    *advice.Accumulator
+	listeners []func(agent.Report)
+}
+
+// Install parses, compiles, and installs a query with the Table 3
+// optimizations enabled. The query is named automatically (Q1, Q2, ...)
+// unless a name is assigned via InstallNamed.
+func (pt *PivotTracing) Install(text string) (*Installed, error) {
+	return pt.InstallNamed("", text, plan.Optimized)
+}
+
+// InstallNamed installs a query under an explicit name (which later
+// queries can reference as a join source) and with explicit compile
+// options.
+func (pt *PivotTracing) InstallNamed(name, text string, opts plan.Options) (*Installed, error) {
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	pt.mu.Lock()
+	if name == "" {
+		pt.nextID++
+		name = fmt.Sprintf("Q%d", pt.nextID)
+	}
+	if _, dup := pt.installed[name]; dup {
+		pt.mu.Unlock()
+		return nil, fmt.Errorf("core: query %q already installed", name)
+	}
+	q.Name = name
+	named := make(map[string]*query.Query, len(pt.named))
+	for k, v := range pt.named {
+		named[k] = v
+	}
+	pt.mu.Unlock()
+
+	p, err := plan.Compile(q, pt.reg, named, opts)
+	if err != nil {
+		return nil, err
+	}
+	h := &Installed{
+		pt:     pt,
+		Name:   name,
+		Plan:   p,
+		global: advice.NewAccumulator(p.Emit.Emit),
+	}
+	pt.mu.Lock()
+	pt.installed[name] = h
+	pt.named[name] = q
+	pt.mu.Unlock()
+
+	pt.bus.Publish(agent.ControlTopic, agent.Install{QueryID: name, Programs: p.Programs})
+	return h, nil
+}
+
+// Installs returns the install messages for all currently installed
+// queries. Newly started processes replay these so that late-joining
+// agents weave standing queries (the paper's always-on monitoring).
+func (pt *PivotTracing) Installs() []agent.Install {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	names := make([]string, 0, len(pt.installed))
+	for name := range pt.installed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]agent.Install, 0, len(names))
+	for _, name := range names {
+		h := pt.installed[name]
+		out = append(out, agent.Install{QueryID: name, Programs: h.Plan.Programs})
+	}
+	return out
+}
+
+// onReport merges an agent's partial results into the query's global
+// accumulator and notifies listeners.
+func (pt *PivotTracing) onReport(msg any) {
+	r, ok := msg.(agent.Report)
+	if !ok {
+		return
+	}
+	pt.mu.Lock()
+	h := pt.installed[r.QueryID]
+	pt.mu.Unlock()
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	for _, g := range r.Groups {
+		h.global.MergeGroup(g)
+	}
+	for _, raw := range r.Raws {
+		h.global.MergeRaw(raw)
+	}
+	var listeners []func(agent.Report)
+	listeners = append(listeners, h.listeners...)
+	h.mu.Unlock()
+	for _, fn := range listeners {
+		fn(r)
+	}
+}
+
+// OnReport registers a callback invoked for every per-interval report the
+// query receives — the streaming interface.
+func (h *Installed) OnReport(fn func(agent.Report)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.listeners = append(h.listeners, fn)
+}
+
+// Rows returns the globally aggregated results accumulated so far, sorted
+// by group key for stable output.
+func (h *Installed) Rows() []tuple.Tuple {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rows := h.global.Rows()
+	if !h.global.Op.Raw {
+		sort.Slice(rows, func(i, j int) bool {
+			return rowLess(rows[i], rows[j])
+		})
+	}
+	return rows
+}
+
+func rowLess(a, b tuple.Tuple) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if c := a[i].Compare(b[i]); c != 0 {
+			return c < 0
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Schema returns the output schema of the query.
+func (h *Installed) Schema() tuple.Schema { return h.Plan.Schema }
+
+// Explain renders the compiled advice in the paper's notation.
+func (h *Installed) Explain() string { return h.Plan.Explain() }
+
+// CostReport renders the query's live execution counters — the paper's §4
+// "explain"-style cost analysis: how many tuples the query observes, packs
+// into baggage, emits, and drops at join misses, per tracepoint. Within a
+// single OS process (including the whole simulated cluster) woven advice
+// shares these counters; in a TCP-distributed deployment each worker keeps
+// its own (see agent.Agent.CostReport).
+func (h *Installed) CostReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cost of %s:\n", h.Name)
+	fmt.Fprintf(&b, "  %-36s %12s %9s %9s %9s %9s\n",
+		"tracepoint", "invocations", "sampled", "dropped", "packed", "emitted")
+	for _, prog := range h.Plan.Programs {
+		c := &prog.Cost
+		fmt.Fprintf(&b, "  %-36s %12d %9d %9d %9d %9d\n",
+			prog.Tracepoint,
+			c.Invocations.Load(), c.Sampled.Load(), c.DroppedByJoin.Load(),
+			c.TuplesPacked.Load(), c.TuplesEmitted.Load())
+	}
+	return b.String()
+}
+
+// Uninstall removes the query's advice from all agents. The handle's
+// accumulated results remain readable.
+func (h *Installed) Uninstall() {
+	h.pt.mu.Lock()
+	delete(h.pt.installed, h.Name)
+	delete(h.pt.named, h.Name)
+	h.pt.mu.Unlock()
+	h.pt.bus.Publish(agent.ControlTopic, agent.Uninstall{QueryID: h.Name})
+}
+
+// Close unsubscribes the frontend from the bus.
+func (pt *PivotTracing) Close() {
+	pt.bus.Unsubscribe(pt.resultsSub)
+}

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+// Fig1Config sizes the §2.1 motivating experiment: six client applications
+// sharing the cluster while three queries apportion disk bandwidth.
+type Fig1Config struct {
+	Hosts    int
+	Duration time.Duration
+	// Sort job input sizes (the paper uses 10 GB and 100 GB; the defaults
+	// are scaled so several jobs complete within Duration).
+	Sort10g, Sort100g float64
+	// Files per FSread dataset.
+	Files int
+}
+
+// DefaultFig1Config returns a configuration that runs in a few seconds of
+// real time while preserving the figure's shape.
+func DefaultFig1Config() Fig1Config {
+	return Fig1Config{
+		Hosts:    8,
+		Duration: 2 * time.Minute,
+		Sort10g:  2e9,
+		Sort100g: 20e9,
+		Files:    16,
+	}
+}
+
+// Fig1Result holds the three sub-figures.
+type Fig1Result struct {
+	Cfg Fig1Config
+	// HostSeries is Fig 1a: per-host HDFS DataNode read throughput (Q1).
+	HostSeries map[string][]metrics.Point
+	// AppSeries is Fig 1b: HDFS read throughput grouped by top-level
+	// client application (Q2, the happened-before join).
+	AppSeries map[string][]metrics.Point
+	// PivotRead/PivotWrite are Fig 1c: disk read/write bytes by host and
+	// by source process for the MRsort10g application.
+	PivotRead, PivotWrite map[string]map[string]float64 // host -> proc -> bytes
+	Q1, Q2                string
+}
+
+// queries for Fig 1, as printed in the paper (§2.1).
+const (
+	fig1Q1 = `From incr In DataNodeMetrics.incrBytesRead
+GroupBy incr.host
+Select incr.host, SUM(incr.delta)`
+	fig1Q2 = `From incr In DataNodeMetrics.incrBytesRead
+Join cl In First(ClientProtocols) On cl -> incr
+GroupBy cl.procName
+Select cl.procName, SUM(incr.delta)`
+	// The two Fig 1c queries instrument the file streams, still joining
+	// with the client process name.
+	fig1QRead = `From fis In FileInputStream.read
+Join cl In First(ClientProtocols) On cl -> fis
+GroupBy cl.procName, fis.host, fis.procName
+Select cl.procName, fis.host, fis.procName, SUM(fis.length)`
+	fig1QWrite = `From fos In FileOutputStream.write
+Join cl In First(ClientProtocols) On cl -> fos
+GroupBy cl.procName, fos.host, fos.procName
+Select cl.procName, fos.host, fos.procName, SUM(fos.length)`
+)
+
+// RunFig1 executes the experiment.
+func RunFig1(cfg Fig1Config) (*Fig1Result, error) {
+	env := simtime.NewEnv()
+	res := &Fig1Result{Cfg: cfg, Q1: fig1Q1, Q2: fig1Q2}
+	var runErr error
+
+	env.Run(func() {
+		tbCfg := workload.DefaultTestbedConfig()
+		tbCfg.Hosts = cfg.Hosts
+		tb := workload.NewTestbed(env, tbCfg)
+		if err := tb.InitHBaseStores(2e9); err != nil {
+			runErr = err
+			return
+		}
+
+		q1, err := tb.C.PT.Install(fig1Q1)
+		if err != nil {
+			runErr = err
+			return
+		}
+		q2, err := tb.C.PT.Install(fig1Q2)
+		if err != nil {
+			runErr = err
+			return
+		}
+		qr, err := tb.C.PT.Install(fig1QRead)
+		if err != nil {
+			runErr = err
+			return
+		}
+		qw, err := tb.C.PT.Install(fig1QWrite)
+		if err != nil {
+			runErr = err
+			return
+		}
+
+		col1 := metrics.NewCollector(q1.Plan.Emit.Emit, time.Second)
+		q1.OnReport(col1.OnReport)
+		col2 := metrics.NewCollector(q2.Plan.Emit.Emit, time.Second)
+		q2.OnReport(col2.OnReport)
+
+		// The six client applications of §2.1.
+		type mk func() (*workload.Workload, error)
+		makers := []mk{
+			func() (*workload.Workload, error) {
+				return tb.NewFSRead(workload.HostName(0), "FSREAD4M", 4e6, cfg.Files, 1)
+			},
+			func() (*workload.Workload, error) {
+				return tb.NewFSRead(workload.HostName(1), "FSREAD64M", 64e6, cfg.Files, 2)
+			},
+			func() (*workload.Workload, error) { return tb.NewHGet(workload.HostName(2), 3), nil },
+			func() (*workload.Workload, error) { return tb.NewHScan(workload.HostName(3), 4), nil },
+			func() (*workload.Workload, error) {
+				return tb.NewMRSort(workload.HostName(4), "MRSORT10G", cfg.Sort10g)
+			},
+			func() (*workload.Workload, error) {
+				return tb.NewMRSort(workload.HostName(5), "MRSORT100G", cfg.Sort100g)
+			},
+		}
+		for _, m := range makers {
+			w, err := m()
+			if err != nil {
+				runErr = err
+				return
+			}
+			w.Start()
+		}
+
+		env.Sleep(cfg.Duration)
+		tb.C.FlushAgents()
+
+		res.HostSeries = col1.Series([]int{0}, 1, true)
+		res.AppSeries = col2.Series([]int{0}, 1, true)
+
+		res.PivotRead = pivotRows(qr.Rows(), "MRSORT10G")
+		res.PivotWrite = pivotRows(qw.Rows(), "MRSORT10G")
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
+}
+
+// pivotRows builds host -> proc -> bytes for one application from the
+// Fig 1c query rows (app, host, proc, bytes).
+func pivotRows(rows []tuple.Tuple, app string) map[string]map[string]float64 {
+	out := make(map[string]map[string]float64)
+	for _, r := range rows {
+		if r[0].Str() != app {
+			continue
+		}
+		host, proc := r[1].Str(), r[2].Str()
+		if out[host] == nil {
+			out[host] = make(map[string]float64)
+		}
+		out[host][proc] += r[3].Float()
+	}
+	return out
+}
+
+// Render produces the three sub-figures as terminal text.
+func (r *Fig1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("=== Fig 1a: HDFS DataNode throughput per machine (Q1) ===\n")
+	b.WriteString(renderSeries("", r.HostSeries, fmtBytesRate))
+	b.WriteString("\n=== Fig 1b: HDFS throughput by client application (Q2) ===\n")
+	b.WriteString(renderSeries("", r.AppSeries, fmtBytesRate))
+	b.WriteString("\n=== Fig 1c: disk IO pivot table for MRSORT10G (host x source process) ===\n")
+	b.WriteString(r.renderPivot())
+	return b.String()
+}
+
+// renderPivot renders the Fig 1c pivot table with per-row/column totals.
+func (r *Fig1Result) renderPivot() string {
+	procSet := map[string]bool{}
+	hostSet := map[string]bool{}
+	for host, m := range r.PivotRead {
+		hostSet[host] = true
+		for p := range m {
+			procSet[p] = true
+		}
+	}
+	for host, m := range r.PivotWrite {
+		hostSet[host] = true
+		for p := range m {
+			procSet[p] = true
+		}
+	}
+	var hosts, procs []string
+	for h := range hostSet {
+		hosts = append(hosts, h)
+	}
+	for p := range procSet {
+		procs = append(procs, p)
+	}
+	sort.Strings(hosts)
+	sort.Strings(procs)
+
+	get := func(m map[string]map[string]float64, h, p string) float64 {
+		if row, ok := m[h]; ok {
+			return row[p]
+		}
+		return 0
+	}
+	header := append([]string{"host"}, procs...)
+	header = append(header, "Σmachine")
+	var rows [][]string
+	colTotals := make([]float64, len(procs))
+	grand := 0.0
+	for _, h := range hosts {
+		row := []string{h}
+		rowTotal := 0.0
+		for j, p := range procs {
+			rd := get(r.PivotRead, h, p)
+			wr := get(r.PivotWrite, h, p)
+			row = append(row, fmt.Sprintf("r%.0fM w%.0fM", rd/1e6, wr/1e6))
+			colTotals[j] += rd + wr
+			rowTotal += rd + wr
+		}
+		row = append(row, fmt.Sprintf("%.0fM", rowTotal/1e6))
+		grand += rowTotal
+		rows = append(rows, row)
+	}
+	totalRow := []string{"Σcluster"}
+	for _, t := range colTotals {
+		totalRow = append(totalRow, fmt.Sprintf("%.0fM", t/1e6))
+	}
+	totalRow = append(totalRow, fmt.Sprintf("%.0fM", grand/1e6))
+	rows = append(rows, totalRow)
+	return metrics.RenderTable(header, rows)
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// smallFig1 keeps the test fast while exercising the full pipeline.
+func smallFig1() Fig1Config {
+	return Fig1Config{
+		Hosts:    4,
+		Duration: 10 * time.Second,
+		Sort10g:  512e6,
+		Sort100g: 1e9,
+		Files:    4,
+	}
+}
+
+func TestFig1ShapeAndRendering(t *testing.T) {
+	res, err := RunFig1(smallFig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 1a: every DataNode host shows read throughput.
+	if len(res.HostSeries) == 0 {
+		t.Fatal("no per-host series")
+	}
+	// Fig 1b: the bulk readers are attributed.
+	for _, app := range []string{"FSREAD4M", "FSREAD64M"} {
+		if _, ok := res.AppSeries[app]; !ok {
+			t.Errorf("no series for %s: have %v", app, keys(res.AppSeries))
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"Fig 1a", "Fig 1b", "Fig 1c", "Σcluster"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func keys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,386 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// Fig8Config sizes the §6.1 replica-selection case study. The paper runs
+// 96 stress clients against 8 DataNodes reading 8 kB from 10,000 128 MB
+// files; the defaults scale the client count and dataset so the experiment
+// completes in seconds of real time while preserving every sub-figure's
+// shape.
+type Fig8Config struct {
+	Hosts          int
+	ClientsPerHost int
+	Files          int
+	Duration       time.Duration
+	Think          time.Duration
+	// Fixed applies both HDFS-6268 fixes (NameNode shuffling and client
+	// random selection); false reproduces the bug.
+	Fixed bool
+}
+
+// DefaultFig8Config reproduces the buggy behaviour.
+func DefaultFig8Config() Fig8Config {
+	return Fig8Config{
+		Hosts:          8,
+		ClientsPerHost: 3,
+		Files:          400,
+		Duration:       30 * time.Second,
+		Think:          2 * time.Millisecond,
+	}
+}
+
+// The §6.1 queries, as printed in the paper.
+const (
+	fig8Q3 = `From dnop In DN.DataTransferProtocol
+GroupBy dnop.host
+Select dnop.host, COUNT`
+	fig8Q4 = `From getloc In NN.GetBlockLocations
+Join st In StressTest.DoNextOp On st -> getloc
+GroupBy st.host, getloc.src
+Select st.host, getloc.src, COUNT`
+	fig8Q5 = `From getloc In NN.GetBlockLocations
+Join st In StressTest.DoNextOp On st -> getloc
+GroupBy st.host, getloc.replicas
+Select st.host, getloc.replicas, COUNT`
+	fig8Q6 = `From DNop In DN.DataTransferProtocol
+Join st In StressTest.DoNextOp On st -> DNop
+GroupBy st.host, DNop.host
+Select st.host, DNop.host, COUNT`
+	fig8Q7 = `From DNop In DN.DataTransferProtocol
+Join getloc In NN.GetBlockLocations On getloc -> DNop
+Join st In StressTest.DoNextOp On st -> getloc
+Where st.host != DNop.host
+GroupBy DNop.host, getloc.replicas
+Select DNop.host, getloc.replicas, COUNT`
+)
+
+// Fig8Result holds the seven sub-figures.
+type Fig8Result struct {
+	Cfg   Fig8Config
+	Hosts []string
+
+	// ClientThroughput is Fig 8a: per-host aggregate client request
+	// throughput over time.
+	ClientThroughput map[string][]metrics.Point
+	// NetworkTx is Fig 8b: per-host network transmit throughput.
+	NetworkTx map[string][]metrics.Point
+	// DNThroughput is Fig 8c: per-DataNode request throughput (Q3).
+	DNThroughput map[string][]metrics.Point
+	// ReadCV is Fig 8d (summarized): per client host, the number of
+	// distinct files read and the coefficient of variation of per-file
+	// read counts — near-zero CV means uniform random file choice (Q4).
+	ReadCV map[string]struct {
+		Files int
+		CV    float64
+	}
+	// ReplicaFreq is Fig 8e: frequency each client (row) saw each
+	// DataNode (col) as a replica location (Q5).
+	ReplicaFreq map[string]map[string]float64
+	// SelectFreq is Fig 8f: frequency each client (row) selected each
+	// DataNode (col) to read from (Q6).
+	SelectFreq map[string]map[string]float64
+	// PrefFreq is Fig 8g: observed probability of selecting DataNode
+	// (row) when DataNode (col) also held a replica (Q7, non-local reads
+	// only).
+	PrefFreq map[string]map[string]float64
+
+	// Q7BaggageBytes records the serialized baggage size of a Q7 request
+	// (the §6.3 ~137-byte claim).
+	Q7BaggageBytes int
+}
+
+// RunFig8 executes the case study.
+func RunFig8(cfg Fig8Config) (*Fig8Result, error) {
+	env := simtime.NewEnv()
+	res := &Fig8Result{Cfg: cfg}
+	var runErr error
+
+	env.Run(func() {
+		tbCfg := workload.DefaultTestbedConfig()
+		tbCfg.Hosts = cfg.Hosts
+		tbCfg.HBase = false
+		tbCfg.MapReduce = false
+		tbCfg.NameNode.RandomizeReplicaOrder = cfg.Fixed
+		tbCfg.HDFSClient.RandomReplicaSelection = cfg.Fixed
+		tb := workload.NewTestbed(env, tbCfg)
+		res.Hosts = tb.Hosts
+
+		files, err := tb.StressDataset(cfg.Files, 128e6)
+		if err != nil {
+			runErr = err
+			return
+		}
+
+		// Declare the stress-test tracepoint in the query vocabulary
+		// before any client process exists — tracepoint definitions are
+		// independent of running code (§3).
+		tb.C.PT.Registry().Define("StressTest.DoNextOp", "op")
+
+		q3, err := tb.C.PT.Install(fig8Q3)
+		if err != nil {
+			runErr = err
+			return
+		}
+		col3 := metrics.NewCollector(q3.Plan.Emit.Emit, time.Second)
+		q3.OnReport(col3.OnReport)
+		q4, err := tb.C.PT.Install(fig8Q4)
+		if err != nil {
+			runErr = err
+			return
+		}
+		q5, err := tb.C.PT.Install(fig8Q5)
+		if err != nil {
+			runErr = err
+			return
+		}
+		q6, err := tb.C.PT.Install(fig8Q6)
+		if err != nil {
+			runErr = err
+			return
+		}
+		q7, err := tb.C.PT.Install(fig8Q7)
+		if err != nil {
+			runErr = err
+			return
+		}
+
+		// Start the stress clients.
+		var clients []*workload.Workload
+		id := 0
+		for _, host := range tb.Hosts {
+			for k := 0; k < cfg.ClientsPerHost; k++ {
+				id++
+				w := tb.NewStressTest(host, k, files, cfg.Think, int64(id)*7919)
+				clients = append(clients, w)
+				w.Start()
+			}
+		}
+
+		// Sample per-host network tx throughput once per second.
+		netSamples := make(map[string][]metrics.Point)
+		env.Go(func() {
+			prev := make(map[string]float64)
+			for !env.Done() {
+				env.Sleep(time.Second)
+				for _, host := range tb.Hosts {
+					served := tb.C.Net.LinkServed(host + ".tx")
+					netSamples[host] = append(netSamples[host], metrics.Point{
+						T: env.Now(), V: served - prev[host],
+					})
+					prev[host] = served
+				}
+			}
+		})
+
+		env.Sleep(cfg.Duration)
+		tb.C.FlushAgents()
+
+		// 8a: aggregate client throughput per host.
+		res.ClientThroughput = make(map[string][]metrics.Point)
+		perHost := make(map[string][]*workload.Workload)
+		for _, w := range clients {
+			perHost[w.Proc.Info.Host] = append(perHost[w.Proc.Info.Host], w)
+		}
+		for host, ws := range perHost {
+			agg := map[time.Duration]float64{}
+			for _, w := range ws {
+				for _, p := range w.Rec.Throughput(time.Second) {
+					agg[p.T] += p.V
+				}
+			}
+			var ts []time.Duration
+			for t := range agg {
+				ts = append(ts, t)
+			}
+			sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+			for _, t := range ts {
+				res.ClientThroughput[host] = append(res.ClientThroughput[host],
+					metrics.Point{T: t, V: agg[t]})
+			}
+		}
+		res.NetworkTx = netSamples
+		res.DNThroughput = col3.Series([]int{0}, 1, true)
+
+		// 8d: per-client-host file-read distribution (Q4).
+		res.ReadCV = make(map[string]struct {
+			Files int
+			CV    float64
+		})
+		perClient := map[string][]float64{}
+		for _, r := range q4.Rows() {
+			perClient[r[0].Str()] = append(perClient[r[0].Str()], r[2].Float())
+		}
+		for host, counts := range perClient {
+			res.ReadCV[host] = struct {
+				Files int
+				CV    float64
+			}{Files: len(counts), CV: cv(counts)}
+		}
+
+		// 8e: client x DataNode replica-location frequency (Q5).
+		res.ReplicaFreq = make(map[string]map[string]float64)
+		for _, r := range q5.Rows() {
+			client := r[0].Str()
+			n := r[2].Float()
+			for _, dn := range strings.Split(r[1].Str(), ",") {
+				addCell(res.ReplicaFreq, client, dn, n)
+			}
+		}
+
+		// 8f: client x DataNode selection frequency (Q6).
+		res.SelectFreq = make(map[string]map[string]float64)
+		for _, r := range q6.Rows() {
+			addCell(res.SelectFreq, r[0].Str(), r[1].Str(), r[2].Float())
+		}
+
+		// 8g: chosen DataNode (row) vs co-replica (col) counts (Q7).
+		chosen := make(map[string]map[string]float64)
+		for _, r := range q7.Rows() {
+			sel := r[0].Str()
+			n := r[2].Float()
+			for _, other := range strings.Split(r[1].Str(), ",") {
+				if other != sel {
+					addCell(chosen, sel, other, n)
+				}
+			}
+		}
+		// Normalize to P(row chosen | row and col both replicas).
+		res.PrefFreq = make(map[string]map[string]float64)
+		for _, a := range tb.Hosts {
+			for _, b := range tb.Hosts {
+				if a == b {
+					continue
+				}
+				ab := cell(chosen, a, b)
+				ba := cell(chosen, b, a)
+				if ab+ba > 0 {
+					addCell(res.PrefFreq, a, b, ab/(ab+ba))
+				}
+			}
+		}
+
+		// §6.3: Q7 baggage size for one representative request.
+		res.Q7BaggageBytes = measureQ7Baggage(tb, files)
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
+}
+
+// measureQ7Baggage runs one stress op and estimates the per-hop baggage
+// size from the cluster-wide RPC baggage byte counter.
+func measureQ7Baggage(tb *workload.Testbed, files []string) int {
+	w := tb.NewStressTest(tb.Hosts[0], 99, files, 0, 4242)
+	before := cluster.BaggageBytes()
+	callsBefore := cluster.RPCCalls()
+	if err := w.RunOnce(0); err != nil {
+		return 0
+	}
+	bytes := cluster.BaggageBytes() - before
+	calls := cluster.RPCCalls() - callsBefore
+	if calls == 0 {
+		return 0
+	}
+	// Each call serializes baggage twice (request and response); report
+	// the request-side average, which is what rides one hop.
+	return int(bytes / (2 * calls))
+}
+
+func cv(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	if mean == 0 {
+		return 0
+	}
+	varsum := 0.0
+	for _, v := range vals {
+		varsum += (v - mean) * (v - mean)
+	}
+	return sqrt(varsum/float64(len(vals))) / mean
+}
+
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	for i := 0; i < 40; i++ {
+		x = (x + v/x) / 2
+	}
+	return x
+}
+
+func addCell(m map[string]map[string]float64, r, c string, v float64) {
+	if m[r] == nil {
+		m[r] = make(map[string]float64)
+	}
+	m[r][c] += v
+}
+
+func cell(m map[string]map[string]float64, r, c string) float64 {
+	if m[r] == nil {
+		return 0
+	}
+	return m[r][c]
+}
+
+// Render produces the seven sub-figures as terminal text.
+func (r *Fig8Result) Render() string {
+	var b strings.Builder
+	mode := "HDFS-6268 bug active"
+	if r.Cfg.Fixed {
+		mode = "fixes applied"
+	}
+	fmt.Fprintf(&b, "=== Fig 8 (%s) ===\n\n", mode)
+	b.WriteString("--- 8a: client request throughput per host [ops/s] ---\n")
+	b.WriteString(renderSeries("", r.ClientThroughput, func(v float64) string {
+		return fmt.Sprintf("%.0f ops/s", v)
+	}))
+	b.WriteString("\n--- 8b: network transmit throughput per host ---\n")
+	b.WriteString(renderSeries("", r.NetworkTx, fmtBytesRate))
+	b.WriteString("\n--- 8c: DataNode request throughput (Q3) ---\n")
+	b.WriteString(renderSeries("", r.DNThroughput, func(v float64) string {
+		return fmt.Sprintf("%.0f ops/s", v)
+	}))
+	b.WriteString("\n--- 8d: file read distribution per client host (Q4) ---\n")
+	var hosts []string
+	for h := range r.ReadCV {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	for _, h := range hosts {
+		s := r.ReadCV[h]
+		fmt.Fprintf(&b, "  %-8s %4d files read, cv=%.2f (uniform random if ~small)\n", h, s.Files, s.CV)
+	}
+	b.WriteString("\n--- 8e: frequency client (row) sees DataNode (col) as replica (Q5) ---\n")
+	b.WriteString(renderMatrix(r.ReplicaFreq, r.Hosts))
+	b.WriteString("\n--- 8f: frequency client (row) selects DataNode (col) (Q6) ---\n")
+	b.WriteString(renderMatrix(r.SelectFreq, r.Hosts))
+	b.WriteString("\n--- 8g: P(select row | row and col both replicas), non-local (Q7) ---\n")
+	b.WriteString(renderMatrix(r.PrefFreq, r.Hosts))
+	fmt.Fprintf(&b, "\nQ7 baggage per request: ~%d bytes\n", r.Q7BaggageBytes)
+	return b.String()
+}
+
+func renderMatrix(m map[string]map[string]float64, hosts []string) string {
+	return metrics.Heatmap(hosts, hosts, func(i, j int) float64 {
+		return cell(m, hosts[i], hosts[j])
+	})
+}

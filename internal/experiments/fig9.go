@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// Fig9Config sizes the §6.2 network limplock case study: an HBase workload
+// experiences end-to-end latency spikes after one host's NIC degrades from
+// 1 Gbit to 100 Mbit; Pivot Tracing queries decompose request latency per
+// component and identify the bottleneck host.
+type Fig9Config struct {
+	Hosts    int
+	Duration time.Duration
+	// FaultAt downgrades FaultHost's NIC at this offset.
+	FaultAt   time.Duration
+	FaultHost int // index into the worker hosts (the paper's host B = 1)
+	Scanners  int
+	Getters   int
+}
+
+// DefaultFig9Config mirrors the case study.
+func DefaultFig9Config() Fig9Config {
+	return Fig9Config{
+		Hosts:     8,
+		Duration:  60 * time.Second,
+		FaultAt:   20 * time.Second,
+		FaultHost: 1,
+		Scanners:  4,
+		Getters:   4,
+	}
+}
+
+// The latency-decomposition queries: Q8-style timestamp joins (§6.2),
+// grouped by host so the faulty component stands out.
+const (
+	fig9QRPC = `From response In RPC.Respond
+Join request In MostRecent(RPC.Receive) On request -> response
+GroupBy response.host, response.procName
+Select response.host, response.procName, AVERAGE(response.time - request.time)`
+	fig9QDNXfer = `From t2 In DN.TransferEnd
+Join t1 In MostRecent(DN.TransferStart) On t1 -> t2
+GroupBy t2.host, t2.dest
+Select t2.host, t2.dest, AVERAGE(t2.time - t1.time)`
+	fig9QDNQueue = `From s In DN.OpStart
+Join q In MostRecent(DN.OpQueued) On q -> s
+GroupBy s.host
+Select s.host, AVERAGE(s.time - q.time)`
+	fig9QRSQueue = `From d In RS.Dequeue
+Join e In MostRecent(RS.Enqueue) On e -> d
+GroupBy d.host
+Select d.host, AVERAGE(d.time - e.time)`
+	fig9QRSProc = `From p In RS.ProcessEnd
+Join d In MostRecent(RS.Dequeue) On d -> p
+GroupBy p.host
+Select p.host, AVERAGE(p.time - d.time)`
+)
+
+// Fig9Result holds the three sub-figures.
+type Fig9Result struct {
+	Cfg       Fig9Config
+	Hosts     []string
+	FaultHost string
+
+	// Latencies is Fig 9a: scan request latencies over time (seconds).
+	Latencies []metrics.Point
+	// Decomposition is Fig 9b: average span per component per host, in
+	// seconds, before and after the fault.
+	Before, After map[string]map[string]float64 // component -> host -> seconds
+	// NetworkTx is Fig 9c: per-host network transmit throughput.
+	NetworkTx map[string][]metrics.Point
+}
+
+// RunFig9 executes the case study.
+func RunFig9(cfg Fig9Config) (*Fig9Result, error) {
+	env := simtime.NewEnv()
+	res := &Fig9Result{Cfg: cfg}
+	var runErr error
+
+	env.Run(func() {
+		tbCfg := workload.DefaultTestbedConfig()
+		tbCfg.Hosts = cfg.Hosts
+		tbCfg.MapReduce = false
+		// Two replicas per store block: most RegionServer reads cross the
+		// network, so the limping NIC is exercised from both sides.
+		tbCfg.NameNode.Replication = 2
+		tb := workload.NewTestbed(env, tbCfg)
+		res.Hosts = tb.Hosts
+		res.FaultHost = tb.Hosts[cfg.FaultHost%len(tb.Hosts)]
+		if err := tb.InitHBaseStores(4e9); err != nil {
+			runErr = err
+			return
+		}
+
+		type span struct {
+			name string
+			text string
+			col  [2]*metrics.Collector // before/after
+		}
+		spans := []*span{
+			{name: "RPC latency", text: fig9QRPC},
+			{name: "DN transfer", text: fig9QDNXfer},
+			{name: "DN queued", text: fig9QDNQueue},
+			{name: "RS queue", text: fig9QRSQueue},
+			{name: "RS process", text: fig9QRSProc},
+		}
+		installed := map[string]*metrics.Collector{}
+		for _, sp := range spans {
+			h, err := tb.C.PT.Install(sp.text)
+			if err != nil {
+				runErr = fmt.Errorf("%s: %w", sp.name, err)
+				return
+			}
+			col := metrics.NewCollector(h.Plan.Emit.Emit, time.Second)
+			h.OnReport(col.OnReport)
+			installed[sp.name] = col
+		}
+
+		// Workloads: a mix of scans (bulk, network-heavy) and gets.
+		var scans []*workload.Workload
+		for i := 0; i < cfg.Scanners; i++ {
+			w := tb.NewHScan(tb.Hosts[i%len(tb.Hosts)], int64(100+i))
+			scans = append(scans, w)
+			w.Start()
+		}
+		for i := 0; i < cfg.Getters; i++ {
+			tb.NewHGet(tb.Hosts[(i+2)%len(tb.Hosts)], int64(200+i)).Start()
+		}
+
+		// Sample per-host network throughput.
+		netSamples := make(map[string][]metrics.Point)
+		env.Go(func() {
+			prev := make(map[string]float64)
+			for !env.Done() {
+				env.Sleep(time.Second)
+				for _, host := range tb.Hosts {
+					served := tb.C.Net.LinkServed(host + ".tx")
+					netSamples[host] = append(netSamples[host], metrics.Point{
+						T: env.Now(), V: served - prev[host],
+					})
+					prev[host] = served
+				}
+			}
+		})
+
+		env.Sleep(cfg.FaultAt)
+		tb.C.Host(res.FaultHost).SetNICRate(netsim.HundredMbit)
+		env.Sleep(cfg.Duration - cfg.FaultAt)
+		tb.C.FlushAgents()
+		res.Before = snapshotSpans(installed, 0, cfg.FaultAt)
+		res.After = snapshotSpans(installed, cfg.FaultAt, cfg.Duration+time.Second)
+
+		// 9a: scan latencies over time.
+		for _, w := range scans {
+			res.Latencies = append(res.Latencies, w.Rec.Latencies()...)
+		}
+		sort.Slice(res.Latencies, func(i, j int) bool {
+			return res.Latencies[i].T < res.Latencies[j].T
+		})
+		res.NetworkTx = netSamples
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
+}
+
+// snapshotSpans reads the mean span (seconds) per component/host over the
+// time window [from, to). RPC latency rows carry (host, proc, avg); the
+// others carry (host, avg).
+func snapshotSpans(cols map[string]*metrics.Collector, from, to time.Duration) map[string]map[string]float64 {
+	out := make(map[string]map[string]float64)
+	for name, col := range cols {
+		var series map[string][]metrics.Point
+		switch name {
+		case "RPC latency":
+			series = col.Series([]int{0, 1}, 2, false)
+		case "DN transfer":
+			series = col.Series([]int{0, 1}, 2, false) // keyed src/dest
+		default:
+			series = col.Series([]int{0}, 1, false)
+		}
+		m := make(map[string]float64)
+		for key, pts := range series {
+			sum, n := 0.0, 0
+			for _, p := range pts {
+				if p.T >= from && p.T < to {
+					sum += p.V
+					n++
+				}
+			}
+			if n > 0 {
+				m[key] = sum / float64(n) / float64(time.Second) // ns -> s
+			}
+		}
+		out[name] = m
+	}
+	return out
+}
+
+// Render produces the three sub-figures as terminal text.
+func (r *Fig9Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Fig 9: network limplock on %s at t=%v ===\n\n", r.FaultHost, r.Cfg.FaultAt)
+
+	b.WriteString("--- 9a: scan request latencies over time ---\n")
+	vals := make([]float64, 0, len(r.Latencies))
+	for _, p := range r.Latencies {
+		vals = append(vals, p.V)
+	}
+	fmt.Fprintf(&b, "  %d requests, sparkline of latency: %s\n", len(vals), metrics.Sparkline(bin(vals, 60)))
+
+	b.WriteString("\n--- 9b: mean span per component/host, before vs after fault [s] ---\n")
+	var comps []string
+	for c := range r.After {
+		comps = append(comps, c)
+	}
+	sort.Strings(comps)
+	for _, c := range comps {
+		fmt.Fprintf(&b, "  %s:\n", c)
+		var hosts []string
+		for h := range r.After[c] {
+			hosts = append(hosts, h)
+		}
+		sort.Strings(hosts)
+		for _, h := range hosts {
+			before := 0.0
+			if r.Before[c] != nil {
+				before = r.Before[c][h]
+			}
+			marker := ""
+			if strings.HasPrefix(h, r.FaultHost) {
+				marker = "   <-- faulty host"
+			}
+			fmt.Fprintf(&b, "    %-24s %10s -> %10s%s\n", h,
+				fmtSeconds(before), fmtSeconds(r.After[c][h]), marker)
+		}
+	}
+
+	b.WriteString("\n--- 9c: network transmit throughput per host ---\n")
+	b.WriteString(renderSeries("", r.NetworkTx, fmtBytesRate))
+	return b.String()
+}
+
+// bin downsamples values to at most n buckets by averaging.
+func bin(vals []float64, n int) []float64 {
+	if len(vals) <= n {
+		return vals
+	}
+	out := make([]float64, n)
+	per := float64(len(vals)) / float64(n)
+	for i := 0; i < n; i++ {
+		lo, hi := int(float64(i)*per), int(float64(i+1)*per)
+		if hi > len(vals) {
+			hi = len(vals)
+		}
+		sum := 0.0
+		for _, v := range vals[lo:hi] {
+			sum += v
+		}
+		if hi > lo {
+			out[i] = sum / float64(hi-lo)
+		}
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFig9LimplockDiagnosis(t *testing.T) {
+	cfg := Fig9Config{
+		Hosts:     4,
+		Duration:  20 * time.Second,
+		FaultAt:   10 * time.Second,
+		FaultHost: 1,
+		Scanners:  3,
+		Getters:   2,
+	}
+	res, err := RunFig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Latencies) == 0 {
+		t.Fatal("no request latencies recorded")
+	}
+
+	// The diagnosis: DN transfer spans for flows touching the faulty host
+	// must blow up after the fault, far beyond flows between healthy
+	// hosts. Keys are "src/dst" pairs.
+	faulty := res.FaultHost
+	afterXfer := res.After["DN transfer"]
+	var worstFaulty, worstHealthy float64
+	for key, v := range afterXfer {
+		if strings.Contains(key, faulty) {
+			if v > worstFaulty {
+				worstFaulty = v
+			}
+		} else if v > worstHealthy {
+			worstHealthy = v
+		}
+	}
+	if worstFaulty <= 0 {
+		t.Fatalf("no DN transfer spans touching faulty host: %v", afterXfer)
+	}
+	if worstFaulty < 3*worstHealthy {
+		t.Errorf("faulty-host transfers (%.3fs) not clearly worse than healthy (%.3fs): %v",
+			worstFaulty, worstHealthy, afterXfer)
+	}
+
+	// 9c: the faulty host's network throughput must drop after the fault.
+	pts := res.NetworkTx[faulty]
+	var before, after float64
+	var nb, na int
+	for _, p := range pts {
+		if p.T <= cfg.FaultAt {
+			before += p.V
+			nb++
+		} else {
+			after += p.V
+			na++
+		}
+	}
+	if nb > 0 && na > 0 && after/float64(na) > before/float64(nb) {
+		t.Errorf("faulty host tx did not drop: before=%.0f after=%.0f",
+			before/float64(nb), after/float64(na))
+	}
+
+	out := res.Render()
+	for _, want := range []string{"9a", "9b", "9c", "faulty host"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFig3MatchesPaper(t *testing.T) {
+	res, err := RunFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]string{
+		"A":         {"(a1)", "(a2)", "(a3)"},
+		"A->B":      {"(a1, b2)", "(a2, b2)"},
+		"B->C":      {"(b1, c1)", "(b1, c2)", "(b2, c2)"},
+		"(A->B)->C": {"(a1, b2, c2)", "(a2, b2, c2)"},
+	}
+	for name, wantRows := range want {
+		got := map[string]bool{}
+		for _, row := range res.Results[name] {
+			got[row.String()] = true
+		}
+		if len(got) != len(wantRows) {
+			t.Errorf("%s: got %v, want %v", name, res.Results[name], wantRows)
+			continue
+		}
+		for _, w := range wantRows {
+			if !got[w] {
+				t.Errorf("%s: missing %s in %v", name, w, res.Results[name])
+			}
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "Fig 3") {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestRogueGCDiagnosis(t *testing.T) {
+	cfg := GCConfig{
+		Hosts: 4, Duration: 15 * time.Second, GCHost: 1,
+		GCInterval: 2 * time.Second, GCPause: 1500 * time.Millisecond,
+	}
+	res, err := RunGC(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GC pauses observed only on the rogue host.
+	if len(res.GCSpans) != 1 {
+		t.Fatalf("GC spans on %v, want only %s", res.GCSpans, res.GCHost)
+	}
+	span, ok := res.GCSpans[res.GCHost]
+	if !ok || span[0] < 2 {
+		t.Fatalf("GC pauses = %v", res.GCSpans)
+	}
+	if span[1] < 1.2 || span[1] > 1.8 {
+		t.Errorf("mean GC pause = %vs, want ~1.5s", span[1])
+	}
+	// The rogue host's RS latency is the worst.
+	worst, worstHost := 0.0, ""
+	for host, v := range res.RSLatency {
+		if v > worst {
+			worst, worstHost = v, host
+		}
+	}
+	if worstHost != res.GCHost {
+		t.Errorf("worst RS latency on %s (%vs), want %s: %v", worstHost, worst, res.GCHost, res.RSLatency)
+	}
+	if out := res.Render(); !strings.Contains(out, "rogue GC host") {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestNNLockContention(t *testing.T) {
+	cfg := NNLockConfig{Hosts: 2, Clients: 12, Duration: 3 * time.Second, OpDelay: 200 * time.Microsecond}
+	res, err := RunNNLock(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExclMean < 2*res.SharedMean {
+		t.Errorf("exclusive locking (%vs) not clearly slower than shared (%vs)",
+			res.ExclMean, res.SharedMean)
+	}
+	if out := res.Render(); !strings.Contains(out, "exclusive") {
+		t.Errorf("render = %q", out)
+	}
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/baggage"
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+// Table5Config sizes the §6.3 application-level overhead experiment: HDFS
+// stress operations (derived from NNBench) measured under six
+// instrumentation configurations.
+type Table5Config struct {
+	Hosts    int
+	Duration time.Duration
+	// RPCLatency trades absolute op latency against instrumentation cost
+	// visibility; the paper's testbed had sub-millisecond NameNode ops.
+	RPCLatency time.Duration
+	// Think bounds the closed-loop rate (latency measurements are
+	// unaffected; only the number of samples changes).
+	Think time.Duration
+}
+
+// DefaultTable5Config mirrors the paper's stress test scale.
+func DefaultTable5Config() Table5Config {
+	return Table5Config{Hosts: 8, Duration: 20 * time.Second, RPCLatency: 20 * time.Microsecond, Think: time.Millisecond}
+}
+
+// Table5 configurations, in paper row order.
+const (
+	CfgUnmodified = "Unmodified"
+	CfgPTEnabled  = "PivotTracing Enabled"
+	CfgBaggage1   = "Baggage - 1 Tuple"
+	CfgBaggage60  = "Baggage - 60 Tuples"
+	CfgQueries61  = "Queries - 6.1"
+	CfgQueries62  = "Queries - 6.2"
+)
+
+// Configs lists the experiment configurations in order.
+var Configs = []string{CfgUnmodified, CfgPTEnabled, CfgBaggage1, CfgBaggage60, CfgQueries61, CfgQueries62}
+
+// Ops lists the measured operations in paper column order.
+var Ops = []string{workload.OpRead8k, workload.OpOpen, workload.OpCreate, workload.OpRename}
+
+// Table5Result holds mean latencies (seconds) per config per op, plus
+// derived overhead percentages relative to the unmodified configuration.
+type Table5Result struct {
+	Cfg      Table5Config
+	Latency  map[string]map[string]float64 // config -> op -> mean seconds
+	Overhead map[string]map[string]float64 // config -> op -> percent
+	OpsRun   map[string]map[string]int
+}
+
+// RunTable5 executes all configurations.
+func RunTable5(cfg Table5Config) (*Table5Result, error) {
+	res := &Table5Result{
+		Cfg:      cfg,
+		Latency:  map[string]map[string]float64{},
+		Overhead: map[string]map[string]float64{},
+		OpsRun:   map[string]map[string]int{},
+	}
+	for _, config := range Configs {
+		lat, counts, err := runTable5Config(cfg, config)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", config, err)
+		}
+		res.Latency[config] = lat
+		res.OpsRun[config] = counts
+	}
+	base := res.Latency[CfgUnmodified]
+	for _, config := range Configs {
+		res.Overhead[config] = map[string]float64{}
+		for _, op := range Ops {
+			if base[op] > 0 {
+				res.Overhead[config][op] = (res.Latency[config][op] - base[op]) / base[op] * 100
+			}
+		}
+	}
+	return res, nil
+}
+
+// padTuples builds the pre-packed baggage contents for the baggage
+// configurations: n 8-byte tuples, as in the paper's microbenchmarks.
+func padTuples(n int) []tuple.Tuple {
+	out := make([]tuple.Tuple, n)
+	for i := range out {
+		out[i] = tuple.Tuple{tuple.Int(int64(0x0102030405060708 + i))}
+	}
+	return out
+}
+
+func runTable5Config(cfg Table5Config, config string) (map[string]float64, map[string]int, error) {
+	env := simtime.NewEnv()
+	lat := map[string]float64{}
+	counts := map[string]int{}
+	var runErr error
+
+	env.Run(func() {
+		tbCfg := workload.DefaultTestbedConfig()
+		tbCfg.Hosts = cfg.Hosts
+		tbCfg.HBase = false
+		tbCfg.MapReduce = false
+		tbCfg.Cluster.RPCLatency = cfg.RPCLatency
+		tb := workload.NewTestbed(env, tbCfg)
+		tb.C.PT.Registry().Define("StressTest.DoNextOp", "op")
+
+		// One workload per op, spread over hosts.
+		ws := map[string]*workload.Workload{}
+		for i, op := range Ops {
+			w, err := tb.NewNNBench(workload.HostName(i%cfg.Hosts), op, int64(i+1))
+			if err != nil {
+				runErr = err
+				return
+			}
+			w.SetThink(cfg.Think)
+			ws[op] = w
+		}
+
+		padSpec := baggage.SetSpec{Kind: baggage.All, Fields: tuple.Schema{"pad"}}
+		switch config {
+		case CfgUnmodified, CfgPTEnabled:
+			// PT enabled is the default state of this testbed; unmodified
+			// differs only by the (zero-cost) idle agents.
+		case CfgBaggage1:
+			pad := padTuples(1)
+			for _, w := range ws {
+				w.Prepare = func(ctx context.Context) {
+					baggage.FromContext(ctx).Pack("pad", padSpec, pad...)
+				}
+			}
+		case CfgBaggage60:
+			pad := padTuples(60)
+			for _, w := range ws {
+				w.Prepare = func(ctx context.Context) {
+					baggage.FromContext(ctx).Pack("pad", padSpec, pad...)
+				}
+			}
+		case CfgQueries61:
+			for _, q := range []string{fig8Q3, fig8Q4, fig8Q5, fig8Q6, fig8Q7} {
+				if _, err := tb.C.PT.Install(q); err != nil {
+					runErr = err
+					return
+				}
+			}
+		case CfgQueries62:
+			for _, q := range []string{fig9QRPC, fig9QDNQueue, fig9QDNXfer} {
+				if _, err := tb.C.PT.Install(q); err != nil {
+					runErr = err
+					return
+				}
+			}
+		}
+
+		for _, w := range ws {
+			w.Start()
+		}
+		env.Sleep(cfg.Duration)
+		for op, w := range ws {
+			lat[op] = w.Rec.Mean()
+			counts[op] = w.Rec.Count()
+		}
+	})
+	if runErr != nil {
+		return nil, nil, runErr
+	}
+	return lat, counts, nil
+}
+
+// Render produces the Table 5 analog: overhead percentages per config/op.
+func (r *Table5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("=== Table 5: latency overheads for the HDFS stress test ===\n")
+	header := append([]string{"configuration"}, Ops...)
+	var rows [][]string
+	for _, config := range Configs {
+		row := []string{config}
+		for _, op := range Ops {
+			row = append(row, fmt.Sprintf("%+.1f%%", r.Overhead[config][op]))
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString(metrics.RenderTable(header, rows))
+	b.WriteString("\nmean op latency (unmodified): ")
+	for _, op := range Ops {
+		fmt.Fprintf(&b, "%s=%s ", op, fmtSeconds(r.Latency[CfgUnmodified][op]))
+	}
+	b.WriteString("\n")
+	return b.String()
+}

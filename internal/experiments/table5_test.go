@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func TestTable5OverheadShape(t *testing.T) {
+	cfg := Table5Config{Hosts: 2, Duration: 5 * time.Second, RPCLatency: 20 * time.Microsecond, Think: time.Millisecond}
+	res, err := RunTable5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, config := range Configs {
+		for _, op := range Ops {
+			if res.OpsRun[config][op] < 50 {
+				t.Errorf("%s/%s: only %d ops", config, op, res.OpsRun[config][op])
+			}
+		}
+	}
+	// Shape: 60 packed tuples must cost clearly more than 1 packed tuple
+	// on the short CPU-bound Open operation.
+	open60 := res.Overhead[CfgBaggage60][workload.OpOpen]
+	open1 := res.Overhead[CfgBaggage1][workload.OpOpen]
+	if open60 <= open1 {
+		t.Errorf("Open overhead: 60 tuples (%+.2f%%) should exceed 1 tuple (%+.2f%%)", open60, open1)
+	}
+	// PT enabled with no queries is effectively free.
+	for _, op := range Ops {
+		if v := res.Overhead[CfgPTEnabled][op]; v > 1.0 || v < -1.0 {
+			t.Errorf("PT enabled overhead for %s = %+.2f%%, want ~0", op, v)
+		}
+	}
+	// Installed queries cost something on ops they observe.
+	if res.Overhead[CfgQueries61][workload.OpRead8k] <= 0 {
+		t.Errorf("§6.1 queries show no overhead on Read8k: %+v", res.Overhead[CfgQueries61])
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Table 5") || !strings.Contains(out, "Read8k") {
+		t.Errorf("render = %q", out)
+	}
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTrafficComparison(t *testing.T) {
+	cfg := TrafficConfig{Hosts: 4, Readers: 3, OpsPerReader: 100, Files: 8}
+	res, err := RunTraffic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ResultsMatch {
+		t.Errorf("strategies disagree:\n  optimized: %v\n  baseline:  %v", res.OptRows, res.BaseRows)
+	}
+	// The §4 shape: per-interval aggregation collapses emitted tuples by a
+	// large factor.
+	if res.OptEmittedPerDNPerSec < 5*res.OptReportedPerDNPerSec {
+		t.Errorf("aggregation reduction too small: %v emitted vs %v reported",
+			res.OptEmittedPerDNPerSec, res.OptReportedPerDNPerSec)
+	}
+	// Fig 6 shape: the baseline ships far more tuples than the optimized
+	// strategy reports.
+	if res.BaseEmittedPerDNPerSec < 5*res.OptReportedPerDNPerSec {
+		t.Errorf("baseline traffic (%v/s) not clearly above optimized (%v/s)",
+			res.BaseEmittedPerDNPerSec, res.OptReportedPerDNPerSec)
+	}
+	// Baseline causal metadata stays small (constant-size baggage).
+	if res.BaselineBaggageAvg <= 0 || res.BaselineBaggageAvg > 100 {
+		t.Errorf("baseline baggage avg = %v bytes", res.BaselineBaggageAvg)
+	}
+	if out := res.Render(); !strings.Contains(out, "Fig 6") {
+		t.Errorf("render = %q", out)
+	}
+}

@@ -1,0 +1,156 @@
+package hbase
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/simtime"
+)
+
+func testDeploy(env *simtime.Env, servers int) (*cluster.Cluster, *HBase, *Client) {
+	cfg := cluster.DefaultConfig()
+	cfg.RPCLatency = 0
+	c := cluster.New(env, cfg)
+	nn := hdfs.NewNameNode(c, "master", hdfs.DefaultConfig())
+	for i := 0; i < servers; i++ {
+		hdfs.NewDataNode(c, host(i), nn)
+	}
+	hb := New(c, "master", Config{Regions: 2 * servers})
+	for i := 0; i < servers; i++ {
+		hb.AddRegionServer(c, host(i), nn, hdfs.ClientConfig{})
+	}
+	adminProc := c.Start("master", "admin")
+	admin := hdfs.NewClient(adminProc, nn, hdfs.ClientConfig{})
+	if err := hb.InitStoreFiles(adminProc.NewRequest(), admin, 1e9); err != nil {
+		panic(err)
+	}
+	clientProc := c.Start("client-host", "hbclient")
+	return c, hb, NewClient(clientProc, hb)
+}
+
+func host(i int) string { return string(rune('a'+i)) + "-host" }
+
+func TestGetAndScan(t *testing.T) {
+	env := simtime.NewEnv()
+	env.Run(func() {
+		_, _, cl := testDeploy(env, 3)
+		ctx := cl.Proc.NewRequest()
+		if err := cl.Get(ctx, "row-1", 10e3); err != nil {
+			t.Error(err)
+		}
+		if err := cl.Scan(ctx, "row-2", 4e6); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestRowsRouteDeterministically(t *testing.T) {
+	env := simtime.NewEnv()
+	env.Run(func() {
+		_, hb, _ := testDeploy(env, 4)
+		a := hb.serverFor("row-42")
+		b := hb.serverFor("row-42")
+		if a != b {
+			t.Error("same row routed to different servers")
+		}
+		// Distinct rows spread over servers.
+		seen := map[*RegionServer]bool{}
+		for i := 0; i < 64; i++ {
+			seen[hb.serverFor(rowName(i))] = true
+		}
+		if len(seen) < 3 {
+			t.Errorf("only %d servers used for 64 rows", len(seen))
+		}
+	})
+}
+
+func rowName(i int) string { return "row-" + string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+
+func TestServiceTracepointsObserveOps(t *testing.T) {
+	env := simtime.NewEnv()
+	env.Run(func() {
+		c, _, cl := testDeploy(env, 2)
+		h, err := c.PT.Install(
+			`From op In RS.ClientService
+			 GroupBy op.op
+			 Select op.op, COUNT, SUM(op.size)`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := cl.Proc.NewRequest()
+		cl.Get(ctx, "r1", 10e3)
+		cl.Get(ctx, "r2", 10e3)
+		cl.Scan(ctx, "r3", 4e6)
+		c.FlushAgents()
+		rows := h.Rows()
+		byOp := map[string][2]int64{}
+		for _, r := range rows {
+			byOp[r[0].Str()] = [2]int64{r[1].Int(), int64(r[2].Float())}
+		}
+		if byOp["get"][0] != 2 || byOp["get"][1] != 20000 {
+			t.Errorf("get = %v", byOp["get"])
+		}
+		if byOp["scan"][0] != 1 || byOp["scan"][1] != 4000000 {
+			t.Errorf("scan = %v", byOp["scan"])
+		}
+	})
+}
+
+func TestRogueGCStallsHandlers(t *testing.T) {
+	env := simtime.NewEnv()
+	var normal, stalled time.Duration
+	env.Run(func() {
+		_, hb, cl := testDeploy(env, 2)
+		// Baseline get latency.
+		start := env.Now()
+		cl.Get(cl.Proc.NewRequest(), "r1", 10e3)
+		normal = env.Now() - start
+
+		// Find the server for r1 and give it rogue GC; issue a get right
+		// after a pause starts.
+		rs := hb.serverFor("r1")
+		rs.EnableRogueGC(time.Second, 500*time.Millisecond)
+		env.Sleep(1050 * time.Millisecond) // inside the first pause
+		start = env.Now()
+		cl.Get(cl.Proc.NewRequest(), "r1", 10e3)
+		stalled = env.Now() - start
+	})
+	if stalled < normal+300*time.Millisecond {
+		t.Fatalf("get during GC took %v, baseline %v — no stall observed", stalled, normal)
+	}
+}
+
+func TestGCPauseTracepoints(t *testing.T) {
+	env := simtime.NewEnv()
+	env.Run(func() {
+		c, hb, _ := testDeploy(env, 2)
+		h, err := c.PT.Install(
+			`From g In RS.GCStart GroupBy g.host Select g.host, COUNT`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hb.servers[0].EnableRogueGC(time.Second, 100*time.Millisecond)
+		env.Sleep(3500 * time.Millisecond)
+		c.FlushAgents()
+		rows := h.Rows()
+		if len(rows) != 1 || rows[0][1].Int() < 3 {
+			t.Fatalf("GC starts = %v, want >= 3 on one host", rows)
+		}
+	})
+}
+
+func TestClientWithNoServersErrors(t *testing.T) {
+	env := simtime.NewEnv()
+	env.Run(func() {
+		cfg := cluster.DefaultConfig()
+		cfg.RPCLatency = 0
+		c := cluster.New(env, cfg)
+		hb := New(c, "master", Config{})
+		cl := NewClient(c.Start("h", "cli"), hb)
+		if err := cl.Get(cl.Proc.NewRequest(), "r", 1); err == nil {
+			t.Error("expected error with no region servers")
+		}
+	})
+}

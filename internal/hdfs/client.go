@@ -1,0 +1,173 @@
+package hdfs
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/tracepoint"
+)
+
+// ClientConfig controls client-side replica selection.
+type ClientConfig struct {
+	// RandomReplicaSelection, when false, reproduces the client half of
+	// HDFS-6268: the client always reads the first location returned by
+	// the NameNode. When true (the fix), it prefers a local replica and
+	// otherwise selects uniformly at random.
+	RandomReplicaSelection bool
+	// Seed drives random selection.
+	Seed int64
+}
+
+// Client is the HDFS client library, embedded in an application process.
+type Client struct {
+	Proc *cluster.Process
+	nn   *NameNode
+	cfg  ClientConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	tpClientProto *tracepoint.Tracepoint
+}
+
+// rpcOverhead is the payload size of small control RPCs.
+const rpcOverhead = 200
+
+// NewClient creates an HDFS client inside proc.
+func NewClient(proc *cluster.Process, nn *NameNode, cfg ClientConfig) *Client {
+	c := &Client{
+		Proc: proc,
+		nn:   nn,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed ^ proc.Info.ProcID)),
+	}
+	// The paper's Q2 instruments the client protocols of HDFS, HBase, and
+	// MapReduce under one tracepoint vocabulary.
+	c.tpClientProto = proc.Define("ClientProtocols")
+	return c
+}
+
+// GetBlockLocations asks the NameNode for the replica map of a byte range.
+func (c *Client) GetBlockLocations(ctx context.Context, src string, offset, length float64) ([]BlockLocation, error) {
+	resp, err := c.Proc.Call(ctx, c.nn.Proc, "ClientProtocol.GetBlockLocations",
+		GetBlockLocationsReq{Src: src, ClientHost: c.Proc.Info.Host, Offset: offset, Length: length},
+		cluster.Sizes{Request: rpcOverhead, Response: rpcOverhead})
+	if err != nil {
+		return nil, err
+	}
+	locs, _ := resp.([]BlockLocation)
+	return locs, nil
+}
+
+// chooseReplica applies the client half of the replica selection logic.
+func (c *Client) chooseReplica(replicas []string) string {
+	if len(replicas) == 0 {
+		return ""
+	}
+	if !c.cfg.RandomReplicaSelection {
+		// HDFS-6268: always take the first location.
+		return replicas[0]
+	}
+	// Fixed behaviour: local replica if present, else uniform random.
+	for _, h := range replicas {
+		if h == c.Proc.Info.Host {
+			return h
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return replicas[c.rng.Intn(len(replicas))]
+}
+
+// Read reads length bytes of src starting at offset, selecting a replica
+// per block and streaming the data from its DataNode.
+func (c *Client) Read(ctx context.Context, src string, offset, length float64) error {
+	c.tpClientProto.Here(ctx)
+	locs, err := c.GetBlockLocations(ctx, src, offset, length)
+	if err != nil {
+		return err
+	}
+	remaining := length
+	for _, bl := range locs {
+		n := bl.Size
+		if n > remaining {
+			n = remaining
+		}
+		host := c.chooseReplica(bl.Replicas)
+		dnProc := c.Proc.C.Proc(host, "DataNode")
+		if dnProc == nil {
+			return fmt.Errorf("hdfs: no DataNode on %q", host)
+		}
+		_, err := c.Proc.Call(ctx, dnProc, "DataTransferProtocol.ReadBlock",
+			ReadBlockReq{Block: bl.Block, Length: n, DestHost: c.Proc.Info.Host},
+			cluster.Sizes{Request: rpcOverhead, Response: 64})
+		if err != nil {
+			return err
+		}
+		remaining -= n
+	}
+	return nil
+}
+
+// Create creates src with the given size and writes its blocks through the
+// replication pipelines.
+func (c *Client) Create(ctx context.Context, src string, size float64) error {
+	c.tpClientProto.Here(ctx)
+	resp, err := c.Proc.Call(ctx, c.nn.Proc, "ClientProtocol.Create",
+		CreateReq{Src: src, Size: size},
+		cluster.Sizes{Request: rpcOverhead, Response: rpcOverhead})
+	if err != nil {
+		return err
+	}
+	locs, _ := resp.([]BlockLocation)
+	for _, bl := range locs {
+		if len(bl.Replicas) == 0 {
+			continue
+		}
+		first := c.Proc.C.Proc(bl.Replicas[0], "DataNode")
+		if first == nil {
+			return fmt.Errorf("hdfs: no DataNode on %q", bl.Replicas[0])
+		}
+		_, err := c.Proc.Call(ctx, first, "DataTransferProtocol.WriteBlock",
+			WriteBlockReq{
+				Block: bl.Block, Length: bl.Size,
+				SrcHost: c.Proc.Info.Host, Pipeline: bl.Replicas[1:],
+			},
+			cluster.Sizes{Request: bl.Size, Response: 64})
+		if err != nil {
+			return err
+		}
+	}
+	_, err = c.Proc.Call(ctx, c.nn.Proc, "ClientProtocol.Complete", src,
+		cluster.Sizes{Request: rpcOverhead, Response: rpcOverhead})
+	return err
+}
+
+// CreateMetadataOnly registers src in the namespace without transferring
+// block data — used to pre-populate large datasets instantly.
+func (c *Client) CreateMetadataOnly(ctx context.Context, src string, size float64) error {
+	_, err := c.Proc.Call(ctx, c.nn.Proc, "ClientProtocol.Create",
+		CreateReq{Src: src, Size: size},
+		cluster.Sizes{Request: rpcOverhead, Response: rpcOverhead})
+	return err
+}
+
+// Open checks that src exists (a NameNode read operation).
+func (c *Client) Open(ctx context.Context, src string) error {
+	c.tpClientProto.Here(ctx)
+	_, err := c.Proc.Call(ctx, c.nn.Proc, "ClientProtocol.Open", src,
+		cluster.Sizes{Request: rpcOverhead, Response: rpcOverhead})
+	return err
+}
+
+// Rename renames src to dst (a NameNode write operation).
+func (c *Client) Rename(ctx context.Context, src, dst string) error {
+	c.tpClientProto.Here(ctx)
+	_, err := c.Proc.Call(ctx, c.nn.Proc, "ClientProtocol.Rename",
+		RenameReq{Src: src, Dst: dst},
+		cluster.Sizes{Request: rpcOverhead, Response: rpcOverhead})
+	return err
+}

@@ -1,0 +1,143 @@
+package hdfs
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/simtime"
+	"repro/internal/tracepoint"
+)
+
+// DataNodeHandlers is the size of a DataNode's request handler pool.
+const DataNodeHandlers = 16
+
+// SeekCost models the positioning cost of one random block read as
+// equivalent disk bytes (~3.4 ms on a 150 MB/s disk). Small random reads
+// are seek-dominated, which is what saturates the hot DataNodes in the
+// §6.1 stress test (Fig 8a/8c).
+const SeekCost = 512e3
+
+// DataNode serves block reads and writes from its host's local disk.
+type DataNode struct {
+	Proc *cluster.Process
+	nn   *NameNode
+	sem  *simtime.Semaphore
+
+	tpProto      *tracepoint.Tracepoint // DN.DataTransferProtocol
+	tpQueued     *tracepoint.Tracepoint // DN.OpQueued
+	tpStart      *tracepoint.Tracepoint // DN.OpStart
+	tpXferStart  *tracepoint.Tracepoint // DN.TransferStart
+	tpXferEnd    *tracepoint.Tracepoint // DN.TransferEnd
+	tpBytesRead  *tracepoint.Tracepoint // DataNodeMetrics.incrBytesRead
+	tpBytesWrite *tracepoint.Tracepoint // DataNodeMetrics.incrBytesWritten
+}
+
+// NewDataNode starts a DataNode process on the given host and registers it
+// with the NameNode.
+func NewDataNode(c *cluster.Cluster, host string, nn *NameNode) *DataNode {
+	proc := c.Start(host, "DataNode")
+	dn := &DataNode{
+		Proc: proc,
+		nn:   nn,
+		sem:  c.Env.NewSemaphore(DataNodeHandlers),
+	}
+	dn.tpProto = proc.Define("DN.DataTransferProtocol", "op", "size")
+	dn.tpQueued = proc.Define("DN.OpQueued", "op")
+	dn.tpStart = proc.Define("DN.OpStart", "op")
+	dn.tpXferStart = proc.Define("DN.TransferStart", "size", "dest")
+	dn.tpXferEnd = proc.Define("DN.TransferEnd", "size", "dest")
+	dn.tpBytesRead = proc.Define("DataNodeMetrics.incrBytesRead", "delta")
+	dn.tpBytesWrite = proc.Define("DataNodeMetrics.incrBytesWritten", "delta")
+
+	proc.Handle("DataTransferProtocol.ReadBlock", dn.handleReadBlock)
+	proc.Handle("DataTransferProtocol.WriteBlock", dn.handleWriteBlock)
+	nn.RegisterDataNode(host)
+	return dn
+}
+
+// ReadBlockReq reads length bytes of a block and pushes them to the
+// requesting host.
+type ReadBlockReq struct {
+	Block    string
+	Length   float64
+	DestHost string
+	// Pipeline hosts still to receive the data (write path re-uses the
+	// read plumbing for replication forwarding).
+}
+
+func (dn *DataNode) handleReadBlock(ctx context.Context, req any) (any, error) {
+	r := req.(ReadBlockReq)
+	dn.tpProto.Here(ctx, "READ_BLOCK", r.Length)
+	dn.tpQueued.Here(ctx, "READ_BLOCK")
+	dn.sem.Acquire()
+	defer dn.sem.Release()
+	dn.tpStart.Here(ctx, "READ_BLOCK")
+
+	// Read from the local disk (crosses FileInputStream.read); the seek
+	// charge contends for the disk but is not part of the byte stream.
+	dn.Proc.Host.DiskRead(SeekCost)
+	dn.Proc.DiskRead(ctx, r.Length)
+
+	// Push the data to the destination host as an explicit network flow so
+	// the transfer time is observable between tracepoints (Fig 9's "DN
+	// transfer" span).
+	dn.tpXferStart.Here(ctx, r.Length, r.DestHost)
+	if dest := dn.Proc.C.Host(r.DestHost); dest != dn.Proc.Host {
+		dn.Proc.Host.Send(dest, r.Length)
+	}
+	dn.tpXferEnd.Here(ctx, r.Length, r.DestHost)
+
+	dn.tpBytesRead.Here(ctx, r.Length)
+	return r.Length, nil
+}
+
+// WriteBlockReq writes length bytes to a block replica; Pipeline lists the
+// downstream replica hosts the data must be forwarded to.
+type WriteBlockReq struct {
+	Block    string
+	Length   float64
+	SrcHost  string
+	Pipeline []string
+}
+
+func (dn *DataNode) handleWriteBlock(ctx context.Context, req any) (any, error) {
+	r := req.(WriteBlockReq)
+	dn.tpProto.Here(ctx, "WRITE_BLOCK", r.Length)
+	dn.tpQueued.Here(ctx, "WRITE_BLOCK")
+	dn.sem.Acquire()
+	defer dn.sem.Release()
+	dn.tpStart.Here(ctx, "WRITE_BLOCK")
+
+	// Write to the local disk (crosses FileOutputStream.write).
+	dn.Proc.DiskWrite(ctx, r.Length)
+	dn.tpBytesWrite.Here(ctx, r.Length)
+
+	// Forward down the replication pipeline.
+	if len(r.Pipeline) > 0 {
+		next := dn.Proc.C.Proc(r.Pipeline[0], "DataNode")
+		if next != nil {
+			fwd := WriteBlockReq{
+				Block: r.Block, Length: r.Length,
+				SrcHost: dn.Proc.Info.Host, Pipeline: r.Pipeline[1:],
+			}
+			if _, err := dn.Proc.Call(ctx, next, "DataTransferProtocol.WriteBlock", fwd,
+				cluster.Sizes{Request: r.Length, Response: 64}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r.Length, nil
+}
+
+// Stall simulates a garbage-collection or device pause: the DataNode's
+// handler pool is exhausted for the given duration.
+func (dn *DataNode) Stall(d time.Duration) {
+	for i := 0; i < DataNodeHandlers; i++ {
+		dn.sem.Acquire()
+	}
+	dn.Proc.C.Env.Sleep(d)
+	for i := 0; i < DataNodeHandlers; i++ {
+		dn.sem.Release()
+	}
+}

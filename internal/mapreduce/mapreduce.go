@@ -1,0 +1,247 @@
+// Package mapreduce implements a simulated Hadoop MapReduce framework on
+// top of YARN containers and HDFS: job submission, an ApplicationMaster per
+// job, map tasks that read input splits from HDFS and spill sorted output
+// to local disk, a per-host shuffle service serving map output over the
+// network, and reduce tasks that merge, reduce, and write job output back
+// to HDFS. Process naming matches the paper's Fig 1c columns: map tasks run
+// in "Map" processes, the shuffle service in "Shuffle", reducers in
+// "Reduce", so disk IO attribution by source process reproduces the pivot
+// table.
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/yarn"
+)
+
+// CPURate models task CPU cost: bytes processed per second of compute.
+const CPURate = 800e6
+
+// Framework wires MapReduce into a cluster.
+type Framework struct {
+	C  *cluster.Cluster
+	RM *yarn.ResourceManager
+	NN *hdfs.NameNode
+
+	hdfsCfg hdfs.ClientConfig
+
+	mu        sync.Mutex
+	taskProcs map[string]*taskProcs // per host
+	nextJob   int
+}
+
+// taskProcs are the long-lived container processes on one host.
+type taskProcs struct {
+	mapProc    *cluster.Process
+	reduceProc *cluster.Process
+	shuffle    *cluster.Process
+	amProc     *cluster.Process
+	mapHDFS    *hdfs.Client
+	reduceHDFS *hdfs.Client
+	amHDFS     *hdfs.Client
+}
+
+// New creates the framework. Task processes are created lazily per host.
+func New(c *cluster.Cluster, rm *yarn.ResourceManager, nn *hdfs.NameNode, hdfsCfg hdfs.ClientConfig) *Framework {
+	return &Framework{C: c, RM: rm, NN: nn, hdfsCfg: hdfsCfg, taskProcs: make(map[string]*taskProcs)}
+}
+
+// procsOn returns (creating if needed) the task processes for a host.
+func (fw *Framework) procsOn(host string) *taskProcs {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	tp, ok := fw.taskProcs[host]
+	if !ok {
+		tp = &taskProcs{
+			mapProc:    fw.C.Start(host, "Map"),
+			reduceProc: fw.C.Start(host, "Reduce"),
+			shuffle:    fw.C.Start(host, "Shuffle"),
+			amProc:     fw.C.Start(host, "AppMaster"),
+		}
+		tp.mapHDFS = hdfs.NewClient(tp.mapProc, fw.NN, fw.hdfsCfg)
+		tp.reduceHDFS = hdfs.NewClient(tp.reduceProc, fw.NN, fw.hdfsCfg)
+		tp.amHDFS = hdfs.NewClient(tp.amProc, fw.NN, fw.hdfsCfg)
+		tp.shuffle.Define("MapOutputServlet", "size")
+		sh := tp.shuffle
+		sh.Handle("ShuffleService.Fetch", func(ctx context.Context, req any) (any, error) {
+			size := req.(float64)
+			sh.Reg.Lookup("MapOutputServlet").Here(ctx, size)
+			sh.DiskRead(ctx, size)
+			return size, nil
+		})
+		fw.taskProcs[host] = tp
+	}
+	return tp
+}
+
+// JobConfig describes one MapReduce job.
+type JobConfig struct {
+	Name  string
+	Input string // existing HDFS file
+	// Reducers is the reduce task count (default 1 per 4 maps, min 1).
+	Reducers int
+	// MapOutputFactor scales map output size relative to input (1.0 for a
+	// sort job).
+	MapOutputFactor float64
+	// OutputFactor scales job output relative to shuffled data (1.0 for a
+	// sort job).
+	OutputFactor float64
+}
+
+type mapOutput struct {
+	host string
+	size float64
+}
+
+// Submit runs a job to completion: the blocking client-side call. The
+// submitting process's identity tags the request (Fig 1b's per-application
+// attribution relies on the First(ClientProtocols) crossing here).
+func (fw *Framework) Submit(ctx context.Context, from *cluster.Process, job JobConfig) error {
+	from.Define("ClientProtocols").Here(ctx)
+	fw.mu.Lock()
+	fw.nextJob++
+	jobID := fmt.Sprintf("job_%d_%s", fw.nextJob, job.Name)
+	fw.mu.Unlock()
+
+	// Launch the ApplicationMaster in a container.
+	amContainer, err := yarn.Allocate(ctx, from, fw.RM, jobID, "")
+	if err != nil {
+		return err
+	}
+	defer amContainer.Release()
+	am := fw.procsOn(amContainer.Host)
+	return fw.runAppMaster(am.amProc.In(ctx), am, jobID, job)
+}
+
+// runAppMaster executes the job's control loop.
+func (fw *Framework) runAppMaster(ctx context.Context, am *taskProcs, jobID string, job JobConfig) error {
+	env := fw.C.Env
+	tpSubmit := am.amProc.Define("AM.JobStart", "id")
+	tpMapDone := am.amProc.Define("AM.MapTaskComplete", "id")
+	tpRedDone := am.amProc.Define("AM.ReduceTaskComplete", "id")
+	tpJobDone := am.amProc.Define("JobComplete", "id")
+	tpSubmit.Here(ctx, jobID)
+
+	if job.MapOutputFactor == 0 {
+		job.MapOutputFactor = 1
+	}
+	if job.OutputFactor == 0 {
+		job.OutputFactor = 1
+	}
+
+	// Input splits = block locations.
+	splits, err := am.amHDFS.GetBlockLocations(ctx, job.Input, 0, 1e18)
+	if err != nil {
+		return fmt.Errorf("mapreduce: input: %w", err)
+	}
+	if job.Reducers <= 0 {
+		job.Reducers = (len(splits) + 3) / 4
+		if job.Reducers < 1 {
+			job.Reducers = 1
+		}
+	}
+
+	// ---- Map phase ----
+	var mu sync.Mutex
+	var outputs []mapOutput
+	var firstErr error
+	joins := make([]func(), 0, len(splits))
+	for i, split := range splits {
+		i, split := i, split
+		preferred := ""
+		if len(split.Replicas) > 0 {
+			preferred = split.Replicas[0]
+		}
+		container, err := yarn.Allocate(ctx, am.amProc, fw.RM, jobID, preferred)
+		if err != nil {
+			return err
+		}
+		tp := fw.procsOn(container.Host)
+		join := container.Run(ctx, tp.mapProc, func(taskCtx context.Context) {
+			defer container.Release()
+			offset := float64(i) * hdfs.BlockSize
+			if err := tp.mapHDFS.Read(taskCtx, job.Input, offset, split.Size); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			env.Sleep(time.Duration(split.Size / CPURate * float64(time.Second)))
+			out := split.Size * job.MapOutputFactor
+			tp.mapProc.DiskWrite(taskCtx, out)
+			mu.Lock()
+			outputs = append(outputs, mapOutput{host: container.Host, size: out})
+			mu.Unlock()
+			tpMapDone.Here(taskCtx, jobID)
+		})
+		joins = append(joins, join)
+	}
+	for _, join := range joins {
+		join()
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+
+	// ---- Reduce phase (shuffle, merge, reduce, output) ----
+	joins = joins[:0]
+	for r := 0; r < job.Reducers; r++ {
+		r := r
+		container, err := yarn.Allocate(ctx, am.amProc, fw.RM, jobID, "")
+		if err != nil {
+			return err
+		}
+		tp := fw.procsOn(container.Host)
+		join := container.Run(ctx, tp.reduceProc, func(taskCtx context.Context) {
+			defer container.Release()
+			// Shuffle: fetch this reducer's partition of every map output.
+			var fetched float64
+			for _, out := range outputs {
+				part := out.size / float64(job.Reducers)
+				src := fw.procsOn(out.host).shuffle
+				if _, err := tp.reduceProc.Call(taskCtx, src, "ShuffleService.Fetch", part,
+					cluster.Sizes{Request: 100, Response: part}); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				fetched += part
+			}
+			// Merge spill: write then re-read locally.
+			tp.reduceProc.DiskWrite(taskCtx, fetched)
+			tp.reduceProc.DiskRead(taskCtx, fetched)
+			env.Sleep(time.Duration(fetched / CPURate * float64(time.Second)))
+			// Job output back to HDFS (replication pipeline).
+			outFile := fmt.Sprintf("/out/%s/part-r-%05d", jobID, r)
+			if err := tp.reduceHDFS.Create(taskCtx, outFile, fetched*job.OutputFactor); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			tpRedDone.Here(taskCtx, jobID)
+		})
+		joins = append(joins, join)
+	}
+	for _, join := range joins {
+		join()
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	tpJobDone.Here(ctx, jobID)
+	return nil
+}

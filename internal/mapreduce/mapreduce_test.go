@@ -1,0 +1,205 @@
+package mapreduce
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/simtime"
+	"repro/internal/yarn"
+)
+
+func testFramework(env *simtime.Env, hosts int) (*cluster.Cluster, *Framework, *cluster.Process) {
+	cfg := cluster.DefaultConfig()
+	cfg.RPCLatency = 0
+	c := cluster.New(env, cfg)
+	nn := hdfs.NewNameNode(c, "master", hdfs.DefaultConfig())
+	rm := yarn.NewResourceManager(c, "master")
+	for i := 0; i < hosts; i++ {
+		h := hostName(i)
+		hdfs.NewDataNode(c, h, nn)
+		yarn.NewNodeManager(c, h, rm, 0)
+	}
+	fw := New(c, rm, nn, hdfs.ClientConfig{})
+	client := c.Start("edge", "MRCLIENT")
+	return c, fw, client
+}
+
+func hostName(i int) string { return string(rune('a'+i)) + "-host" }
+
+// prepareInput registers a job input file.
+func prepareInput(c *cluster.Cluster, fw *Framework, size float64) string {
+	admin := c.Start("master", "mradmin")
+	fs := hdfs.NewClient(admin, fw.NN, hdfs.ClientConfig{})
+	if err := fs.CreateMetadataOnly(admin.NewRequest(), "/in", size); err != nil {
+		panic(err)
+	}
+	return "/in"
+}
+
+func TestJobRunsToCompletion(t *testing.T) {
+	env := simtime.NewEnv()
+	env.Run(func() {
+		c, fw, client := testFramework(env, 3)
+		input := prepareInput(c, fw, 300e6) // 3 splits
+		err := fw.Submit(client.NewRequest(), client, JobConfig{Name: "sort", Input: input})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestJobMissingInputErrors(t *testing.T) {
+	env := simtime.NewEnv()
+	env.Run(func() {
+		_, fw, client := testFramework(env, 2)
+		err := fw.Submit(client.NewRequest(), client, JobConfig{Name: "bad", Input: "/missing"})
+		if err == nil {
+			t.Fatal("expected error for missing input")
+		}
+	})
+}
+
+func TestJobTaskCountsMatchSplits(t *testing.T) {
+	env := simtime.NewEnv()
+	env.Run(func() {
+		c, fw, client := testFramework(env, 4)
+		input := prepareInput(c, fw, 512e6) // 4 splits
+		c.PT.Registry().Define("AM.MapTaskComplete", "id")
+		c.PT.Registry().Define("AM.ReduceTaskComplete", "id")
+		h, err := c.PT.Install(
+			`From m In AM.MapTaskComplete GroupBy m.id Select m.id, COUNT`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr, err := c.PT.Install(
+			`From r In AM.ReduceTaskComplete GroupBy r.id Select r.id, COUNT`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.Submit(client.NewRequest(), client, JobConfig{
+			Name: "sort", Input: input, Reducers: 2,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		c.FlushAgents()
+		maps := h.Rows()
+		if len(maps) != 1 || maps[0][1].Int() != 4 {
+			t.Errorf("map completions = %v, want 4", maps)
+		}
+		reds := hr.Rows()
+		if len(reds) != 1 || reds[0][1].Int() != 2 {
+			t.Errorf("reduce completions = %v, want 2", reds)
+		}
+	})
+}
+
+func TestJobCompleteJoinableWithClient(t *testing.T) {
+	// The Fig 1b property at the MapReduce level: JobComplete events are
+	// attributable to the submitting client via the happened-before join.
+	env := simtime.NewEnv()
+	env.Run(func() {
+		c, fw, client := testFramework(env, 3)
+		input := prepareInput(c, fw, 256e6)
+		c.PT.Registry().Define("JobComplete", "id")
+		c.PT.Registry().Define("ClientProtocols")
+		h, err := c.PT.Install(
+			`From j In JobComplete
+			 Join cl In First(ClientProtocols) On cl -> j
+			 GroupBy cl.procName
+			 Select cl.procName, COUNT`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.Submit(client.NewRequest(), client, JobConfig{Name: "s", Input: input}); err != nil {
+			t.Fatal(err)
+		}
+		c.FlushAgents()
+		rows := h.Rows()
+		if len(rows) != 1 || rows[0][0].Str() != "MRCLIENT" || rows[0][1].Int() != 1 {
+			t.Fatalf("rows = %v, want (MRCLIENT, 1)", rows)
+		}
+	})
+}
+
+func TestConcurrentJobsShareCluster(t *testing.T) {
+	env := simtime.NewEnv()
+	env.Run(func() {
+		c, fw, _ := testFramework(env, 3)
+		input := prepareInput(c, fw, 256e6)
+		clients := []*cluster.Process{
+			c.Start("edge", "JOB-A"),
+			c.Start("edge", "JOB-B"),
+		}
+		wg := env.NewWaitGroup()
+		errs := make([]error, len(clients))
+		for i, cl := range clients {
+			i, cl := i, cl
+			wg.Add(1)
+			env.Go(func() {
+				defer wg.Done()
+				errs[i] = fw.Submit(cl.NewRequest(), cl, JobConfig{Name: "j", Input: input})
+			})
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Errorf("job %d: %v", i, err)
+			}
+		}
+	})
+}
+
+func TestShuffleMovesDataOverNetwork(t *testing.T) {
+	env := simtime.NewEnv()
+	env.Run(func() {
+		c, fw, client := testFramework(env, 3)
+		input := prepareInput(c, fw, 256e6)
+		// The shuffle-service tracepoint is defined lazily with the task
+		// processes; declare it in the vocabulary first.
+		c.PT.Registry().Define("MapOutputServlet", "size")
+		h, err := c.PT.Install(
+			`From f In MapOutputServlet
+			 GroupBy f.procName
+			 Select f.procName, SUM(f.size)`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.Submit(client.NewRequest(), client, JobConfig{Name: "s", Input: input}); err != nil {
+			t.Fatal(err)
+		}
+		c.FlushAgents()
+		rows := h.Rows()
+		if len(rows) != 1 {
+			t.Fatalf("rows = %v", rows)
+		}
+		// A sort job shuffles its full input.
+		if got := rows[0][1].Float(); got < 255e6 || got > 257e6 {
+			t.Errorf("shuffled bytes = %v, want ~256e6", got)
+		}
+	})
+}
+
+func TestJobDurationScalesWithInput(t *testing.T) {
+	run := func(size float64) time.Duration {
+		env := simtime.NewEnv()
+		var dur time.Duration
+		env.Run(func() {
+			c, fw, client := testFramework(env, 4)
+			input := prepareInput(c, fw, size)
+			start := env.Now()
+			if err := fw.Submit(client.NewRequest(), client, JobConfig{Name: "s", Input: input}); err != nil {
+				t.Error(err)
+				return
+			}
+			dur = env.Now() - start
+		})
+		return dur
+	}
+	small := run(128e6)
+	big := run(1024e6)
+	if big < 2*small {
+		t.Fatalf("8x input: %v vs %v — duration did not scale", small, big)
+	}
+}

@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/advice"
+	"repro/internal/agent"
+	"repro/internal/agg"
+	"repro/internal/tuple"
+)
+
+func sumOp() *advice.EmitOp {
+	return &advice.EmitOp{
+		Cols:    []advice.EmitCol{{Pos: 0}, {IsAgg: true, Pos: 1, Fn: agg.Sum}},
+		GroupBy: []int{0},
+		Schema:  tuple.Schema{"host", "SUM(v)"},
+	}
+}
+
+// report fabricates an agent report with one group (key, sum).
+func report(at time.Duration, host string, key string, v int64) agent.Report {
+	acc := advice.NewAccumulator(sumOp())
+	acc.Add(tuple.Tuple{tuple.String(key), tuple.Int(v)})
+	return agent.Report{
+		QueryID: "Q", Host: host, Time: at, Groups: acc.Groups(),
+	}
+}
+
+func TestCollectorBinsAndMergesAcrossProcesses(t *testing.T) {
+	c := NewCollector(sumOp(), time.Second)
+	// Two processes reporting in the same bin must merge.
+	c.OnReport(report(1100*time.Millisecond, "h1", "k", 10))
+	c.OnReport(report(1900*time.Millisecond, "h2", "k", 5))
+	// A later bin.
+	c.OnReport(report(2500*time.Millisecond, "h1", "k", 7))
+	series := c.Series([]int{0}, 1, false)
+	pts := series["k"]
+	if len(pts) != 2 {
+		t.Fatalf("series = %v", pts)
+	}
+	if pts[0].V != 15 || pts[1].V != 7 {
+		t.Fatalf("series = %v", pts)
+	}
+	if pts[0].T != time.Second || pts[1].T != 2*time.Second {
+		t.Fatalf("bin times = %v", pts)
+	}
+}
+
+func TestCollectorRateDividesByBin(t *testing.T) {
+	c := NewCollector(sumOp(), 2*time.Second)
+	c.OnReport(report(0, "h1", "k", 10))
+	series := c.Series([]int{0}, 1, true)
+	if got := series["k"][0].V; got != 5 {
+		t.Fatalf("rate = %v, want 5/s", got)
+	}
+}
+
+func TestCollectorTotals(t *testing.T) {
+	c := NewCollector(sumOp(), time.Second)
+	c.OnReport(report(500*time.Millisecond, "h1", "a", 1))
+	c.OnReport(report(1500*time.Millisecond, "h1", "a", 2))
+	c.OnReport(report(1500*time.Millisecond, "h1", "b", 9))
+	totals := c.Totals([]int{0}, 1)
+	if totals["a"] != 3 || totals["b"] != 9 {
+		t.Fatalf("totals = %v", totals)
+	}
+}
+
+func TestRenderTableAlignment(t *testing.T) {
+	out := RenderTable([]string{"name", "value"}, [][]string{
+		{"a", "1"},
+		{"longer-name", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %q", lines)
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("header and separator misaligned:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "a") || !strings.Contains(lines[3], "longer-name") {
+		t.Errorf("rows missing:\n%s", out)
+	}
+}
+
+func TestTupleRows(t *testing.T) {
+	rows := TupleRows([]tuple.Tuple{{tuple.String("x"), tuple.Int(3)}})
+	if len(rows) != 1 || rows[0][0] != "x" || rows[0][1] != "3" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline")
+	}
+	s := Sparkline([]float64{0, 1, 2, 4})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline = %q", s)
+	}
+	runes := []rune(s)
+	if runes[0] >= runes[3] {
+		t.Errorf("sparkline not increasing: %q", s)
+	}
+	// All-zero input must not divide by zero.
+	if z := Sparkline([]float64{0, 0}); len([]rune(z)) != 2 {
+		t.Errorf("zero sparkline = %q", z)
+	}
+}
+
+func TestHeatmapLabels(t *testing.T) {
+	out := Heatmap([]string{"host-A", "host-B"}, []string{"host-A", "host-B"},
+		func(r, c int) float64 { return float64(r + c) })
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Errorf("heatmap labels:\n%s", out)
+	}
+	if !strings.ContainsRune(out, '█') {
+		t.Errorf("heatmap max shade missing:\n%s", out)
+	}
+}
+
+func TestLatencyRecorderStats(t *testing.T) {
+	lr := NewLatencyRecorder()
+	if lr.Mean() != 0 || lr.Percentile(50) != 0 || lr.Count() != 0 {
+		t.Error("empty recorder should be zeroes")
+	}
+	for i := 1; i <= 100; i++ {
+		lr.Record(time.Duration(i)*100*time.Millisecond, time.Duration(i)*time.Millisecond)
+	}
+	if lr.Count() != 100 {
+		t.Errorf("count = %d", lr.Count())
+	}
+	if m := lr.Mean(); m < 0.0500 || m > 0.0510 {
+		t.Errorf("mean = %v, want ~50.5ms", m)
+	}
+	if p := lr.Percentile(50); p < 0.049 || p > 0.052 {
+		t.Errorf("p50 = %v", p)
+	}
+	if p := lr.Percentile(99); p < 0.098 || p > 0.100 {
+		t.Errorf("p99 = %v", p)
+	}
+}
+
+func TestLatencyRecorderThroughput(t *testing.T) {
+	lr := NewLatencyRecorder()
+	// 3 ops in second 0, 1 op in second 2 (second 1 idle).
+	lr.Record(100*time.Millisecond, time.Millisecond)
+	lr.Record(500*time.Millisecond, time.Millisecond)
+	lr.Record(900*time.Millisecond, time.Millisecond)
+	lr.Record(2500*time.Millisecond, time.Millisecond)
+	pts := lr.Throughput(time.Second)
+	if len(pts) != 3 {
+		t.Fatalf("bins = %v", pts)
+	}
+	if pts[0].V != 3 || pts[1].V != 0 || pts[2].V != 1 {
+		t.Fatalf("throughput = %v", pts)
+	}
+}

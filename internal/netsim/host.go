@@ -1,0 +1,66 @@
+package netsim
+
+import "time"
+
+// Common capacity constants, in bytes per second.
+const (
+	Gbit        = 1e9 / 8 // 1 Gbit/s NIC in bytes/s
+	HundredMbit = 1e8 / 8 // a limping 100 Mbit/s NIC
+	DiskRate    = 150e6   // a commodity HDD: 150 MB/s sequential
+	SSDRate     = 500e6   // an SSD: 500 MB/s
+	MB          = 1e6     // one megabyte
+	KB          = 1e3     // one kilobyte
+	GB          = 1e9     // one gigabyte
+)
+
+// Host bundles the resources of one simulated machine: a full-duplex NIC
+// (independent tx and rx links) and a local disk.
+type Host struct {
+	Name string
+	net  *Network
+	tx   *Link
+	rx   *Link
+	disk *Link
+
+	// Latency is the fixed one-way message latency from/to this host.
+	Latency time.Duration
+}
+
+// NewHost registers a host's NIC and disk links on the network.
+func (n *Network) NewHost(name string, nicRate, diskRate float64) *Host {
+	return &Host{
+		Name:    name,
+		net:     n,
+		tx:      n.AddLink(name+".tx", nicRate),
+		rx:      n.AddLink(name+".rx", nicRate),
+		disk:    n.AddLink(name+".disk", diskRate),
+		Latency: 100 * time.Microsecond,
+	}
+}
+
+// SetNICRate changes both directions of the host's NIC (fault injection).
+func (h *Host) SetNICRate(rate float64) {
+	h.net.SetRate(h.tx.Name, rate)
+	h.net.SetRate(h.rx.Name, rate)
+}
+
+// NICRate returns the current transmit capacity of the host's NIC.
+func (h *Host) NICRate() float64 { return h.net.Rate(h.tx.Name) }
+
+// Send transfers size bytes from h to dst, blocking until delivered.
+// Loopback transfers (h == dst) skip the network. The transfer contends for
+// h's transmit link and dst's receive link under max-min fairness.
+func (h *Host) Send(dst *Host, size float64) {
+	if h == dst {
+		return
+	}
+	h.net.env.Sleep(h.Latency)
+	h.net.Flow(size, h.tx, dst.rx)
+}
+
+// DiskRead reads size bytes from the host's local disk.
+func (h *Host) DiskRead(size float64) { h.net.Flow(size, h.disk) }
+
+// DiskWrite writes size bytes to the host's local disk. Reads and writes
+// share the disk's bandwidth.
+func (h *Host) DiskWrite(size float64) { h.net.Flow(size, h.disk) }

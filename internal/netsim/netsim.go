@@ -1,0 +1,306 @@
+// Package netsim models shared resources — network links and disks — as a
+// flow-level simulation with max-min fair bandwidth sharing.
+//
+// A Network holds named Links, each with a capacity in bytes per second. A
+// transfer is a Flow over one or more links; at any instant every active flow
+// receives its max-min fair share across the links it traverses (computed by
+// water-filling). Flow blocks in virtual time until its bytes have been
+// served. Link capacities can be changed at runtime, which is how faults such
+// as a limping NIC (1Gbit -> 100Mbit) are injected.
+//
+// Disks are modeled the same way: a disk is a single-link resource, so
+// concurrent reads and writes share its bandwidth processor-style.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Link is a capacity-constrained resource (a NIC direction, a disk, ...).
+type Link struct {
+	Name string
+
+	rate   float64 // bytes per second
+	served float64 // cumulative bytes served through this link
+
+	// scratch state for the water-filling computation
+	remCap   float64
+	unfrozen int
+}
+
+// Network simulates a set of links and the flows crossing them.
+type Network struct {
+	env  *simtime.Env
+	mu   sync.Mutex
+	wake *simtime.Cond // engine wakeup: new flow or rate change
+	done *simtime.Cond // broadcast on flow completions
+
+	links map[string]*Link
+	flows map[*flow]struct{}
+
+	lastUpdate time.Duration
+	running    bool
+
+	// Stats counts completed flows and served bytes, for tests and tools.
+	completedFlows int64
+	servedBytes    float64
+}
+
+type flow struct {
+	remaining float64
+	rate      float64
+	links     []*Link
+	finished  bool
+}
+
+// New creates an empty network bound to the simulation environment.
+func New(env *simtime.Env) *Network {
+	n := &Network{
+		env:   env,
+		links: make(map[string]*Link),
+		flows: make(map[*flow]struct{}),
+	}
+	n.wake = env.NewCond(&n.mu)
+	n.done = env.NewCond(&n.mu)
+	return n
+}
+
+// AddLink registers a link with capacity rate bytes/second and returns it.
+func (n *Network) AddLink(name string, rate float64) *Link {
+	if rate <= 0 {
+		panic(fmt.Sprintf("netsim: non-positive rate %v for link %q", rate, name))
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.links[name]; ok {
+		panic(fmt.Sprintf("netsim: duplicate link %q", name))
+	}
+	l := &Link{Name: name, rate: rate}
+	n.links[name] = l
+	return l
+}
+
+// Link returns the named link, or nil.
+func (n *Network) Link(name string) *Link {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.links[name]
+}
+
+// SetRate changes a link's capacity at runtime (fault injection). Active
+// flows immediately see the new fair-share rates.
+func (n *Network) SetRate(name string, rate float64) {
+	if rate <= 0 {
+		panic(fmt.Sprintf("netsim: non-positive rate %v for link %q", rate, name))
+	}
+	n.mu.Lock()
+	l, ok := n.links[name]
+	if !ok {
+		n.mu.Unlock()
+		panic(fmt.Sprintf("netsim: unknown link %q", name))
+	}
+	n.settleLocked()
+	l.rate = rate
+	n.reshareLocked()
+	n.mu.Unlock()
+	n.wake.Signal()
+}
+
+// Rate returns a link's current capacity in bytes/second.
+func (n *Network) Rate(name string) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l, ok := n.links[name]; ok {
+		return l.rate
+	}
+	return 0
+}
+
+// LinkServed returns the cumulative bytes served through the named link
+// (settling in-flight progress first), for per-host throughput plots.
+func (n *Network) LinkServed(name string) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.settleLocked()
+	if l, ok := n.links[name]; ok {
+		return l.served
+	}
+	return 0
+}
+
+// Stats returns the number of completed flows and total bytes served.
+func (n *Network) Stats() (flows int64, bytes float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.completedFlows, n.servedBytes
+}
+
+// Flow transfers size bytes across the given links, blocking in virtual time
+// until complete. A flow over zero links (or zero bytes) completes instantly.
+// Must be called from a managed goroutine.
+func (n *Network) Flow(size float64, links ...*Link) {
+	if size <= 0 || len(links) == 0 {
+		return
+	}
+	f := &flow{remaining: size, links: links}
+	n.mu.Lock()
+	n.ensureEngineLocked()
+	n.settleLocked()
+	n.flows[f] = struct{}{}
+	n.reshareLocked()
+	n.wake.Signal()
+	for !f.finished {
+		n.done.Wait()
+	}
+	n.servedBytes += size
+	n.mu.Unlock()
+}
+
+// ensureEngineLocked starts the completion engine on first use.
+func (n *Network) ensureEngineLocked() {
+	if n.running {
+		return
+	}
+	n.running = true
+	n.lastUpdate = n.env.Now()
+	n.env.Go(n.engine)
+}
+
+// engine advances flow progress and completes flows at their finish times.
+func (n *Network) engine() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for !n.env.Done() {
+		n.settleLocked()
+		completed := n.completeLocked()
+		if completed > 0 {
+			n.reshareLocked()
+			n.done.Broadcast()
+		}
+		if len(n.flows) == 0 {
+			n.wake.Wait()
+			n.lastUpdate = n.env.Now()
+			continue
+		}
+		next := n.nextCompletionLocked()
+		n.wake.WaitTimeout(next)
+	}
+}
+
+// settleLocked accrues progress for all active flows since lastUpdate.
+func (n *Network) settleLocked() {
+	now := n.env.Now()
+	elapsed := (now - n.lastUpdate).Seconds()
+	n.lastUpdate = now
+	if elapsed <= 0 {
+		return
+	}
+	for f := range n.flows {
+		progressed := f.rate * elapsed
+		f.remaining -= progressed
+		for _, l := range f.links {
+			l.served += progressed
+		}
+	}
+}
+
+// completeLocked finishes flows whose bytes are fully served.
+func (n *Network) completeLocked() int {
+	const eps = 1e-6
+	count := 0
+	for f := range n.flows {
+		if f.remaining <= eps {
+			f.finished = true
+			delete(n.flows, f)
+			n.completedFlows++
+			count++
+		}
+	}
+	return count
+}
+
+// nextCompletionLocked returns the time until the earliest flow finish.
+func (n *Network) nextCompletionLocked() time.Duration {
+	min := math.MaxFloat64
+	for f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		if t := f.remaining / f.rate; t < min {
+			min = t
+		}
+	}
+	if min == math.MaxFloat64 {
+		// No flow is receiving service; wait for a topology change.
+		return time.Hour
+	}
+	d := time.Duration(min * float64(time.Second))
+	if d < time.Nanosecond {
+		d = time.Nanosecond
+	}
+	return d
+}
+
+// reshareLocked recomputes max-min fair rates for all active flows by
+// water-filling: repeatedly find the most-constrained link, freeze its flows
+// at the fair share, subtract their demand, and recurse.
+func (n *Network) reshareLocked() {
+	for _, l := range n.links {
+		l.remCap = l.rate
+		l.unfrozen = 0
+	}
+	unfrozen := make(map[*flow]struct{}, len(n.flows))
+	for f := range n.flows {
+		f.rate = 0
+		unfrozen[f] = struct{}{}
+		for _, l := range f.links {
+			l.unfrozen++
+		}
+	}
+	for len(unfrozen) > 0 {
+		// Find the bottleneck link: minimum fair share among links with
+		// unfrozen flows.
+		var bottleneck *Link
+		share := math.MaxFloat64
+		for _, l := range n.links {
+			if l.unfrozen == 0 {
+				continue
+			}
+			s := l.remCap / float64(l.unfrozen)
+			if s < share {
+				share = s
+				bottleneck = l
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		// Freeze every unfrozen flow crossing the bottleneck at the share.
+		for f := range unfrozen {
+			crosses := false
+			for _, l := range f.links {
+				if l == bottleneck {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			f.rate = share
+			delete(unfrozen, f)
+			for _, l := range f.links {
+				l.remCap -= share
+				if l.remCap < 0 {
+					l.remCap = 0
+				}
+				l.unfrozen--
+			}
+		}
+	}
+}

@@ -1,0 +1,525 @@
+package plan
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/advice"
+	"repro/internal/baggage"
+	"repro/internal/query"
+	"repro/internal/tracepoint"
+	"repro/internal/tuple"
+)
+
+// harness compiles a query, weaves its advice, and accumulates emitted
+// tuples — a miniature agent for exercising plans end to end.
+type harness struct {
+	t    *testing.T
+	reg  *tracepoint.Registry
+	plan *Plan
+	acc  *advice.Accumulator
+}
+
+func (h *harness) EmitTuple(p *advice.Program, w tuple.Tuple) { h.acc.Add(w) }
+
+func install(t *testing.T, reg *tracepoint.Registry, named map[string]*query.Query, text string, opts Options) *harness {
+	t.Helper()
+	q, err := query.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Name = "q"
+	p, err := Compile(q, reg, named, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{t: t, reg: reg, plan: p}
+	h.acc = advice.NewAccumulator(p.Emit.Emit)
+	for _, prog := range p.Programs {
+		if err := reg.Weave(prog.Tracepoint, &advice.Advice{Prog: prog, Emitter: h}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+// newRequest returns a context representing one request execution at the
+// given host/process, with fresh baggage.
+func newRequest(host, proc string) context.Context {
+	ctx := tracepoint.WithProc(context.Background(), tracepoint.ProcInfo{
+		Host: host, ProcName: proc, ProcID: 1,
+	})
+	return baggage.NewContext(ctx, baggage.New())
+}
+
+// hop simulates the request moving to another process: identity changes,
+// baggage is serialized and deserialized as it would cross the network.
+func hop(ctx context.Context, host, proc string) context.Context {
+	bag := baggage.Deserialize(baggage.FromContext(ctx).Serialize())
+	ctx = tracepoint.WithProc(ctx, tracepoint.ProcInfo{Host: host, ProcName: proc, ProcID: 2})
+	return baggage.NewContext(ctx, bag)
+}
+
+func q2Registry() *tracepoint.Registry {
+	reg := tracepoint.NewRegistry()
+	reg.Define("DataNodeMetrics.incrBytesRead", "delta")
+	reg.Define("ClientProtocols")
+	return reg
+}
+
+func TestQ1LocalAggregation(t *testing.T) {
+	reg := q2Registry()
+	h := install(t, reg, nil,
+		`From incr In DataNodeMetrics.incrBytesRead
+		 GroupBy incr.host
+		 Select incr.host, SUM(incr.delta)`, Optimized)
+
+	tp := reg.Lookup("DataNodeMetrics.incrBytesRead")
+	for _, c := range []struct {
+		host  string
+		delta int64
+	}{{"A", 10}, {"B", 5}, {"A", 7}} {
+		tp.Here(newRequest(c.host, "DataNode"), c.delta)
+	}
+	rows := h.acc.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0].Str() != "A" || rows[0][1].Int() != 17 {
+		t.Errorf("row A = %v", rows[0])
+	}
+	if rows[1][0].Str() != "B" || rows[1][1].Int() != 5 {
+		t.Errorf("row B = %v", rows[1])
+	}
+}
+
+func TestQ2HappenedBeforeJoin(t *testing.T) {
+	reg := q2Registry()
+	h := install(t, reg, nil,
+		`From incr In DataNodeMetrics.incrBytesRead
+		 Join cl In First(ClientProtocols) On cl -> incr
+		 GroupBy cl.procName
+		 Select cl.procName, SUM(incr.delta)`, Optimized)
+
+	cl := reg.Lookup("ClientProtocols")
+	incr := reg.Lookup("DataNodeMetrics.incrBytesRead")
+
+	// Request 1: HGET client reads 4096 + 1024 bytes.
+	ctx := newRequest("client-1", "HGET")
+	cl.Here(ctx)
+	ctx = hop(ctx, "dn-1", "DataNode")
+	incr.Here(ctx, 4096)
+	incr.Here(ctx, 1024)
+
+	// Request 2: MRSORT10G reads 100 bytes; passes two client protocols —
+	// First keeps the initial procName.
+	ctx = newRequest("client-2", "MRSORT10G")
+	cl.Here(ctx)
+	ctx2 := hop(ctx, "client-2", "SomeOtherProto")
+	cl.Here(ctx2)
+	ctx2 = hop(ctx2, "dn-2", "DataNode")
+	incr.Here(ctx2, 100)
+
+	// An execution that never passed a client protocol contributes nothing.
+	incr.Here(newRequest("dn-3", "DataNode"), 999)
+
+	rows := h.acc.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0].Str() != "HGET" || rows[0][1].Int() != 5120 {
+		t.Errorf("HGET row = %v", rows[0])
+	}
+	if rows[1][0].Str() != "MRSORT10G" || rows[1][1].Int() != 100 {
+		t.Errorf("MRSORT10G row = %v", rows[1])
+	}
+}
+
+func TestQ2AdviceMatchesPaperCompilation(t *testing.T) {
+	// §3: A1 observes and packs procName; A2 unpacks procName, observes
+	// delta, and emits.
+	reg := q2Registry()
+	h := install(t, reg, nil,
+		`From incr In DataNodeMetrics.incrBytesRead
+		 Join cl In First(ClientProtocols) On cl -> incr
+		 GroupBy cl.procName
+		 Select cl.procName, SUM(incr.delta)`, Optimized)
+
+	if len(h.plan.Programs) != 2 {
+		t.Fatalf("programs = %d, want 2", len(h.plan.Programs))
+	}
+	a1, a2 := h.plan.Programs[0], h.plan.Programs[1]
+	if a1.Tracepoint != "ClientProtocols" || a1.Pack == nil || a1.Emit != nil {
+		t.Errorf("A1 = %v", a1)
+	}
+	if a1.Pack.Spec.Kind != baggage.First {
+		t.Errorf("A1 pack kind = %v, want FIRST", a1.Pack.Spec.Kind)
+	}
+	if a2.Tracepoint != "DataNodeMetrics.incrBytesRead" || a2.Emit == nil || a2.Pack != nil {
+		t.Errorf("A2 = %v", a2)
+	}
+	explain := h.plan.Explain()
+	for _, want := range []string{"PACK-FIRST cl.procName", "UNPACK cl.procName", "OBSERVE incr.delta"} {
+		if !strings.Contains(explain, want) {
+			t.Errorf("Explain missing %q:\n%s", want, explain)
+		}
+	}
+}
+
+func TestQ7ChainedJoinsWithFilter(t *testing.T) {
+	reg := tracepoint.NewRegistry()
+	reg.Define("DN.DataTransferProtocol")
+	reg.Define("NN.GetBlockLocations", "replicas")
+	reg.Define("StressTest.DoNextOp")
+	h := install(t, reg, nil,
+		`From DNop In DN.DataTransferProtocol
+		 Join getloc In NN.GetBlockLocations On getloc -> DNop
+		 Join st In StressTest.DoNextOp On st -> getloc
+		 Where st.host != DNop.host
+		 GroupBy DNop.host, getloc.replicas
+		 Select DNop.host, getloc.replicas, COUNT`, Optimized)
+
+	st := reg.Lookup("StressTest.DoNextOp")
+	nn := reg.Lookup("NN.GetBlockLocations")
+	dn := reg.Lookup("DN.DataTransferProtocol")
+
+	run := func(client, replicas, chosen string) {
+		ctx := newRequest(client, "StressTest")
+		st.Here(ctx)
+		ctx = hop(ctx, "namenode", "NameNode")
+		nn.Here(ctx, replicas)
+		ctx = hop(ctx, chosen, "DataNode")
+		dn.Here(ctx)
+	}
+	run("A", "A,B,C", "A") // local read: filtered out (st.host == DNop.host)
+	run("A", "B,C,D", "B") // non-local: kept
+	run("A", "B,C,D", "B") // non-local: kept
+	run("D", "A,B,C", "A") // non-local: kept
+
+	rows := h.acc.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0].Str() != "B" || rows[0][1].Str() != "B,C,D" || rows[0][2].Int() != 2 {
+		t.Errorf("row 0 = %v", rows[0])
+	}
+	if rows[1][0].Str() != "A" || rows[1][1].Str() != "A,B,C" || rows[1][2].Int() != 1 {
+		t.Errorf("row 1 = %v", rows[1])
+	}
+}
+
+func TestQ7FilterPushdownStopsAtDNop(t *testing.T) {
+	// st.host != DNop.host references both ends of the chain, so it can
+	// only run at the final tracepoint.
+	reg := tracepoint.NewRegistry()
+	reg.Define("DN.DataTransferProtocol")
+	reg.Define("NN.GetBlockLocations", "replicas")
+	reg.Define("StressTest.DoNextOp")
+	h := install(t, reg, nil,
+		`From DNop In DN.DataTransferProtocol
+		 Join getloc In NN.GetBlockLocations On getloc -> DNop
+		 Join st In StressTest.DoNextOp On st -> getloc
+		 Where st.host != DNop.host
+		 GroupBy DNop.host
+		 Select DNop.host, COUNT`, Optimized)
+	final := h.plan.Emit
+	if len(final.Filters) != 1 {
+		t.Fatalf("final filters = %d, want 1", len(final.Filters))
+	}
+	for _, prog := range h.plan.Programs {
+		if prog != final && len(prog.Filters) != 0 {
+			t.Errorf("filter wrongly placed at %s", prog.Tracepoint)
+		}
+	}
+}
+
+func TestFilterPushedToSourceWhenLocal(t *testing.T) {
+	// A predicate over only the joined source runs at that source, so
+	// non-matching tuples are never packed.
+	reg := tracepoint.NewRegistry()
+	reg.Define("Final")
+	reg.Define("Src", "size")
+	h := install(t, reg, nil,
+		`From f In Final
+		 Join s In Src On s -> f
+		 Where s.size < 10
+		 GroupBy s.size
+		 Select s.size, COUNT`, Optimized)
+
+	src := h.plan.Programs[0]
+	if src.Tracepoint != "Src" || len(src.Filters) != 1 {
+		t.Fatalf("source program filters = %+v", src)
+	}
+
+	srcTp := reg.Lookup("Src")
+	finalTp := reg.Lookup("Final")
+	ctx := newRequest("h", "p")
+	srcTp.Here(ctx, 5)
+	srcTp.Here(ctx, 50) // filtered at source: never packed
+	if got := baggage.FromContext(ctx).TupleCount(); got != 1 {
+		t.Errorf("packed tuples = %d, want 1 (filter not pushed?)", got)
+	}
+	finalTp.Here(ctx)
+	rows := h.acc.Rows()
+	if len(rows) != 1 || rows[0][0].Int() != 5 || rows[0][1].Int() != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestAggregationPushdown(t *testing.T) {
+	// SUM over a joined source's field becomes pack-time aggregation:
+	// many source events collapse to one packed group per request.
+	reg := tracepoint.NewRegistry()
+	reg.Define("Final")
+	reg.Define("Disk", "bytes")
+	h := install(t, reg, nil,
+		`From f In Final
+		 Join d In Disk On d -> f
+		 GroupBy f.host
+		 Select f.host, SUM(d.bytes)`, Optimized)
+
+	src := h.plan.Programs[0]
+	if src.Pack.Spec.Kind != baggage.Agg {
+		t.Fatalf("pack kind = %v, want AGG", src.Pack.Spec.Kind)
+	}
+
+	disk := reg.Lookup("Disk")
+	final := reg.Lookup("Final")
+	ctx := newRequest("h1", "p")
+	for i := 0; i < 100; i++ {
+		disk.Here(ctx, 10)
+	}
+	// Despite 100 disk events, only one aggregated tuple is in baggage.
+	if got := baggage.FromContext(ctx).TupleCount(); got != 1 {
+		t.Errorf("packed tuples = %d, want 1", got)
+	}
+	final.Here(ctx)
+
+	// Second request on the same host adds more.
+	ctx = newRequest("h1", "p")
+	disk.Here(ctx, 7)
+	final.Here(ctx)
+
+	rows := h.acc.Rows()
+	if len(rows) != 1 || rows[0][0].Str() != "h1" || rows[0][1].Int() != 1007 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestCountPushdownUsesSumCombiner(t *testing.T) {
+	reg := tracepoint.NewRegistry()
+	reg.Define("Final")
+	reg.Define("Disk", "bytes")
+	h := install(t, reg, nil,
+		`From f In Final
+		 Join d In Disk On d -> f
+		 GroupBy f.host
+		 Select f.host, COUNT(d.bytes)`, Optimized)
+
+	disk := reg.Lookup("Disk")
+	final := reg.Lookup("Final")
+	for r := 0; r < 3; r++ {
+		ctx := newRequest("h1", "p")
+		for i := 0; i < 5; i++ {
+			disk.Here(ctx, 1)
+		}
+		final.Here(ctx)
+	}
+	rows := h.acc.Rows()
+	if len(rows) != 1 || rows[0][1].Int() != 15 {
+		t.Fatalf("rows = %v, want count 15", rows)
+	}
+}
+
+func TestQ8MostRecentAndComputedLatency(t *testing.T) {
+	reg := tracepoint.NewRegistry()
+	reg.Define("SendResponse")
+	reg.Define("ReceiveRequest")
+	h := install(t, reg, nil,
+		`From response In SendResponse
+		 Join request In MostRecent(ReceiveRequest) On request -> response
+		 Select response.time - request.time`, Optimized)
+
+	recv := reg.Lookup("ReceiveRequest")
+	send := reg.Lookup("SendResponse")
+
+	ctx := newRequest("h", "server")
+	ctx = tracepoint.WithClock(ctx, testClock2(100))
+	recv.Here(ctx)
+	ctx = tracepoint.WithClock(ctx, testClock2(250))
+	recv.Here(ctx) // most recent wins
+	ctx = tracepoint.WithClock(ctx, testClock2(400))
+	send.Here(ctx)
+
+	rows := h.acc.Rows()
+	if len(rows) != 1 || rows[0][0].Int() != 150 {
+		t.Fatalf("rows = %v, want latency 150", rows)
+	}
+}
+
+func TestQ9SubqueryJoin(t *testing.T) {
+	reg := tracepoint.NewRegistry()
+	reg.Define("SendResponse")
+	reg.Define("ReceiveRequest")
+	reg.Define("JobComplete", "id")
+
+	q8, err := query.Parse(`From response In SendResponse
+		Join request In MostRecent(ReceiveRequest) On request -> response
+		Select response.time - request.time`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q8.Name = "Q8"
+	named := map[string]*query.Query{"Q8": q8}
+
+	h := install(t, reg, named,
+		`From job In JobComplete
+		 Join latencyMeasurement In Q8 On latencyMeasurement -> end
+		 GroupBy job.id
+		 Select job.id, AVERAGE(latencyMeasurement)`, Optimized)
+
+	recv := reg.Lookup("ReceiveRequest")
+	send := reg.Lookup("SendResponse")
+	job := reg.Lookup("JobComplete")
+
+	ctx := newRequest("h", "worker")
+	// Two request/response pairs with latencies 100 and 300.
+	ctx2 := tracepoint.WithClock(ctx, testClock2(1000))
+	recv.Here(ctx2)
+	ctx2 = tracepoint.WithClock(ctx, testClock2(1100))
+	send.Here(ctx2)
+	ctx2 = tracepoint.WithClock(ctx, testClock2(2000))
+	recv.Here(ctx2)
+	ctx2 = tracepoint.WithClock(ctx, testClock2(2300))
+	send.Here(ctx2)
+	job.Here(ctx2, "job-7")
+
+	rows := h.acc.Rows()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0].Str() != "job-7" || rows[0][1].Float() != 200 {
+		t.Fatalf("row = %v, want (job-7, 200)", rows[0])
+	}
+}
+
+func TestOptimizedAndUnoptimizedAgree(t *testing.T) {
+	text := `From DNop In DN.DataTransferProtocol
+	  Join getloc In NN.GetBlockLocations On getloc -> DNop
+	  Join st In StressTest.DoNextOp On st -> getloc
+	  Where st.host != DNop.host
+	  GroupBy DNop.host
+	  Select DNop.host, COUNT`
+
+	var results [2][]tuple.Tuple
+	var packCounts [2]int
+	for mode, opts := range []Options{{Optimize: true}, {Optimize: false}} {
+		reg := tracepoint.NewRegistry()
+		reg.Define("DN.DataTransferProtocol")
+		reg.Define("NN.GetBlockLocations", "replicas")
+		reg.Define("StressTest.DoNextOp")
+		h := install(t, reg, nil, text, opts)
+
+		st := reg.Lookup("StressTest.DoNextOp")
+		nn := reg.Lookup("NN.GetBlockLocations")
+		dn := reg.Lookup("DN.DataTransferProtocol")
+		for _, c := range []struct{ client, chosen string }{
+			{"A", "A"}, {"A", "B"}, {"C", "B"}, {"D", "A"},
+		} {
+			ctx := newRequest(c.client, "StressTest")
+			st.Here(ctx)
+			ctx = hop(ctx, "namenode", "NameNode")
+			nn.Here(ctx, "r1,r2,r3")
+			packCounts[mode] += baggage.FromContext(ctx).ByteSize()
+			ctx = hop(ctx, c.chosen, "DataNode")
+			dn.Here(ctx)
+		}
+		results[mode] = h.acc.Rows()
+	}
+	if len(results[0]) != len(results[1]) {
+		t.Fatalf("row counts differ: %v vs %v", results[0], results[1])
+	}
+	for i := range results[0] {
+		if !results[0][i].Equal(results[1][i]) {
+			t.Errorf("row %d differs: %v vs %v", i, results[0][i], results[1][i])
+		}
+	}
+	if packCounts[0] >= packCounts[1] {
+		t.Errorf("optimized baggage (%d B) should be smaller than unoptimized (%d B)",
+			packCounts[0], packCounts[1])
+	}
+}
+
+func TestUnionFromWeavesBothTracepoints(t *testing.T) {
+	reg := tracepoint.NewRegistry()
+	reg.Define("DataRPCs", "size")
+	reg.Define("ControlRPCs", "size")
+	h := install(t, reg, nil,
+		`From e In DataRPCs, ControlRPCs
+		 GroupBy e.tracepoint
+		 Select e.tracepoint, SUM(e.size)`, Optimized)
+
+	reg.Lookup("DataRPCs").Here(newRequest("h", "p"), 10)
+	reg.Lookup("ControlRPCs").Here(newRequest("h", "p"), 3)
+	reg.Lookup("DataRPCs").Here(newRequest("h", "p"), 5)
+
+	rows := h.acc.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0].Str() != "DataRPCs" || rows[0][1].Int() != 15 {
+		t.Errorf("row 0 = %v", rows[0])
+	}
+	if rows[1][0].Str() != "ControlRPCs" || rows[1][1].Int() != 3 {
+		t.Errorf("row 1 = %v", rows[1])
+	}
+}
+
+func TestFig3HappenedBeforeJoinSemantics(t *testing.T) {
+	// Figure 3 of the paper: an execution triggers A, B, C; query A->B
+	// joins every A tuple to every later B tuple, etc. We verify the
+	// result multiplicities via COUNT with an A->B style join.
+	reg := tracepoint.NewRegistry()
+	reg.Define("A")
+	reg.Define("B")
+	h := install(t, reg, nil,
+		`From b In B
+		 Join a In A On a -> b
+		 GroupBy a.time, b.time
+		 Select a.time, b.time, COUNT`, Optimized)
+
+	a := reg.Lookup("A")
+	b := reg.Lookup("B")
+	// Execution a1 a2 b1 a3 b2 (as in Fig 3's left branch, simplified):
+	// pairs (a1,b1) (a2,b1) (a1,b2) (a2,b2) (a3,b2).
+	ctx := newRequest("h", "p")
+	at := func(n int64) context.Context { return tracepoint.WithClock(ctx, testClock2(n)) }
+	a.Here(at(1))
+	a.Here(at(2))
+	b.Here(at(3))
+	a.Here(at(4))
+	b.Here(at(5))
+
+	rows := h.acc.Rows()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %v, want 5 happened-before pairs", rows)
+	}
+	pairs := map[[2]int64]bool{}
+	for _, r := range rows {
+		pairs[[2]int64{r[0].Int(), r[1].Int()}] = true
+		if r[2].Int() != 1 {
+			t.Errorf("pair %v count = %d", r, r[2].Int())
+		}
+	}
+	for _, want := range [][2]int64{{1, 3}, {2, 3}, {1, 5}, {2, 5}, {4, 5}} {
+		if !pairs[want] {
+			t.Errorf("missing pair %v", want)
+		}
+	}
+}
+
+type testClock2 int64
+
+func (c testClock2) Now() (d time.Duration) { return time.Duration(c) }

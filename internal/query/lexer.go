@@ -1,0 +1,216 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokComma
+	tokDot
+	tokLParen
+	tokRParen
+	tokArrow // ->
+	tokOp    // = != < <= > >= + - * / && || !
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset in input, for error messages
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of query"
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer splits a query string into tokens.
+type lexer struct {
+	input string
+	pos   int
+}
+
+func newLexer(input string) *lexer { return &lexer{input: input} }
+
+// errorAt formats a lexical/syntax error with line context.
+func errorAt(input string, pos int, format string, args ...any) error {
+	line := 1
+	col := 1
+	for i, r := range input {
+		if i >= pos {
+			break
+		}
+		if r == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("query: %s (line %d, col %d)", fmt.Sprintf(format, args...), line, col)
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.input) {
+		r, size := utf8.DecodeRuneInString(l.input[l.pos:])
+		if !unicode.IsSpace(r) {
+			break
+		}
+		l.pos += size
+	}
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	r, size := utf8.DecodeRuneInString(l.input[l.pos:])
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		for l.pos < len(l.input) {
+			r, size := utf8.DecodeRuneInString(l.input[l.pos:])
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+				break
+			}
+			l.pos += size
+		}
+		return token{kind: tokIdent, text: l.input[start:l.pos], pos: start}, nil
+	case unicode.IsDigit(r):
+		seenDot := false
+		for l.pos < len(l.input) {
+			r, size := utf8.DecodeRuneInString(l.input[l.pos:])
+			if r == '.' && !seenDot {
+				// Lookahead: a digit must follow for this to be a decimal
+				// point rather than a field access on a number (invalid
+				// anyway, but give the parser the cleaner error).
+				next := l.pos + size
+				nr, _ := utf8.DecodeRuneInString(l.input[next:])
+				if !unicode.IsDigit(nr) {
+					break
+				}
+				seenDot = true
+				l.pos += size
+				continue
+			}
+			if !unicode.IsDigit(r) {
+				break
+			}
+			l.pos += size
+		}
+		return token{kind: tokNumber, text: l.input[start:l.pos], pos: start}, nil
+	case r == '"':
+		l.pos += size
+		var b strings.Builder
+		for l.pos < len(l.input) {
+			r, size := utf8.DecodeRuneInString(l.input[l.pos:])
+			l.pos += size
+			if r == '"' {
+				return token{kind: tokString, text: b.String(), pos: start}, nil
+			}
+			if r == '\\' && l.pos < len(l.input) {
+				esc, esize := utf8.DecodeRuneInString(l.input[l.pos:])
+				l.pos += esize
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				default:
+					b.WriteRune(esc)
+				}
+				continue
+			}
+			b.WriteRune(r)
+		}
+		return token{}, errorAt(l.input, start, "unterminated string literal")
+	}
+	l.pos += size
+	two := ""
+	if l.pos < len(l.input) {
+		two = l.input[start : l.pos+1]
+	}
+	switch r {
+	case ',':
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case '.':
+		return token{kind: tokDot, text: ".", pos: start}, nil
+	case '(':
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case ')':
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case '-':
+		if two == "->" {
+			l.pos++
+			return token{kind: tokArrow, text: "->", pos: start}, nil
+		}
+		return token{kind: tokOp, text: "-", pos: start}, nil
+	case '−': // unicode minus, as typeset in the paper
+		return token{kind: tokOp, text: "-", pos: start}, nil
+	case '=':
+		if two == "==" {
+			l.pos++
+		}
+		return token{kind: tokOp, text: "=", pos: start}, nil
+	case '!':
+		if two == "!=" {
+			l.pos++
+			return token{kind: tokOp, text: "!=", pos: start}, nil
+		}
+		return token{kind: tokOp, text: "!", pos: start}, nil
+	case '<':
+		if two == "<=" {
+			l.pos++
+			return token{kind: tokOp, text: "<=", pos: start}, nil
+		}
+		return token{kind: tokOp, text: "<", pos: start}, nil
+	case '>':
+		if two == ">=" {
+			l.pos++
+			return token{kind: tokOp, text: ">=", pos: start}, nil
+		}
+		return token{kind: tokOp, text: ">", pos: start}, nil
+	case '+', '*', '/':
+		return token{kind: tokOp, text: string(r), pos: start}, nil
+	case '&':
+		if two == "&&" {
+			l.pos++
+			return token{kind: tokOp, text: "&&", pos: start}, nil
+		}
+	case '|':
+		if two == "||" {
+			l.pos++
+			return token{kind: tokOp, text: "||", pos: start}, nil
+		}
+	}
+	return token{}, errorAt(l.input, start, "unexpected character %q", r)
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(input string) ([]token, error) {
+	l := newLexer(input)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickParserNeverPanics throws random byte soup at the parser: it may
+// reject the input, but it must never panic.
+func TestQuickParserNeverPanics(t *testing.T) {
+	f := func(input string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		Parse(input)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTokenSoupNeverPanics does the same with strings built from the
+// language's own tokens — more likely to reach deep parser states.
+func TestQuickTokenSoupNeverPanics(t *testing.T) {
+	tokens := []string{
+		"From", "In", "Join", "On", "Where", "GroupBy", "Select",
+		"First", "MostRecent", "FirstN", "MostRecentN",
+		"COUNT", "SUM", "MIN", "MAX", "AVERAGE",
+		"e", "incr", "cl", "a.b", "->", ",", "(", ")", "=", "!=",
+		"<", "<=", ">", ">=", "+", "-", "*", "/", "&&", "||", "!",
+		"42", "3.5", `"str"`, "true", "false", ".",
+	}
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		for i := 0; i < rng.Intn(30); i++ {
+			b.WriteString(tokens[rng.Intn(len(tokens))])
+			b.WriteByte(' ')
+		}
+		Parse(b.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomQuery generates a random well-formed query AST as surface text.
+func randomQuery(rng *rand.Rand) string {
+	var b strings.Builder
+	alias := func(i int) string { return fmt.Sprintf("a%d", i) }
+	fmt.Fprintf(&b, "From %s In Tp%d", alias(0), rng.Intn(4))
+	nJoins := rng.Intn(3)
+	for j := 1; j <= nJoins; j++ {
+		src := fmt.Sprintf("Tp%d", 4+j)
+		switch rng.Intn(4) {
+		case 0:
+			src = "First(" + src + ")"
+		case 1:
+			src = "MostRecent(" + src + ")"
+		case 2:
+			src = fmt.Sprintf("FirstN(%d, %s)", 1+rng.Intn(5), src)
+		}
+		fmt.Fprintf(&b, " Join %s In %s On %s -> %s", alias(j), src, alias(j), alias(rng.Intn(j)))
+	}
+	if rng.Intn(2) == 0 {
+		fmt.Fprintf(&b, " Where %s.x < %d", alias(rng.Intn(nJoins+1)), rng.Intn(100))
+	}
+	if rng.Intn(2) == 0 {
+		fmt.Fprintf(&b, " GroupBy %s.host", alias(0))
+		fmt.Fprintf(&b, " Select %s.host, COUNT", alias(0))
+	} else {
+		fmt.Fprintf(&b, " Select SUM(%s.x)", alias(rng.Intn(nJoins+1)))
+	}
+	return b.String()
+}
+
+// TestQuickPrintParseFixpoint: parse(print(parse(q))) == parse(q) for
+// random well-formed queries.
+func TestQuickPrintParseFixpoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		text := randomQuery(rng)
+		q1, err := Parse(text)
+		if err != nil {
+			t.Logf("generator produced invalid query %q: %v", text, err)
+			return false
+		}
+		printed := q1.String()
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Logf("reparse of %q failed: %v", printed, err)
+			return false
+		}
+		return q2.String() == printed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package simtime
+
+import "sync"
+
+// RWLock is a scheduler-aware readers-writer lock. Unlike sync.RWMutex it
+// may be held across virtual-time blocking (Sleep, resource waits): waiters
+// park through the environment so the clock keeps advancing.
+//
+// Acquisition is FIFO with reader batching: waiters are granted the lock in
+// arrival order, consecutive readers at the head of the queue enter
+// together, and a queued writer blocks later-arriving readers. The explicit
+// handoff avoids both writer starvation and the thundering-herd unfairness
+// of broadcast-based wakeups (which can starve closed-loop clients
+// entirely under heavy contention).
+type RWLock struct {
+	env     *Env
+	mu      sync.Mutex
+	readers int
+	writer  bool
+	queue   []*rwWaiter
+}
+
+type rwWaiter struct {
+	writing bool
+	granted bool
+	c       *Cond
+}
+
+// NewRWLock returns an unlocked RWLock.
+func (e *Env) NewRWLock() *RWLock {
+	return &RWLock{env: e}
+}
+
+// RLock acquires the lock for reading. Readers queue behind any earlier
+// writer to avoid writer starvation.
+func (l *RWLock) RLock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.writer && len(l.queue) == 0 {
+		l.readers++
+		return
+	}
+	w := &rwWaiter{c: l.env.NewCond(&l.mu)}
+	l.queue = append(l.queue, w)
+	for !w.granted {
+		w.c.Wait()
+	}
+}
+
+// RUnlock releases a read acquisition.
+func (l *RWLock) RUnlock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.readers--
+	if l.readers < 0 {
+		panic("simtime: RUnlock without RLock")
+	}
+	if l.readers == 0 {
+		l.releaseLocked()
+	}
+}
+
+// Lock acquires the lock exclusively.
+func (l *RWLock) Lock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.writer && l.readers == 0 && len(l.queue) == 0 {
+		l.writer = true
+		return
+	}
+	w := &rwWaiter{writing: true, c: l.env.NewCond(&l.mu)}
+	l.queue = append(l.queue, w)
+	for !w.granted {
+		w.c.Wait()
+	}
+}
+
+// Unlock releases an exclusive acquisition.
+func (l *RWLock) Unlock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.writer {
+		panic("simtime: Unlock without Lock")
+	}
+	l.writer = false
+	l.releaseLocked()
+}
+
+// releaseLocked hands the lock to the head of the queue: one writer, or a
+// batch of consecutive readers. Caller holds l.mu.
+func (l *RWLock) releaseLocked() {
+	if len(l.queue) == 0 {
+		return
+	}
+	if l.queue[0].writing {
+		if l.readers > 0 {
+			return // readers still draining
+		}
+		w := l.queue[0]
+		l.queue = l.queue[1:]
+		l.writer = true
+		w.granted = true
+		w.c.Signal()
+		return
+	}
+	for len(l.queue) > 0 && !l.queue[0].writing {
+		w := l.queue[0]
+		l.queue = l.queue[1:]
+		l.readers++
+		w.granted = true
+		w.c.Signal()
+	}
+}

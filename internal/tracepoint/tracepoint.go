@@ -1,0 +1,275 @@
+// Package tracepoint implements Pivot Tracing's tracepoints: named locations
+// in system code where instrumentation (advice) can be woven and unwoven at
+// runtime.
+//
+// The paper's Java prototype rewrites method bytecode dynamically. Go has no
+// runtime code rewriting, so this implementation uses compile-time hooks: the
+// instrumented system calls Tracepoint.Here at the locations a tracepoint
+// identifies. Which advice runs — and whether anything at all happens — is
+// fully dynamic. A tracepoint with no woven advice costs a single atomic
+// pointer load (the paper's "zero overhead when disabled" property, modulo
+// the conditional check discussed in its §8 for hard-coded tracepoints).
+package tracepoint
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tuple"
+)
+
+// DefaultExports are the variables every tracepoint exports in addition to
+// its declared exports (§3 of the paper).
+var DefaultExports = tuple.Schema{"host", "time", "procName", "procId", "tracepoint"}
+
+// Advice is instrumentation woven at a tracepoint. Implementations live in
+// package advice; the interface keeps this package dependency-free.
+type Advice interface {
+	// Invoke runs the advice for one tracepoint crossing. vals holds the
+	// full exported tuple (defaults then declared exports) in the
+	// tracepoint's schema order.
+	Invoke(ctx context.Context, vals tuple.Tuple)
+}
+
+// Tracepoint identifies one or more locations in the system code and the
+// variables exported there. Tracepoint definitions are not part of system
+// code; they are named entry points that queries refer to.
+type Tracepoint struct {
+	// Name is the query-visible identifier, e.g.
+	// "DataNodeMetrics.incrBytesRead".
+	Name string
+	// Class and Method document the source location the tracepoint refers
+	// to, mirroring the paper's tracepoint specifications.
+	Class, Method string
+	// Exports names the declared exported variables, in the order the
+	// instrumented call site passes them to Here.
+	Exports tuple.Schema
+
+	schema      tuple.Schema // DefaultExports + Exports
+	woven       atomic.Pointer[[]Advice]
+	invocations atomic.Int64
+}
+
+// Schema returns the full exported schema: default exports then declared.
+func (tp *Tracepoint) Schema() tuple.Schema { return tp.schema }
+
+// Enabled reports whether any advice is currently woven.
+func (tp *Tracepoint) Enabled() bool {
+	list := tp.woven.Load()
+	return list != nil && len(*list) > 0
+}
+
+// Invocations returns how many times Here has executed advice.
+func (tp *Tracepoint) Invocations() int64 { return tp.invocations.Load() }
+
+// Here is the hook the instrumented system calls when execution reaches the
+// tracepoint. vals are the declared exports, in Exports order; missing
+// trailing values are null. When no advice is woven the call returns
+// immediately after one atomic load, without materializing a tuple.
+func (tp *Tracepoint) Here(ctx context.Context, vals ...any) {
+	list := tp.woven.Load()
+	if list == nil || len(*list) == 0 {
+		return
+	}
+	tp.invocations.Add(1)
+	full := make(tuple.Tuple, len(tp.schema))
+	info := ProcFromContext(ctx)
+	full[0] = tuple.String(info.Host)
+	full[1] = tuple.Int(int64(Now(ctx)))
+	full[2] = tuple.String(info.ProcName)
+	full[3] = tuple.Int(info.ProcID)
+	full[4] = tuple.String(tp.Name)
+	for i := range tp.Exports {
+		if i < len(vals) {
+			full[len(DefaultExports)+i] = tuple.Of(vals[i])
+		}
+	}
+	for _, a := range *list {
+		a.Invoke(ctx, full)
+	}
+}
+
+// Registry holds the tracepoints of one monitored deployment. Tracepoints
+// can be defined at any time; queries are resolved against the registry.
+type Registry struct {
+	mu    sync.Mutex
+	tps   map[string]*Tracepoint
+	hooks []func(*Tracepoint)
+}
+
+// OnDefine registers a callback invoked whenever a new tracepoint is
+// defined (and immediately for all existing tracepoints). Pivot Tracing
+// agents use it to weave standing queries into tracepoints that appear
+// after query installation.
+func (r *Registry) OnDefine(fn func(*Tracepoint)) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	existing := make([]*Tracepoint, 0, len(r.tps))
+	for _, tp := range r.tps {
+		existing = append(existing, tp)
+	}
+	r.mu.Unlock()
+	for _, tp := range existing {
+		fn(tp)
+	}
+}
+
+// NewRegistry returns an empty tracepoint registry.
+func NewRegistry() *Registry {
+	return &Registry{tps: make(map[string]*Tracepoint)}
+}
+
+// Define registers a tracepoint. Defining the same name twice returns the
+// existing tracepoint if the exports match and panics otherwise (a
+// conflicting definition is a programming error in the instrumented
+// system).
+func (r *Registry) Define(name string, exports ...string) *Tracepoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if tp, ok := r.tps[name]; ok {
+		if !tp.Exports.Equal(tuple.Schema(exports)) {
+			panic(fmt.Sprintf("tracepoint: conflicting definition of %q", name))
+		}
+		return tp
+	}
+	for _, e := range exports {
+		if DefaultExports.Index(e) >= 0 {
+			panic(fmt.Sprintf("tracepoint: %q export %q shadows a default export", name, e))
+		}
+	}
+	tp := &Tracepoint{
+		Name:    name,
+		Exports: tuple.Schema(exports),
+		schema:  DefaultExports.Concat(tuple.Schema(exports)),
+	}
+	r.tps[name] = tp
+	var hooks []func(*Tracepoint)
+	hooks = append(hooks, r.hooks...)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn(tp)
+	}
+	r.mu.Lock()
+	return tp
+}
+
+// Lookup returns the named tracepoint, or nil.
+func (r *Registry) Lookup(name string) *Tracepoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tps[name]
+}
+
+// Names returns all defined tracepoint names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.tps))
+	for name := range r.tps {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Weave installs advice at the named tracepoint. It returns an error if the
+// tracepoint is not defined.
+func (r *Registry) Weave(name string, a Advice) error {
+	tp := r.Lookup(name)
+	if tp == nil {
+		return fmt.Errorf("tracepoint: weave into undefined tracepoint %q", name)
+	}
+	tp.weave(a)
+	return nil
+}
+
+// Unweave removes previously woven advice from the named tracepoint.
+func (r *Registry) Unweave(name string, a Advice) {
+	if tp := r.Lookup(name); tp != nil {
+		tp.unweave(a)
+	}
+}
+
+func (tp *Tracepoint) weave(a Advice) {
+	for {
+		old := tp.woven.Load()
+		var list []Advice
+		if old != nil {
+			list = append(list, *old...)
+		}
+		list = append(list, a)
+		if tp.woven.CompareAndSwap(old, &list) {
+			return
+		}
+	}
+}
+
+func (tp *Tracepoint) unweave(a Advice) {
+	for {
+		old := tp.woven.Load()
+		if old == nil {
+			return
+		}
+		list := make([]Advice, 0, len(*old))
+		for _, x := range *old {
+			if x != a {
+				list = append(list, x)
+			}
+		}
+		var next *[]Advice
+		if len(list) > 0 {
+			next = &list
+		}
+		if tp.woven.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ProcInfo identifies the simulated process an execution is running in,
+// supplying the tracepoint default exports.
+type ProcInfo struct {
+	Host     string
+	ProcName string
+	ProcID   int64
+}
+
+type procKey struct{}
+
+// WithProc attaches process identity to a context.
+func WithProc(ctx context.Context, info ProcInfo) context.Context {
+	return context.WithValue(ctx, procKey{}, info)
+}
+
+// ProcFromContext returns the process identity attached to ctx, or zero.
+func ProcFromContext(ctx context.Context) ProcInfo {
+	info, _ := ctx.Value(procKey{}).(ProcInfo)
+	return info
+}
+
+// Clock abstracts the time source for the "time" default export, so
+// simulated deployments report virtual time and real deployments report
+// wall-clock time.
+type Clock interface {
+	Now() time.Duration
+}
+
+type clockKey struct{}
+
+// WithClock attaches a clock to a context.
+func WithClock(ctx context.Context, c Clock) context.Context {
+	return context.WithValue(ctx, clockKey{}, c)
+}
+
+// Now reads the context's clock, falling back to wall-clock time since the
+// Unix epoch.
+func Now(ctx context.Context) time.Duration {
+	if c, ok := ctx.Value(clockKey{}).(Clock); ok {
+		return c.Now()
+	}
+	return time.Duration(time.Now().UnixNano())
+}

@@ -1,0 +1,105 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary encoding: one tag byte (the Kind), then a kind-specific payload.
+// Integers use zig-zag varints; floats use 8 fixed bytes; strings are
+// length-prefixed. Tuples are a uvarint count followed by each value.
+
+var errTruncated = errors.New("tuple: truncated encoding")
+
+// AppendValue appends the binary encoding of v to buf.
+func AppendValue(buf []byte, v Value) []byte {
+	buf = append(buf, byte(v.kind))
+	switch v.kind {
+	case KindNull:
+	case KindInt:
+		buf = binary.AppendVarint(buf, int64(v.num))
+	case KindFloat:
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], v.num)
+		buf = append(buf, tmp[:]...)
+	case KindString:
+		buf = binary.AppendUvarint(buf, uint64(len(v.str)))
+		buf = append(buf, v.str...)
+	case KindBool:
+		buf = append(buf, byte(v.num))
+	}
+	return buf
+}
+
+// DecodeValue decodes one value from the front of buf.
+func DecodeValue(buf []byte) (Value, []byte, error) {
+	if len(buf) == 0 {
+		return Null, nil, errTruncated
+	}
+	kind, rest := Kind(buf[0]), buf[1:]
+	switch kind {
+	case KindNull:
+		return Null, rest, nil
+	case KindInt:
+		n, k := binary.Varint(rest)
+		if k <= 0 {
+			return Null, nil, errTruncated
+		}
+		return Int(n), rest[k:], nil
+	case KindFloat:
+		if len(rest) < 8 {
+			return Null, nil, errTruncated
+		}
+		bits := binary.LittleEndian.Uint64(rest)
+		return Float(math.Float64frombits(bits)), rest[8:], nil
+	case KindString:
+		n, k := binary.Uvarint(rest)
+		if k <= 0 || uint64(len(rest)-k) < n {
+			return Null, nil, errTruncated
+		}
+		return String(string(rest[k : k+int(n)])), rest[k+int(n):], nil
+	case KindBool:
+		if len(rest) < 1 {
+			return Null, nil, errTruncated
+		}
+		return Bool(rest[0] != 0), rest[1:], nil
+	default:
+		return Null, nil, fmt.Errorf("tuple: bad kind tag %d", kind)
+	}
+}
+
+// AppendTuple appends the binary encoding of t to buf.
+func AppendTuple(buf []byte, t Tuple) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(t)))
+	for _, v := range t {
+		buf = AppendValue(buf, v)
+	}
+	return buf
+}
+
+// DecodeTuple decodes one tuple from the front of buf.
+func DecodeTuple(buf []byte) (Tuple, []byte, error) {
+	n, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return nil, nil, errTruncated
+	}
+	rest := buf[k:]
+	t := make(Tuple, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var v Value
+		var err error
+		v, rest, err = DecodeValue(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		t = append(t, v)
+	}
+	return t, rest, nil
+}
+
+// EncodedSize returns the number of bytes AppendValue would write for v.
+func EncodedSize(v Value) int {
+	return len(AppendValue(nil, v))
+}

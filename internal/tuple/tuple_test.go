@@ -1,0 +1,235 @@
+package tuple
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Int(-42), KindInt, "-42"},
+		{Float(2.5), KindFloat, "2.5"},
+		{String("hi"), KindString, "hi"},
+		{Bool(true), KindBool, "true"},
+		{Null, KindNull, "null"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("%v String = %q, want %q", c.v, c.v.String(), c.str)
+		}
+	}
+	if Int(-42).Int() != -42 {
+		t.Error("Int accessor")
+	}
+	if Float(2.5).Float() != 2.5 {
+		t.Error("Float accessor")
+	}
+	if String("hi").Str() != "hi" {
+		t.Error("Str accessor")
+	}
+	if !Bool(true).Bool() || Bool(false).Bool() {
+		t.Error("Bool accessor")
+	}
+}
+
+func TestOfConvertsNativeTypes(t *testing.T) {
+	if Of(7).Int() != 7 || Of(int64(8)).Int() != 8 || Of(uint(9)).Int() != 9 {
+		t.Error("Of ints")
+	}
+	if Of(1.5).Float() != 1.5 || Of(float32(0.5)).Float() != 0.5 {
+		t.Error("Of floats")
+	}
+	if Of("x").Str() != "x" || !Of(true).Bool() {
+		t.Error("Of string/bool")
+	}
+	if !Of(nil).IsNull() {
+		t.Error("Of nil")
+	}
+	if Of(struct{ X int }{3}).Kind() != KindString {
+		t.Error("Of fallback should stringify")
+	}
+}
+
+func TestNumericCrossComparison(t *testing.T) {
+	if !Int(3).Equal(Float(3.0)) {
+		t.Error("3 == 3.0")
+	}
+	if Int(3).Compare(Float(3.5)) != -1 {
+		t.Error("3 < 3.5")
+	}
+	if Float(4.0).Compare(Int(3)) != 1 {
+		t.Error("4.0 > 3")
+	}
+}
+
+func TestStringAndBoolComparison(t *testing.T) {
+	if String("a").Compare(String("b")) != -1 {
+		t.Error("a < b")
+	}
+	if Bool(false).Compare(Bool(true)) != -1 {
+		t.Error("false < true")
+	}
+	if String("a").Equal(Int(1)) {
+		t.Error("string != int")
+	}
+}
+
+func TestSchemaIndexAndConcat(t *testing.T) {
+	s := Schema{"host", "delta"}
+	if s.Index("delta") != 1 || s.Index("missing") != -1 {
+		t.Error("Index")
+	}
+	s2 := s.Concat(Schema{"procName"})
+	if !s2.Equal(Schema{"host", "delta", "procName"}) {
+		t.Errorf("Concat = %v", s2)
+	}
+	if !s.Equal(Schema{"host", "delta"}) {
+		t.Error("Concat must not mutate receiver")
+	}
+}
+
+func TestTupleConcatProjectClone(t *testing.T) {
+	a := Tuple{Int(1), String("x")}
+	b := Tuple{Float(2.5)}
+	j := a.Concat(b)
+	if len(j) != 3 || !j[2].Equal(Float(2.5)) {
+		t.Errorf("Concat = %v", j)
+	}
+	p := j.Project([]int{2, 0})
+	if !p.Equal(Tuple{Float(2.5), Int(1)}) {
+		t.Errorf("Project = %v", p)
+	}
+	c := a.Clone()
+	c[0] = Int(99)
+	if a[0].Int() != 1 {
+		t.Error("Clone must not alias")
+	}
+}
+
+func TestGroupKeyInjective(t *testing.T) {
+	// Pathological pairs that naive string-concat keys would collide on.
+	a := Tuple{String("ab"), String("c")}
+	b := Tuple{String("a"), String("bc")}
+	if a.Key([]int{0, 1}) == b.Key([]int{0, 1}) {
+		t.Error("group keys collide for (ab,c) vs (a,bc)")
+	}
+	if !reflect.DeepEqual(a.Key([]int{0}), Tuple{String("ab")}.Key([]int{0})) {
+		t.Error("same values must share a key")
+	}
+}
+
+func randomValue(rng *rand.Rand) Value {
+	switch rng.Intn(5) {
+	case 0:
+		return Int(rng.Int63() - (1 << 62))
+	case 1:
+		return Float(rng.NormFloat64() * 1e6)
+	case 2:
+		buf := make([]byte, rng.Intn(20))
+		rng.Read(buf)
+		return String(string(buf))
+	case 3:
+		return Bool(rng.Intn(2) == 0)
+	default:
+		return Null
+	}
+}
+
+func TestQuickValueCodecRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 20; i++ {
+			v := randomValue(rng)
+			buf := AppendValue(nil, v)
+			got, rest, err := DecodeValue(buf)
+			if err != nil || len(rest) != 0 || !got.Equal(v) {
+				return false
+			}
+			if len(buf) != EncodedSize(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTupleCodecRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tup := make(Tuple, rng.Intn(8))
+		for i := range tup {
+			tup[i] = randomValue(rng)
+		}
+		buf := AppendTuple(nil, tup)
+		got, rest, err := DecodeTuple(buf)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		return got.Equal(tup)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickKeyConsistentWithEquality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := Tuple{randomValue(rng), randomValue(rng)}
+		b := Tuple{randomValue(rng), randomValue(rng)}
+		idx := []int{0, 1}
+		if a.Equal(b) != (a.Key(idx) == b.Key(idx)) {
+			// NaN breaks Equal reflexivity; skip those.
+			if a[0].Kind() == KindFloat && math.IsNaN(a[0].Float()) {
+				return true
+			}
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrorPaths(t *testing.T) {
+	if _, _, err := DecodeValue(nil); err == nil {
+		t.Error("empty buffer should fail")
+	}
+	if _, _, err := DecodeValue([]byte{byte(KindFloat), 1, 2}); err == nil {
+		t.Error("short float should fail")
+	}
+	if _, _, err := DecodeValue([]byte{byte(KindString), 10, 'a'}); err == nil {
+		t.Error("short string should fail")
+	}
+	if _, _, err := DecodeValue([]byte{200}); err == nil {
+		t.Error("bad tag should fail")
+	}
+	if _, _, err := DecodeTuple([]byte{2, byte(KindNull)}); err == nil {
+		t.Error("truncated tuple should fail")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNull: "null", KindInt: "int", KindFloat: "float",
+		KindString: "string", KindBool: "bool", Kind(77): "kind(77)",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package wire
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/advice"
+	"repro/internal/agent"
+	"repro/internal/agg"
+	"repro/internal/baggage"
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/tracepoint"
+	"repro/internal/tuple"
+)
+
+// paperQueryTexts exercises the codec against realistic compiled plans.
+var paperQueryTexts = []string{
+	`From incr In DataNodeMetrics.incrBytesRead
+	 GroupBy incr.host Select incr.host, SUM(incr.delta)`,
+	`From incr In DataNodeMetrics.incrBytesRead
+	 Join cl In First(ClientProtocols) On cl -> incr
+	 GroupBy cl.procName Select cl.procName, SUM(incr.delta)`,
+	`From DNop In DN.DataTransferProtocol
+	 Join getloc In NN.GetBlockLocations On getloc -> DNop
+	 Join st In StressTest.DoNextOp On st -> getloc
+	 Where st.host != DNop.host
+	 GroupBy DNop.host, getloc.replicas
+	 Select DNop.host, getloc.replicas, COUNT`,
+	`From response In SendResponse
+	 Join request In MostRecent(ReceiveRequest) On request -> response
+	 Select response.time - request.time`,
+}
+
+func codecRegistry() *tracepoint.Registry {
+	reg := tracepoint.NewRegistry()
+	reg.Define("DataNodeMetrics.incrBytesRead", "delta")
+	reg.Define("ClientProtocols")
+	reg.Define("DN.DataTransferProtocol", "op", "size")
+	reg.Define("NN.GetBlockLocations", "src", "replicas")
+	reg.Define("StressTest.DoNextOp", "op")
+	reg.Define("SendResponse")
+	reg.Define("ReceiveRequest")
+	return reg
+}
+
+func TestProgramCodecRoundtripsPaperPlans(t *testing.T) {
+	reg := codecRegistry()
+	for i, text := range paperQueryTexts {
+		q, err := query.Parse(text)
+		if err != nil {
+			t.Fatalf("q%d: %v", i, err)
+		}
+		q.Name = "q"
+		p, err := plan.Compile(q, reg, nil, plan.Optimized)
+		if err != nil {
+			t.Fatalf("q%d: %v", i, err)
+		}
+		for _, prog := range p.Programs {
+			buf := AppendProgram(nil, prog)
+			got, rest, err := DecodeProgram(buf)
+			if err != nil {
+				t.Fatalf("q%d %s: %v", i, prog.Tracepoint, err)
+			}
+			if len(rest) != 0 {
+				t.Fatalf("q%d %s: %d trailing bytes", i, prog.Tracepoint, len(rest))
+			}
+			// The paper-notation rendering covers every field that affects
+			// behaviour except emit/bindings details; compare it plus key
+			// fields directly.
+			if got.String() != prog.String() {
+				t.Errorf("q%d %s:\nwant %s\ngot  %s", i, prog.Tracepoint, prog, got)
+			}
+			if got.QueryID != prog.QueryID || got.Tracepoint != prog.Tracepoint {
+				t.Errorf("q%d: identity fields differ", i)
+			}
+			if (got.Emit == nil) != (prog.Emit == nil) {
+				t.Fatalf("q%d: emit presence differs", i)
+			}
+			if got.Emit != nil && len(got.Emit.Cols) != len(prog.Emit.Cols) {
+				t.Errorf("q%d: emit cols differ", i)
+			}
+			if len(got.Filters) != len(prog.Filters) {
+				t.Errorf("q%d: filters differ", i)
+			}
+			for fi := range got.Filters {
+				if len(got.Filters[fi].Bindings) != len(prog.Filters[fi].Bindings) {
+					t.Errorf("q%d: filter bindings differ", i)
+				}
+			}
+		}
+	}
+}
+
+func TestExprCodecRoundtrip(t *testing.T) {
+	q, err := query.Parse(`From e In Tp Where (e.a + 2) * e.b >= 10 && !(e.s = "x") || e.t - 1.5 < 0 Select COUNT`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr := q.Where[0]
+	buf := AppendExpr(nil, expr)
+	got, rest, err := DecodeExpr(buf)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v (%d trailing)", err, len(rest))
+	}
+	if got.String() != expr.String() {
+		t.Fatalf("expr roundtrip: %s != %s", got, expr)
+	}
+}
+
+func TestMessageCodecRoundtrip(t *testing.T) {
+	// Install.
+	prog := &advice.Program{
+		QueryID: "Q1", Tracepoint: "Tp",
+		Observe: []int{0}, ObserveFields: tuple.Schema{"e.host"},
+		Emit: &advice.EmitOp{
+			Cols:    []advice.EmitCol{{Pos: 0}, {IsAgg: true, Pos: -1, Fn: agg.Count}},
+			GroupBy: []int{0}, Schema: tuple.Schema{"host", "COUNT"},
+		},
+	}
+	in := agent.Install{QueryID: "Q1", Programs: []*advice.Program{prog}}
+	buf, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi, ok := got.(agent.Install)
+	if !ok || gi.QueryID != "Q1" || len(gi.Programs) != 1 {
+		t.Fatalf("install roundtrip = %#v", got)
+	}
+
+	// Uninstall.
+	buf, _ = Marshal(agent.Uninstall{QueryID: "Q9"})
+	got, err = Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gu, ok := got.(agent.Uninstall); !ok || gu.QueryID != "Q9" {
+		t.Fatalf("uninstall roundtrip = %#v", got)
+	}
+
+	// Report with groups and raws.
+	st := agg.New(agg.Sum)
+	st.Add(tuple.Int(42))
+	rep := agent.Report{
+		QueryID: "Q1", Host: "h", ProcName: "p", Time: 5 * time.Second,
+		Groups: []*advice.Group{{
+			Key: "k", Rep: tuple.Tuple{tuple.String("h"), tuple.Int(1)},
+			States: []*agg.State{st},
+		}},
+		Raws: []tuple.Tuple{{tuple.Float(1.5)}},
+	}
+	buf, err = Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, ok := got.(agent.Report)
+	if !ok || gr.Time != 5*time.Second || len(gr.Groups) != 1 || len(gr.Raws) != 1 {
+		t.Fatalf("report roundtrip = %#v", got)
+	}
+	if gr.Groups[0].States[0].Result().Int() != 42 {
+		t.Fatalf("state roundtrip = %v", gr.Groups[0].States[0].Result())
+	}
+
+	// Unknown type.
+	if _, err := Marshal(struct{}{}); err == nil {
+		t.Error("unknown type should fail to marshal")
+	}
+	if _, err := Unmarshal([]byte{99}); err == nil {
+		t.Error("bad tag should fail to unmarshal")
+	}
+}
+
+// TestDistributedDeployment is the full multi-process flow over real TCP:
+// a frontend process and a monitored "worker" process, each with its own
+// local bus, connected through the central pub/sub server. A query
+// installed at the frontend weaves advice in the worker; baggage crosses
+// the process boundary via serialized bytes; reports flow back and
+// aggregate at the frontend.
+func TestDistributedDeployment(t *testing.T) {
+	const (
+		controlTopic = agent.ControlTopic
+		resultsTopic = agent.ResultsTopic
+	)
+	srv, err := bus.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Frontend process.
+	feBus := bus.New()
+	feReg := tracepoint.NewRegistry()
+	feReg.Define("API.Receive", "app")
+	feReg.Define("Storage.Read", "bytes")
+	frontend := core.New(feBus, feReg)
+	feLink, err := bus.Connect(feBus, srv.Addr(), BusCodec{},
+		[]string{controlTopic}, []string{resultsTopic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer feLink.Close()
+
+	// Worker process: its own registry and agent, bridged the other way.
+	wBus := bus.New()
+	wReg := tracepoint.NewRegistry()
+	apiTp := wReg.Define("API.Receive", "app")
+	readTp := wReg.Define("Storage.Read", "bytes")
+	ag := agent.New(nil, tracepoint.ProcInfo{Host: "worker-1", ProcName: "storage"}, wReg, wBus, 0)
+	wLink, err := bus.Connect(wBus, srv.Addr(), BusCodec{},
+		[]string{resultsTopic}, []string{controlTopic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wLink.Close()
+
+	// Install at the frontend; the advice must arrive and weave remotely.
+	h, err := frontend.Install(`From r In Storage.Read
+		Join api In First(API.Receive) On api -> r
+		GroupBy api.app
+		Select api.app, SUM(r.bytes), COUNT`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(func() bool { return readTp.Enabled() }, 3*time.Second) {
+		t.Fatal("advice did not weave in the worker within 3s")
+	}
+
+	// Drive requests in the worker, with an explicit baggage wire hop
+	// between the "api" and "storage" moments of each request.
+	for i := 0; i < 10; i++ {
+		ctx := tracepoint.WithProc(context.Background(),
+			tracepoint.ProcInfo{Host: "api-1", ProcName: "api"})
+		ctx = baggage.NewContext(ctx, baggage.New())
+		apiTp.Here(ctx, "batch")
+		hop := baggage.FromContext(ctx).Serialize()
+
+		sctx := tracepoint.WithProc(context.Background(),
+			tracepoint.ProcInfo{Host: "worker-1", ProcName: "storage"})
+		sctx = baggage.NewContext(sctx, baggage.Deserialize(hop))
+		readTp.Here(sctx, 1000)
+	}
+	ag.Flush()
+
+	if !waitFor(func() bool { return len(h.Rows()) == 1 }, 3*time.Second) {
+		t.Fatalf("no rows at the frontend; rows = %v", h.Rows())
+	}
+	row := h.Rows()[0]
+	if row[0].Str() != "batch" || row[1].Int() != 10000 || row[2].Int() != 10 {
+		t.Fatalf("row = %v, want (batch, 10000, 10)", row)
+	}
+
+	// Uninstall travels too.
+	h.Uninstall()
+	if !waitFor(func() bool { return !readTp.Enabled() }, 3*time.Second) {
+		t.Fatal("uninstall did not unweave in the worker")
+	}
+}
+
+func waitFor(cond func() bool, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return cond()
+}

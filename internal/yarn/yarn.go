@@ -1,0 +1,145 @@
+// Package yarn implements a simulated YARN container manager: a central
+// ResourceManager tracking cluster capacity and per-host NodeManagers that
+// launch containers (tasks run as managed goroutines on the container's
+// host). MapReduce runs its ApplicationMaster and tasks in YARN containers,
+// as in the paper's stack (§6).
+package yarn
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/simtime"
+	"repro/internal/tracepoint"
+)
+
+// DefaultContainersPerNode is each NodeManager's container capacity.
+const DefaultContainersPerNode = 8
+
+// ResourceManager allocates containers across NodeManagers.
+type ResourceManager struct {
+	Proc *cluster.Process
+
+	mu    sync.Mutex
+	nodes []*NodeManager
+	avail *simtime.Semaphore // cluster-wide container slots
+	rr    int
+
+	tpAllocate *tracepoint.Tracepoint
+}
+
+// NewResourceManager starts the ResourceManager on a host.
+func NewResourceManager(c *cluster.Cluster, host string) *ResourceManager {
+	proc := c.Start(host, "ResourceManager")
+	rm := &ResourceManager{Proc: proc, avail: c.Env.NewSemaphore(0)}
+	rm.tpAllocate = proc.Define("RM.AllocateContainer", "preferredHost", "grantedHost")
+	proc.Handle("ApplicationClientProtocol.Allocate", rm.handleAllocate)
+	return rm
+}
+
+// NodeManager manages containers on one host.
+type NodeManager struct {
+	Proc *cluster.Process
+	rm   *ResourceManager
+	free *simtime.Semaphore
+	cap  int
+
+	tpLaunch *tracepoint.Tracepoint
+}
+
+// NewNodeManager starts a NodeManager with the given container capacity on
+// a host and registers it with the ResourceManager.
+func NewNodeManager(c *cluster.Cluster, host string, rm *ResourceManager, capacity int) *NodeManager {
+	if capacity <= 0 {
+		capacity = DefaultContainersPerNode
+	}
+	proc := c.Start(host, "NodeManager")
+	nm := &NodeManager{Proc: proc, rm: rm, free: c.Env.NewSemaphore(capacity), cap: capacity}
+	nm.tpLaunch = proc.Define("NM.LaunchContainer", "app")
+	rm.mu.Lock()
+	rm.nodes = append(rm.nodes, nm)
+	rm.mu.Unlock()
+	for i := 0; i < capacity; i++ {
+		rm.avail.Release()
+	}
+	return nm
+}
+
+// AllocateReq asks for one container, preferably on PreferredHost (data
+// locality).
+type AllocateReq struct {
+	App           string
+	PreferredHost string
+}
+
+// Container is a granted execution slot on a host.
+type Container struct {
+	App  string
+	Host string
+	nm   *NodeManager
+}
+
+func (rm *ResourceManager) handleAllocate(ctx context.Context, req any) (any, error) {
+	r := req.(AllocateReq)
+	// Wait for cluster capacity, then pick a node: preferred host if it
+	// has a free slot, else round-robin over nodes with capacity.
+	rm.avail.Acquire()
+	rm.mu.Lock()
+	var pick *NodeManager
+	for _, nm := range rm.nodes {
+		if nm.Proc.Info.Host == r.PreferredHost && nm.tryReserve() {
+			pick = nm
+			break
+		}
+	}
+	for i := 0; pick == nil && i < len(rm.nodes); i++ {
+		rm.rr = (rm.rr + 1) % len(rm.nodes)
+		if rm.nodes[rm.rr].tryReserve() {
+			pick = rm.nodes[rm.rr]
+		}
+	}
+	rm.mu.Unlock()
+	if pick == nil {
+		// Capacity semaphore said a slot exists; racing releases make this
+		// transient. Retry by failing upward — callers retry.
+		rm.avail.Release()
+		return nil, fmt.Errorf("yarn: no container available despite capacity")
+	}
+	rm.tpAllocate.Here(ctx, r.PreferredHost, pick.Proc.Info.Host)
+	return Container{App: r.App, Host: pick.Proc.Info.Host, nm: pick}, nil
+}
+
+// tryReserve takes a slot if one is immediately free.
+func (nm *NodeManager) tryReserve() bool {
+	return nm.free.TryAcquire()
+}
+
+// Release returns the container's slot to its NodeManager.
+func (c Container) Release() {
+	c.nm.free.Release()
+	c.nm.rm.avail.Release()
+}
+
+// Run executes fn in the container as a managed goroutine inside proc
+// (the task's process on the container host), with a branch of the request
+// baggage. The returned join function waits for completion and merges the
+// baggage branch back.
+func (c Container) Run(ctx context.Context, proc *cluster.Process, fn func(ctx context.Context)) (join func()) {
+	c.nm.tpLaunch.Here(ctx, c.App)
+	return proc.Go(ctx, func(branchCtx context.Context) {
+		fn(proc.In(branchCtx))
+	})
+}
+
+// Allocate is the client call requesting a container from the RM.
+func Allocate(ctx context.Context, from *cluster.Process, rm *ResourceManager, app, preferredHost string) (Container, error) {
+	resp, err := from.Call(ctx, rm.Proc, "ApplicationClientProtocol.Allocate",
+		AllocateReq{App: app, PreferredHost: preferredHost},
+		cluster.Sizes{Request: 300, Response: 300})
+	if err != nil {
+		return Container{}, err
+	}
+	return resp.(Container), nil
+}

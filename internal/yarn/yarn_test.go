@@ -1,0 +1,147 @@
+package yarn
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/baggage"
+	"repro/internal/cluster"
+	"repro/internal/simtime"
+	"repro/internal/tuple"
+)
+
+func testSetup(env *simtime.Env, nodes, capacity int) (*cluster.Cluster, *ResourceManager, *cluster.Process) {
+	cfg := cluster.DefaultConfig()
+	cfg.RPCLatency = 0
+	c := cluster.New(env, cfg)
+	rm := NewResourceManager(c, "master")
+	for i := 0; i < nodes; i++ {
+		NewNodeManager(c, hostName(i), rm, capacity)
+	}
+	client := c.Start("client-host", "client")
+	return c, rm, client
+}
+
+func hostName(i int) string { return string(rune('a'+i)) + "-node" }
+
+func TestAllocatePrefersRequestedHost(t *testing.T) {
+	env := simtime.NewEnv()
+	env.Run(func() {
+		_, rm, client := testSetup(env, 3, 2)
+		ctn, err := Allocate(client.NewRequest(), client, rm, "app", hostName(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ctn.Host != hostName(1) {
+			t.Errorf("granted %s, want preferred %s", ctn.Host, hostName(1))
+		}
+		ctn.Release()
+	})
+}
+
+func TestAllocateFallsBackWhenPreferredFull(t *testing.T) {
+	env := simtime.NewEnv()
+	env.Run(func() {
+		_, rm, client := testSetup(env, 2, 1)
+		ctx := client.NewRequest()
+		c1, err := Allocate(ctx, client, rm, "app", hostName(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := Allocate(ctx, client, rm, "app", hostName(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c2.Host == hostName(0) {
+			t.Error("second allocation should spill to another node")
+		}
+		c1.Release()
+		c2.Release()
+	})
+}
+
+func TestAllocateBlocksUntilCapacityFrees(t *testing.T) {
+	env := simtime.NewEnv()
+	var waited time.Duration
+	env.Run(func() {
+		_, rm, client := testSetup(env, 1, 1)
+		ctx := client.NewRequest()
+		c1, err := Allocate(ctx, client, rm, "app", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.Go(func() {
+			env.Sleep(2 * time.Second)
+			c1.Release()
+		})
+		start := env.Now()
+		c2, err := Allocate(ctx, client, rm, "app", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		waited = env.Now() - start
+		c2.Release()
+	})
+	if waited < 1900*time.Millisecond {
+		t.Fatalf("allocation waited %v, want ~2s", waited)
+	}
+}
+
+func TestContainerRunCarriesBaggageBranch(t *testing.T) {
+	env := simtime.NewEnv()
+	env.Run(func() {
+		c, rm, client := testSetup(env, 2, 2)
+		taskProc := c.Start(hostName(0), "task")
+		spec := baggage.SetSpec{Kind: baggage.All, Fields: tuple.Schema{"v"}}
+
+		ctx := client.NewRequest()
+		baggage.FromContext(ctx).Pack("pre", spec, tuple.Tuple{tuple.Int(1)})
+		ctn, err := Allocate(ctx, client, rm, "app", hostName(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		join := ctn.Run(ctx, taskProc, func(taskCtx context.Context) {
+			bag := baggage.FromContext(taskCtx)
+			if got := bag.Unpack("pre"); len(got) != 1 {
+				t.Errorf("task lost pre-branch baggage: %v", got)
+			}
+			bag.Pack("task", spec, tuple.Tuple{tuple.Int(2)})
+		})
+		join()
+		ctn.Release()
+		if got := baggage.FromContext(ctx).Unpack("task"); len(got) != 1 {
+			t.Errorf("task baggage not merged back: %v", got)
+		}
+	})
+}
+
+func TestAllocationTracepointFires(t *testing.T) {
+	env := simtime.NewEnv()
+	env.Run(func() {
+		c, rm, client := testSetup(env, 2, 2)
+		h, err := c.PT.Install(
+			`From a In RM.AllocateContainer
+			 GroupBy a.grantedHost
+			 Select a.grantedHost, COUNT`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := client.NewRequest()
+		for i := 0; i < 3; i++ {
+			ctn, err := Allocate(ctx, client, rm, "app", hostName(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ctn.Release()
+		}
+		c.FlushAgents()
+		total := int64(0)
+		for _, r := range h.Rows() {
+			total += r[1].Int()
+		}
+		if total != 3 {
+			t.Fatalf("allocation count = %d, want 3", total)
+		}
+	})
+}

@@ -1,0 +1,234 @@
+// Package pivot is the public API of this Pivot Tracing implementation:
+// dynamic causal monitoring for distributed Go systems.
+//
+// Pivot Tracing (Mace, Roelke, Fonseca — SOSP 2015) lets operators install
+// relational queries over tracepoint events at runtime, including queries
+// that group and filter by events from other processes via the
+// happened-before join (->). This package wires the pieces together for
+// embedding in an application process:
+//
+//	pt := pivot.New("my-service")
+//	requests := pt.Define("Server.HandleRequest", "size")
+//	...
+//	func handle(ctx context.Context, req Request) {
+//	    requests.Here(ctx, len(req.Body))
+//	    ...
+//	}
+//	...
+//	q, _ := pt.Install(`From r In Server.HandleRequest
+//	                    GroupBy r.host Select r.host, COUNT, SUM(r.size)`)
+//	stop := pt.StartReporting(time.Second)
+//	defer stop()
+//	... q.Rows() ...
+//
+// Requests carry baggage in their context: call NewRequest at the request
+// entry point, Inject/Extract at process boundaries, and Split/Join around
+// parallel branches. The simulated Hadoop stack used by the paper's
+// evaluation lives under internal/ and is driven by the cmd/ tools.
+package pivot
+
+import (
+	"context"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/baggage"
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/tracepoint"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// Tracepoint is a named instrumentation site; call Here at the location it
+// identifies.
+type Tracepoint = tracepoint.Tracepoint
+
+// Query is a handle to an installed query.
+type Query = core.Installed
+
+// Report is one interval's partial results from one process.
+type Report = agent.Report
+
+// Tuple is one result row; Value is one field of a row.
+type (
+	Tuple = tuple.Tuple
+	Value = tuple.Value
+)
+
+// PT is an in-process Pivot Tracing runtime: tracepoint registry, agent,
+// and query frontend sharing an in-process message bus. In a multi-process
+// deployment each process runs an agent connected to a shared bus; this
+// single-process form is the embeddable core.
+type PT struct {
+	Registry *tracepoint.Registry
+	Bus      *bus.Bus
+	Frontend *core.PivotTracing
+	Agent    *agent.Agent
+
+	info tracepoint.ProcInfo
+}
+
+// New creates a Pivot Tracing runtime for this process. procName appears
+// as the procName default export of every tracepoint crossing.
+func New(procName string) *PT {
+	reg := tracepoint.NewRegistry()
+	b := bus.New()
+	host, _ := os.Hostname()
+	info := tracepoint.ProcInfo{
+		Host:     host,
+		ProcName: procName,
+		ProcID:   int64(os.Getpid()),
+	}
+	return &PT{
+		Registry: reg,
+		Bus:      b,
+		Frontend: core.New(b, reg),
+		Agent:    agent.New(nil, info, reg, b, 0),
+		info:     info,
+	}
+}
+
+// Context attaches this process's identity to ctx so tracepoint crossings
+// export the right host and procName defaults.
+func (pt *PT) Context(ctx context.Context) context.Context {
+	return tracepoint.WithProc(ctx, pt.info)
+}
+
+// NewRequest returns a context for a fresh request entering this process:
+// process identity plus new empty baggage.
+func (pt *PT) NewRequest(ctx context.Context) context.Context {
+	return NewRequest(pt.Context(ctx))
+}
+
+// Define declares a tracepoint exporting the named variables (in addition
+// to the defaults: host, time, procName, procId, tracepoint).
+func (pt *PT) Define(name string, exports ...string) *Tracepoint {
+	return pt.Registry.Define(name, exports...)
+}
+
+// Install parses, compiles, optimizes, and installs a query.
+func (pt *PT) Install(text string) (*Query, error) {
+	return pt.Frontend.Install(text)
+}
+
+// InstallNamed installs a query under a name that later queries can join
+// (as in the paper's Q9 joining Q8).
+func (pt *PT) InstallNamed(name, text string) (*Query, error) {
+	return pt.Frontend.InstallNamed(name, text, plan.Optimized)
+}
+
+// Flush publishes the current partial results to installed query handles.
+func (pt *PT) Flush() { pt.Agent.Flush() }
+
+// StartReporting flushes on a wall-clock interval until the returned stop
+// function is called.
+func (pt *PT) StartReporting(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				pt.Flush()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// NewRequest attaches fresh, empty baggage to ctx: call at the entry point
+// of each request.
+func NewRequest(ctx context.Context) context.Context {
+	return baggage.NewContext(ctx, baggage.New())
+}
+
+// Inject serializes the request's baggage for transport in an RPC header.
+// Empty baggage serializes to zero bytes.
+func Inject(ctx context.Context) []byte {
+	return baggage.FromContext(ctx).Serialize()
+}
+
+// Extract attaches baggage received from the wire to ctx (lazily decoded).
+func Extract(ctx context.Context, wire []byte) context.Context {
+	return baggage.NewContext(ctx, baggage.Deserialize(wire))
+}
+
+// Split divides the request's baggage for a branching execution, returning
+// contexts for the two branches. Tuples packed by one branch are invisible
+// to the other until Join.
+func Split(ctx context.Context) (context.Context, context.Context) {
+	bag := baggage.FromContext(ctx)
+	if bag == nil {
+		return ctx, ctx
+	}
+	a, b := bag.Split()
+	return baggage.NewContext(ctx, a), baggage.NewContext(ctx, b)
+}
+
+// Join merges the baggage of two rejoining branches and returns a context
+// carrying the merged baggage.
+func Join(ctx context.Context, a, b context.Context) context.Context {
+	merged := baggage.Join(baggage.FromContext(a), baggage.FromContext(b))
+	return baggage.NewContext(ctx, merged)
+}
+
+// ServeBus starts the central pub/sub server of a distributed deployment
+// (§5 of the paper) on addr ("host:port", or ":0" for an ephemeral port)
+// and connects this runtime to it as the query frontend: installed queries
+// are shipped to every connected worker, whose reports flow back here.
+// It returns the server's address and a shutdown function.
+func (pt *PT) ServeBus(addr string) (busAddr string, shutdown func(), err error) {
+	srv, err := bus.Serve(addr)
+	if err != nil {
+		return "", nil, err
+	}
+	link, err := bus.Connect(pt.Bus, srv.Addr(), wire.BusCodec{},
+		[]string{agent.ControlTopic}, []string{agent.ResultsTopic})
+	if err != nil {
+		srv.Close()
+		return "", nil, err
+	}
+	return srv.Addr(), func() { link.Close(); srv.Close() }, nil
+}
+
+// ConnectBus joins this runtime to a distributed deployment as a monitored
+// worker: queries installed at the frontend weave into this process's
+// tracepoints, and this process's reports stream back. It returns a
+// disconnect function.
+func (pt *PT) ConnectBus(busAddr string) (disconnect func(), err error) {
+	link, err := bus.Connect(pt.Bus, busAddr, wire.BusCodec{},
+		[]string{agent.ResultsTopic}, []string{agent.ControlTopic})
+	if err != nil {
+		return nil, err
+	}
+	return link.Close, nil
+}
+
+// Clock abstracts the time source of the tracepoint "time" default export.
+type Clock = tracepoint.Clock
+
+// WithClock overrides the tracepoint time source for crossings made with
+// the returned context (tests and simulations use virtual clocks).
+func WithClock(ctx context.Context, c Clock) context.Context {
+	return tracepoint.WithClock(ctx, c)
+}
+
+// WithProcess overrides the process identity for tracepoint crossings made
+// with the returned context (useful when one OS process hosts several
+// logical services).
+func WithProcess(ctx context.Context, host, procName string) context.Context {
+	return tracepoint.WithProc(ctx, tracepoint.ProcInfo{
+		Host: host, ProcName: procName, ProcID: int64(os.Getpid()),
+	})
+}
