@@ -28,6 +28,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/plan"
 	"repro/internal/query"
+	"repro/internal/telemetry"
 	"repro/internal/tracepoint"
 	"repro/internal/tuple"
 )
@@ -169,6 +170,33 @@ func BenchmarkTracepoint(b *testing.B) {
 		defer reg.Unweave("Bench.Tracepoint", adv)
 		b.ReportAllocs()
 		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tp.Here(ctx, i)
+		}
+	})
+}
+
+// BenchmarkTracepointTelemetry bounds the self-telemetry tax on the
+// disabled fast path. "plain" is the seed behavior: Here is one atomic
+// load. "telemetry" attaches a registry, so every crossing also bumps the
+// tracepoint's hit counter: one extra atomic load plus one atomic add,
+// which must stay within ~2x of plain (the ISSUE's acceptance bound).
+func BenchmarkTracepointTelemetry(b *testing.B) {
+	ctx := tracepoint.WithProc(context.Background(),
+		tracepoint.ProcInfo{Host: "h", ProcName: "p"})
+	b.Run("disabled-plain", func(b *testing.B) {
+		reg := tracepoint.NewRegistry()
+		tp := reg.Define("Bench.Tracepoint", "v")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tp.Here(ctx, i)
+		}
+	})
+	b.Run("disabled-telemetry", func(b *testing.B) {
+		reg := tracepoint.NewRegistry()
+		reg.SetTelemetry(telemetry.NewRegistry())
+		tp := reg.Define("Bench.Tracepoint", "v")
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			tp.Here(ctx, i)
 		}

@@ -6,6 +6,7 @@
 package agent
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -14,8 +15,10 @@ import (
 	"time"
 
 	"repro/internal/advice"
+	"repro/internal/baggage"
 	"repro/internal/bus"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 	"repro/internal/tracepoint"
 	"repro/internal/tuple"
 )
@@ -24,7 +27,48 @@ import (
 const (
 	ControlTopic = "pt.control"
 	ResultsTopic = "pt.results"
+	// HealthTopic carries agent Heartbeats. It is separate from
+	// ResultsTopic so health traffic never perturbs result consumers.
+	HealthTopic = "pt.health"
+	// StatusRequestTopic/StatusResponseTopic carry frontend status
+	// queries (see core.PivotTracing.Status and cmd/ptstat).
+	StatusRequestTopic  = "pt.status.req"
+	StatusResponseTopic = "pt.status.resp"
 )
+
+// MetaReportTracepoint is the meta-tracepoint crossed once per report the
+// agent publishes, letting Pivot Tracing queries observe Pivot Tracing's
+// own reporting (e.g. From r In agent.Report GroupBy r.host Select
+// r.host, SUM(r.tuples)). It is opt-in via Agent.EnableMetaTracepoint.
+const MetaReportTracepoint = "agent.Report"
+
+// MetaReportExports are the declared exports of MetaReportTracepoint.
+var MetaReportExports = []string{"query", "rows", "tuples"}
+
+// Heartbeat is the agent's periodic liveness beacon, published on
+// HealthTopic at every flush (reports or not). Time is the agent's own
+// clock; Interval is its reporting cadence, so the frontend can judge
+// staleness relative to how often this agent should speak.
+type Heartbeat struct {
+	Host     string
+	ProcName string
+	Time     time.Duration
+	Interval time.Duration
+	Queries  int
+	Stats    Stats
+}
+
+// StatusRequest asks the frontend for its status text (cmd/ptstat sends
+// these over the bus); ID correlates the response.
+type StatusRequest struct {
+	ID string
+}
+
+// StatusResponse is the frontend's rendered status.
+type StatusResponse struct {
+	ID   string
+	Text string
+}
 
 // Install instructs agents to weave a query's advice programs. Each agent
 // weaves the programs whose tracepoints exist in its process.
@@ -75,7 +119,39 @@ type Agent struct {
 	rowsReported  atomic.Int64
 	reports       atomic.Int64
 
+	meters atomic.Pointer[agentMeters]
+	metaTP atomic.Pointer[tracepoint.Tracepoint]
+
 	controlSub bus.Subscription
+}
+
+// agentMeters are the agent's self-telemetry instruments.
+type agentMeters struct {
+	reports *telemetry.Counter
+	rows    *telemetry.Counter
+	tuples  *telemetry.Counter
+	queries *telemetry.Gauge
+}
+
+// SetTelemetry attaches self-telemetry to the agent: "agent.reports",
+// "agent.rows", "agent.tuples" counters and an "agent.queries" gauge.
+func (a *Agent) SetTelemetry(t *telemetry.Registry) {
+	a.meters.Store(&agentMeters{
+		reports: t.Counter("agent.reports"),
+		rows:    t.Counter("agent.rows"),
+		tuples:  t.Counter("agent.tuples"),
+		queries: t.Gauge("agent.queries"),
+	})
+}
+
+// EnableMetaTracepoint defines MetaReportTracepoint in this process's
+// registry and arms it: every report the agent publishes then crosses the
+// tracepoint (outside the agent's locks), so queries can observe the
+// tracer's own reporting. Returns the tracepoint.
+func (a *Agent) EnableMetaTracepoint() *tracepoint.Tracepoint {
+	tp := a.reg.Define(MetaReportTracepoint, MetaReportExports...)
+	a.metaTP.Store(tp)
+	return tp
 }
 
 type queryState struct {
@@ -83,6 +159,7 @@ type queryState struct {
 	acc      *advice.Accumulator
 	woven    []weave
 	wovenTPs map[string]bool
+	tuples   int64 // tuples emitted since the last flush
 }
 
 type weave struct {
@@ -153,6 +230,9 @@ func (a *Agent) install(m Install) {
 	}
 	qs := &queryState{programs: m.Programs, wovenTPs: make(map[string]bool)}
 	a.queries[m.QueryID] = qs
+	if m := a.meters.Load(); m != nil {
+		m.queries.Set(int64(len(a.queries)))
+	}
 	a.weaveLocked(qs)
 }
 
@@ -189,11 +269,17 @@ func (a *Agent) uninstall(queryID string) {
 		a.reg.Unweave(w.tp, w.a)
 	}
 	delete(a.queries, queryID)
+	if m := a.meters.Load(); m != nil {
+		m.queries.Set(int64(len(a.queries)))
+	}
 }
 
 // EmitTuple implements advice.Emitter: process-local aggregation.
 func (a *Agent) EmitTuple(p *advice.Program, w tuple.Tuple) {
 	a.tuplesEmitted.Add(1)
+	if m := a.meters.Load(); m != nil {
+		m.tuples.Inc()
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	qs, ok := a.queries[p.QueryID]
@@ -204,6 +290,7 @@ func (a *Agent) EmitTuple(p *advice.Program, w tuple.Tuple) {
 		qs.acc = advice.NewAccumulator(p.Emit)
 	}
 	qs.acc.Add(w)
+	qs.tuples++
 }
 
 // reportLoop publishes partial results every interval until the simulation
@@ -224,13 +311,15 @@ func (a *Agent) Flush() {
 		id     string
 		groups []*advice.Group
 		raws   []tuple.Tuple
+		tuples int64
 	}
 	var out []pending
 	for id, qs := range a.queries {
 		if qs.acc == nil || qs.acc.Empty() {
 			continue
 		}
-		p := pending{id: id}
+		p := pending{id: id, tuples: qs.tuples}
+		qs.tuples = 0
 		for _, g := range qs.acc.Groups() {
 			p.groups = append(p.groups, g.Clone())
 		}
@@ -238,6 +327,7 @@ func (a *Agent) Flush() {
 		qs.acc.Reset()
 		out = append(out, p)
 	}
+	nQueries := len(a.queries)
 	a.mu.Unlock()
 
 	// Deterministic order across queries.
@@ -247,8 +337,13 @@ func (a *Agent) Flush() {
 		}
 	}
 	for _, p := range out {
-		a.rowsReported.Add(int64(len(p.groups) + len(p.raws)))
+		rows := int64(len(p.groups) + len(p.raws))
+		a.rowsReported.Add(rows)
 		a.reports.Add(1)
+		if m := a.meters.Load(); m != nil {
+			m.reports.Inc()
+			m.rows.Add(rows)
+		}
 		a.bus.Publish(ResultsTopic, Report{
 			QueryID:  p.id,
 			Host:     a.proc.Host,
@@ -257,6 +352,23 @@ func (a *Agent) Flush() {
 			Groups:   p.groups,
 			Raws:     p.raws,
 		})
+	}
+	a.bus.Publish(HealthTopic, Heartbeat{
+		Host:     a.proc.Host,
+		ProcName: a.proc.ProcName,
+		Time:     a.now(),
+		Interval: a.interval,
+		Queries:  nQueries,
+		Stats:    a.Stats(),
+	})
+	// Cross the agent.Report meta-tracepoint last, with no agent locks
+	// held: its woven advice re-enters the agent via EmitTuple, and the
+	// tuples it emits belong to the next interval.
+	if tp := a.metaTP.Load(); tp != nil {
+		ctx := tracepoint.WithProc(baggage.NewContext(context.Background(), baggage.New()), a.proc)
+		for _, p := range out {
+			tp.Here(ctx, p.id, int64(len(p.groups)+len(p.raws)), p.tuples)
+		}
 	}
 }
 

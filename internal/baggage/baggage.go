@@ -7,8 +7,44 @@ import (
 	"time"
 
 	"repro/internal/itc"
+	"repro/internal/telemetry"
 	"repro/internal/tuple"
 )
+
+// Meters are the package's self-telemetry instruments, attached with
+// SetTelemetry. Baggage values are context-scoped and have no registry of
+// their own, so the meters are process-global and gated behind one atomic
+// pointer load; while unattached (the default) every hook is a single
+// predictable branch.
+type Meters struct {
+	Serializations  *telemetry.Counter   // Serialize calls
+	SerializedBytes *telemetry.Counter   // total bytes produced by Serialize
+	TuplesPacked    *telemetry.Counter   // tuples stored via Pack
+	TuplesUnpacked  *telemetry.Counter   // tuples returned by Unpack
+	Splits          *telemetry.Counter   // Split calls
+	Joins           *telemetry.Counter   // Joins that actually merged two sides
+	Bytes           *telemetry.Histogram // per-Serialize size distribution
+}
+
+var meters atomic.Pointer[Meters]
+
+// SetTelemetry attaches process-wide baggage telemetry under "baggage.*"
+// names. Pass nil to detach.
+func SetTelemetry(t *telemetry.Registry) {
+	if t == nil {
+		meters.Store(nil)
+		return
+	}
+	meters.Store(&Meters{
+		Serializations:  t.Counter("baggage.serializations"),
+		SerializedBytes: t.Counter("baggage.serialized.bytes"),
+		TuplesPacked:    t.Counter("baggage.tuples.packed"),
+		TuplesUnpacked:  t.Counter("baggage.tuples.unpacked"),
+		Splits:          t.Counter("baggage.splits"),
+		Joins:           t.Counter("baggage.joins"),
+		Bytes:           t.Histogram("baggage.bytes"),
+	})
+}
 
 // nonceBase randomizes instance nonces per process so that instances
 // created in different processes never collide; the counter makes them
@@ -115,6 +151,9 @@ func (b *Baggage) Pack(slot string, spec SetSpec, tuples ...tuple.Tuple) {
 		set.Pack(t)
 	}
 	b.raw = nil
+	if m := meters.Load(); m != nil {
+		m.TuplesPacked.Add(int64(len(tuples)))
+	}
 }
 
 // Unpack retrieves the tuples packed under slot, merging contributions from
@@ -143,7 +182,11 @@ func (b *Baggage) Unpack(slot string) []tuple.Tuple {
 	for _, s := range sets[1:] {
 		acc.Merge(s)
 	}
-	return acc.Unpack()
+	out := acc.Unpack()
+	if m := meters.Load(); m != nil {
+		m.TuplesUnpacked.Add(int64(len(out)))
+	}
+	return out
 }
 
 // Slots returns the slot names present in any instance, sorted.
@@ -182,6 +225,9 @@ func (b *Baggage) TupleCount() int {
 // so tuples packed by one branch are invisible to the other until Join.
 // The receiver must not be used after Split.
 func (b *Baggage) Split() (*Baggage, *Baggage) {
+	if m := meters.Load(); m != nil {
+		m.Splits.Inc()
+	}
 	b.ensureDecoded()
 	act := b.active()
 	s1, s2 := act.stamp.Fork()
@@ -220,6 +266,9 @@ func Join(a, b *Baggage) *Baggage {
 	}
 	if len(b.insts) == 0 {
 		return a
+	}
+	if m := meters.Load(); m != nil {
+		m.Joins.Inc()
 	}
 	actA, actB := a.insts[0], b.insts[0]
 	merged := newInstance(itc.Join(actA.stamp, actB.stamp))

@@ -265,19 +265,24 @@ func (b *Baggage) Serialize() []byte {
 	if b == nil {
 		return nil
 	}
-	if !b.decoded {
-		out := make([]byte, len(b.raw))
+	var out []byte
+	switch {
+	case !b.decoded:
+		out = make([]byte, len(b.raw))
 		copy(out, b.raw)
-		return out
+	case len(b.insts) == 0:
+	default:
+		out = binary.AppendUvarint(nil, uint64(len(b.insts)))
+		for _, in := range b.insts {
+			out = encodeInstance(out, in)
+		}
 	}
-	if len(b.insts) == 0 {
-		return nil
+	if m := meters.Load(); m != nil {
+		m.Serializations.Inc()
+		m.SerializedBytes.Add(int64(len(out)))
+		m.Bytes.Observe(int64(len(out)))
 	}
-	buf := binary.AppendUvarint(nil, uint64(len(b.insts)))
-	for _, in := range b.insts {
-		buf = encodeInstance(buf, in)
-	}
-	return buf
+	return out
 }
 
 // Deserialize constructs baggage from bytes produced by Serialize. The

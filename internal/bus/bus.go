@@ -8,7 +8,11 @@
 // cluster layer, not here.
 package bus
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/telemetry"
+)
 
 // Handler consumes messages published to a topic.
 type Handler func(msg any)
@@ -26,6 +30,28 @@ type Bus struct {
 	topics map[string]map[int]Handler
 
 	published int64
+
+	tel       *telemetry.Registry
+	msgs      *telemetry.Counter
+	subs      *telemetry.Gauge
+	topicMsgs map[string]*telemetry.Counter
+}
+
+// SetTelemetry attaches self-telemetry to the bus: "bus.published" and
+// per-topic "bus.published.<topic>" counters, and a "bus.subscribers"
+// gauge.
+func (b *Bus) SetTelemetry(t *telemetry.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tel = t
+	b.msgs = t.Counter("bus.published")
+	b.subs = t.Gauge("bus.subscribers")
+	b.topicMsgs = make(map[string]*telemetry.Counter)
+	n := 0
+	for _, m := range b.topics {
+		n += len(m)
+	}
+	b.subs.Set(int64(n))
 }
 
 // New returns an empty bus.
@@ -44,6 +70,9 @@ func (b *Bus) Subscribe(topic string, h Handler) Subscription {
 		b.topics[topic] = m
 	}
 	m[b.nextID] = h
+	if b.subs != nil {
+		b.subs.Add(1)
+	}
 	return Subscription{topic: topic, id: b.nextID}
 }
 
@@ -52,6 +81,9 @@ func (b *Bus) Unsubscribe(s Subscription) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if m, ok := b.topics[s.topic]; ok {
+		if _, had := m[s.id]; had && b.subs != nil {
+			b.subs.Add(-1)
+		}
 		delete(m, s.id)
 	}
 }
@@ -61,6 +93,15 @@ func (b *Bus) Unsubscribe(s Subscription) {
 func (b *Bus) Publish(topic string, msg any) {
 	b.mu.Lock()
 	b.published++
+	if b.tel != nil {
+		b.msgs.Inc()
+		c, ok := b.topicMsgs[topic]
+		if !ok {
+			c = b.tel.Counter("bus.published." + topic)
+			b.topicMsgs[topic] = c
+		}
+		c.Inc()
+	}
 	m := b.topics[topic]
 	hs := make([]struct {
 		id int

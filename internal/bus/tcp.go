@@ -4,9 +4,13 @@ import (
 	"bufio"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // This file implements the distributed form of the message bus: the
@@ -73,16 +77,80 @@ func readFrame(r *bufio.Reader) (topic string, payload []byte, err error) {
 	return string(tbuf), pbuf, nil
 }
 
+// StatusTopic is reserved on the server: a frame sent to it is answered —
+// to the sending connection only — with a frame on the same topic whose
+// payload is the server's StatusText. It gives every deployment a text
+// introspection endpoint on the port it already has open.
+const StatusTopic = "pt.bus.status"
+
+// maxQueuedBytes is the per-connection outbound queue limit; a subscriber
+// lagging further than this is disconnected rather than allowed to stall
+// the whole relay (slow-consumer cutoff).
+const maxQueuedBytes = 64 << 20
+
+// frame is one queued outbound message. depth is the per-topic depth
+// gauge the frame was counted into, decremented when the frame drains.
+type frame struct {
+	topic   string
+	payload []byte
+	depth   *telemetry.Gauge
+}
+
+// serverConn is one relay connection: frames relayed to it are queued and
+// drained by a dedicated writer goroutine, so one slow subscriber delays
+// only itself. queuedBytes is the connection's lag in bytes.
+type serverConn struct {
+	conn net.Conn
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	queue       []frame
+	queuedBytes int64
+	closed      bool
+}
+
+// enqueue appends a frame, disconnecting the consumer if its lag exceeds
+// maxQueuedBytes. Reports whether the frame was accepted.
+func (sc *serverConn) enqueue(f frame) bool {
+	sc.mu.Lock()
+	if sc.closed {
+		sc.mu.Unlock()
+		return false
+	}
+	if sc.queuedBytes+int64(len(f.payload)) > maxQueuedBytes {
+		sc.closed = true
+		sc.cond.Signal()
+		sc.mu.Unlock()
+		sc.conn.Close()
+		return false
+	}
+	sc.queue = append(sc.queue, f)
+	sc.queuedBytes += int64(len(f.payload))
+	sc.cond.Signal()
+	sc.mu.Unlock()
+	return true
+}
+
 // Server is the central pub/sub relay: every frame received from one
-// connection is forwarded to all other connections. Subscription filtering
-// happens client-side (the deployments are small; the paper's pub/sub
-// server is likewise a simple hub).
+// connection is forwarded to all other connections, asynchronously via
+// per-connection outbound queues. Subscription filtering happens
+// client-side (the deployments are small; the paper's pub/sub server is
+// likewise a simple hub).
 type Server struct {
 	ln net.Listener
 
-	mu    sync.Mutex
-	conns map[net.Conn]*bufio.Writer
-	done  bool
+	mu     sync.Mutex
+	conns  map[net.Conn]*serverConn
+	depths map[string]*telemetry.Gauge // per-topic queued-frame gauges
+	done   bool
+
+	tel     *telemetry.Registry
+	frames  *telemetry.Counter // frames received
+	bytes   *telemetry.Counter // payload bytes received
+	queued  *telemetry.Gauge   // outbound frames queued across all conns
+	lag     *telemetry.Gauge   // outbound bytes queued across all conns
+	connsG  *telemetry.Gauge   // live connections
+	dropped *telemetry.Counter // slow-consumer disconnects
 }
 
 // Serve starts a pub/sub server on addr (e.g. "127.0.0.1:0") and returns
@@ -92,7 +160,19 @@ func Serve(addr string) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, conns: make(map[net.Conn]*bufio.Writer)}
+	tel := telemetry.NewRegistry()
+	s := &Server{
+		ln:      ln,
+		conns:   make(map[net.Conn]*serverConn),
+		depths:  make(map[string]*telemetry.Gauge),
+		tel:     tel,
+		frames:  tel.Counter("bus.server.frames"),
+		bytes:   tel.Counter("bus.server.bytes"),
+		queued:  tel.Gauge("bus.server.queued.frames"),
+		lag:     tel.Gauge("bus.server.queued.bytes"),
+		connsG:  tel.Gauge("bus.server.conns"),
+		dropped: tel.Counter("bus.server.dropped.conns"),
+	}
 	go s.acceptLoop()
 	return s, nil
 }
@@ -100,29 +180,109 @@ func Serve(addr string) (*Server, error) {
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// Telemetry returns the server's metric registry.
+func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
+
+// StatusText renders the server's health as an aligned text table.
+func (s *Server) StatusText() string {
+	return fmt.Sprintf("bus server %s\n\n%s", s.Addr(), s.tel.Snapshot().Render())
+}
+
+// topicDepth returns the queued-frame gauge for a topic.
+func (s *Server) topicDepth(topic string) *telemetry.Gauge {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.depths[topic]
+	if !ok {
+		g = s.tel.Gauge("bus.server.depth." + topic)
+		s.depths[topic] = g
+	}
+	return g
+}
+
 func (s *Server) acceptLoop() {
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			return
 		}
+		sc := &serverConn{conn: conn}
+		sc.cond = sync.NewCond(&sc.mu)
 		s.mu.Lock()
 		if s.done {
 			s.mu.Unlock()
 			conn.Close()
 			return
 		}
-		s.conns[conn] = bufio.NewWriter(conn)
+		s.conns[conn] = sc
 		s.mu.Unlock()
-		go s.serveConn(conn)
+		s.connsG.Add(1)
+		go s.writeLoop(sc)
+		go s.serveConn(sc)
 	}
 }
 
-func (s *Server) serveConn(conn net.Conn) {
+// writeLoop drains one connection's outbound queue.
+func (s *Server) writeLoop(sc *serverConn) {
+	w := bufio.NewWriter(sc.conn)
+	for {
+		sc.mu.Lock()
+		for len(sc.queue) == 0 && !sc.closed {
+			sc.cond.Wait()
+		}
+		if len(sc.queue) == 0 { // closed and drained
+			sc.mu.Unlock()
+			return
+		}
+		batch := sc.queue
+		sc.queue = nil
+		sc.mu.Unlock()
+		for i, f := range batch {
+			err := writeFrame(w, f.topic, f.payload)
+			s.dequeued(sc, batch[i:i+1])
+			if err != nil {
+				sc.mu.Lock()
+				sc.closed = true
+				rest := sc.queue
+				sc.queue = nil
+				sc.mu.Unlock()
+				sc.conn.Close()
+				s.dequeued(sc, batch[i+1:])
+				s.dequeued(sc, rest)
+				return
+			}
+		}
+	}
+}
+
+// dequeued retires frames from a connection's queue accounting.
+func (s *Server) dequeued(sc *serverConn, frames []frame) {
+	if len(frames) == 0 {
+		return
+	}
+	var bytes int64
+	for _, f := range frames {
+		bytes += int64(len(f.payload))
+		f.depth.Add(-1)
+	}
+	sc.mu.Lock()
+	sc.queuedBytes -= bytes
+	sc.mu.Unlock()
+	s.queued.Add(-int64(len(frames)))
+	s.lag.Add(-bytes)
+}
+
+func (s *Server) serveConn(sc *serverConn) {
+	conn := sc.conn
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		s.connsG.Add(-1)
+		sc.mu.Lock()
+		sc.closed = true
+		sc.cond.Signal()
+		sc.mu.Unlock()
 		conn.Close()
 	}()
 	r := bufio.NewReader(conn)
@@ -131,16 +291,40 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		s.frames.Inc()
+		s.bytes.Add(int64(len(payload)))
+		if topic == StatusTopic {
+			s.relay(topic, []byte(s.StatusText()), []*serverConn{sc})
+			continue
+		}
 		s.mu.Lock()
-		for other, w := range s.conns {
+		targets := make([]*serverConn, 0, len(s.conns))
+		for other, osc := range s.conns {
 			if other == conn {
 				continue
 			}
-			if err := writeFrame(w, topic, payload); err != nil {
-				other.Close()
-			}
+			targets = append(targets, osc)
 		}
 		s.mu.Unlock()
+		s.relay(topic, payload, targets)
+	}
+}
+
+// relay enqueues one frame onto each target connection, maintaining queue
+// depth and lag accounting.
+func (s *Server) relay(topic string, payload []byte, targets []*serverConn) {
+	depth := s.topicDepth(topic)
+	f := frame{topic: topic, payload: payload, depth: depth}
+	for _, sc := range targets {
+		depth.Add(1)
+		s.queued.Add(1)
+		s.lag.Add(int64(len(payload)))
+		if !sc.enqueue(f) {
+			depth.Add(-1)
+			s.queued.Add(-1)
+			s.lag.Add(-int64(len(payload)))
+			s.dropped.Inc()
+		}
 	}
 }
 
@@ -148,14 +332,44 @@ func (s *Server) serveConn(conn net.Conn) {
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.done = true
-	conns := make([]net.Conn, 0, len(s.conns))
-	for c := range s.conns {
-		conns = append(conns, c)
+	conns := make([]*serverConn, 0, len(s.conns))
+	for _, sc := range s.conns {
+		conns = append(conns, sc)
 	}
 	s.mu.Unlock()
 	s.ln.Close()
-	for _, c := range conns {
-		c.Close()
+	for _, sc := range conns {
+		sc.mu.Lock()
+		sc.closed = true
+		sc.cond.Signal()
+		sc.mu.Unlock()
+		sc.conn.Close()
+	}
+}
+
+// FetchServerStatus dials a pub/sub server, requests its status text, and
+// returns it. It is the client side of the StatusTopic endpoint, used by
+// cmd/ptstat.
+func FetchServerStatus(addr string, timeout time.Duration) (string, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	w := bufio.NewWriter(conn)
+	if err := writeFrame(w, StatusTopic, nil); err != nil {
+		return "", err
+	}
+	r := bufio.NewReader(conn)
+	for {
+		topic, payload, err := readFrame(r)
+		if err != nil {
+			return "", err
+		}
+		if topic == StatusTopic {
+			return string(payload), nil
+		}
 	}
 }
 

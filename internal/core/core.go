@@ -6,16 +6,19 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/advice"
 	"repro/internal/agent"
 	"repro/internal/bus"
 	"repro/internal/plan"
 	"repro/internal/query"
+	"repro/internal/telemetry"
 	"repro/internal/tracepoint"
 	"repro/internal/tuple"
 )
@@ -29,25 +32,61 @@ type PivotTracing struct {
 	installed map[string]*Installed
 	named     map[string]*query.Query
 	nextID    int
+	agents    map[string]*agentHealth
+
+	tel           *telemetry.Registry
+	reportsMerged *telemetry.Counter
+	groupsMerged  *telemetry.Counter
+	rawsMerged    *telemetry.Counter
+	firstResultNS *telemetry.Histogram
+
+	metaWeave *tracepoint.Tracepoint // "tracepoint.Weave", nil until enabled
 
 	resultsSub bus.Subscription
+	healthSub  bus.Subscription
+	statusSub  bus.Subscription
 }
 
 // New creates a frontend bound to the bus and the master tracepoint
 // registry (the shared vocabulary of tracepoint definitions).
 func New(b *bus.Bus, reg *tracepoint.Registry) *PivotTracing {
+	tel := telemetry.NewRegistry()
 	pt := &PivotTracing{
-		bus:       b,
-		reg:       reg,
-		installed: make(map[string]*Installed),
-		named:     make(map[string]*query.Query),
+		bus:           b,
+		reg:           reg,
+		installed:     make(map[string]*Installed),
+		named:         make(map[string]*query.Query),
+		agents:        make(map[string]*agentHealth),
+		tel:           tel,
+		reportsMerged: tel.Counter("core.reports.merged"),
+		groupsMerged:  tel.Counter("core.groups.merged"),
+		rawsMerged:    tel.Counter("core.raws.merged"),
+		firstResultNS: tel.Histogram("core.install.to.first.ns"),
 	}
 	pt.resultsSub = b.Subscribe(agent.ResultsTopic, pt.onReport)
+	pt.healthSub = b.Subscribe(agent.HealthTopic, pt.onHeartbeat)
+	pt.statusSub = b.Subscribe(agent.StatusRequestTopic, pt.onStatusRequest)
 	return pt
 }
 
 // Registry returns the master tracepoint registry.
 func (pt *PivotTracing) Registry() *tracepoint.Registry { return pt.reg }
+
+// Telemetry returns the frontend's metric registry. Callers may attach
+// other layers' meters to it (see pivot.EnableSelfTelemetry).
+func (pt *PivotTracing) Telemetry() *telemetry.Registry { return pt.tel }
+
+// EnableMetaTracepoints defines the frontend-side meta-tracepoint
+// "tracepoint.Weave" (exports: name, query) in the registry and arms it:
+// every install crosses it once per woven tracepoint, after the weave
+// instructions have been published. Queries over it observe the tracer
+// reconfiguring itself.
+func (pt *PivotTracing) EnableMetaTracepoints() {
+	tp := pt.reg.Define("tracepoint.Weave", "name", "query")
+	pt.mu.Lock()
+	pt.metaWeave = tp
+	pt.mu.Unlock()
+}
 
 // Installed is a handle to an installed query: a streaming dataset of
 // results plus the compiled plan.
@@ -56,9 +95,12 @@ type Installed struct {
 	Name string
 	Plan *plan.Plan
 
-	mu        sync.Mutex
-	global    *advice.Accumulator
-	listeners []func(agent.Report)
+	mu          sync.Mutex
+	global      *advice.Accumulator
+	listeners   []func(agent.Report)
+	installedAt time.Time
+	firstResult time.Duration // install→first-report latency; -1 until set
+	reports     int64         // reports merged
 }
 
 // Install parses, compiles, and installs a query with the Table 3
@@ -97,17 +139,29 @@ func (pt *PivotTracing) InstallNamed(name, text string, opts plan.Options) (*Ins
 		return nil, err
 	}
 	h := &Installed{
-		pt:     pt,
-		Name:   name,
-		Plan:   p,
-		global: advice.NewAccumulator(p.Emit.Emit),
+		pt:          pt,
+		Name:        name,
+		Plan:        p,
+		global:      advice.NewAccumulator(p.Emit.Emit),
+		installedAt: time.Now(),
+		firstResult: -1,
 	}
 	pt.mu.Lock()
 	pt.installed[name] = h
 	pt.named[name] = q
+	metaWeave := pt.metaWeave
 	pt.mu.Unlock()
 
 	pt.bus.Publish(agent.ControlTopic, agent.Install{QueryID: name, Programs: p.Programs})
+	// Cross the tracepoint.Weave meta-tracepoint after the weave
+	// instructions are out and with no frontend locks held: woven advice
+	// re-enters an agent, which may call straight back into this frontend.
+	if metaWeave != nil {
+		ctx := tracepoint.WithProc(context.Background(), tracepoint.ProcInfo{Host: "frontend", ProcName: "core"})
+		for _, prog := range p.Programs {
+			metaWeave.Here(ctx, prog.Tracepoint, name)
+		}
+	}
 	return h, nil
 }
 
@@ -143,7 +197,15 @@ func (pt *PivotTracing) onReport(msg any) {
 	if h == nil {
 		return
 	}
+	pt.reportsMerged.Inc()
+	pt.groupsMerged.Add(int64(len(r.Groups)))
+	pt.rawsMerged.Add(int64(len(r.Raws)))
 	h.mu.Lock()
+	if h.firstResult < 0 {
+		h.firstResult = time.Since(h.installedAt)
+		pt.firstResultNS.Observe(int64(h.firstResult))
+	}
+	h.reports++
 	for _, g := range r.Groups {
 		h.global.MergeGroup(g)
 	}
@@ -232,4 +294,6 @@ func (h *Installed) Uninstall() {
 // Close unsubscribes the frontend from the bus.
 func (pt *PivotTracing) Close() {
 	pt.bus.Unsubscribe(pt.resultsSub)
+	pt.bus.Unsubscribe(pt.healthSub)
+	pt.bus.Unsubscribe(pt.statusSub)
 }

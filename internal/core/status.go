@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/telemetry"
+)
+
+// This file is the frontend's introspection surface: the answer to "is
+// Pivot Tracing itself healthy and cheap?". The frontend tracks every
+// agent's heartbeats (published on agent.HealthTopic at each flush) and
+// judges staleness against the agent's own reporting interval; per-query
+// progress and cost come from the install handles; everything else is the
+// telemetry registry. Status is served in-process via Status/StatusText
+// and over the bus via agent.StatusRequestTopic (see cmd/ptstat).
+
+// StaleAfterIntervals is how many missed reporting intervals mark an
+// agent unhealthy.
+const StaleAfterIntervals = 3
+
+// agentHealth is the frontend's record of one agent, keyed by host/proc.
+type agentHealth struct {
+	hb agent.Heartbeat
+}
+
+// AgentHealth is one agent's health as judged by the frontend.
+type AgentHealth struct {
+	Host     string
+	ProcName string
+	Interval time.Duration
+	Age      time.Duration // now - last heartbeat time
+	Healthy  bool          // Age <= StaleAfterIntervals * Interval
+	Queries  int
+	Stats    agent.Stats
+}
+
+// QueryStatus is one installed query's progress and cost.
+type QueryStatus struct {
+	Name          string
+	Rows          int           // globally aggregated rows so far
+	Reports       int64         // agent reports merged
+	FirstResult   time.Duration // install→first-report latency; -1 if none yet
+	Invocations   int64         // summed over the query's advice programs
+	TuplesEmitted int64
+}
+
+// Status is a point-in-time view of the tracer's own health.
+type Status struct {
+	Now       time.Duration
+	Agents    []AgentHealth
+	Queries   []QueryStatus
+	Telemetry telemetry.Snapshot
+}
+
+// onHeartbeat records an agent's liveness beacon.
+func (pt *PivotTracing) onHeartbeat(msg any) {
+	hb, ok := msg.(agent.Heartbeat)
+	if !ok {
+		return
+	}
+	key := hb.Host + "/" + hb.ProcName
+	pt.mu.Lock()
+	rec, ok := pt.agents[key]
+	if !ok {
+		rec = &agentHealth{}
+		pt.agents[key] = rec
+	}
+	rec.hb = hb
+	pt.mu.Unlock()
+}
+
+// onStatusRequest answers a bus status query with the rendered status.
+func (pt *PivotTracing) onStatusRequest(msg any) {
+	req, ok := msg.(agent.StatusRequest)
+	if !ok {
+		return
+	}
+	pt.bus.Publish(agent.StatusResponseTopic, agent.StatusResponse{
+		ID:   req.ID,
+		Text: pt.StatusText(),
+	})
+}
+
+// Status reports health against wall-clock time. Deployments on a
+// virtual clock (simulated clusters) use StatusAt with their own now.
+func (pt *PivotTracing) Status() Status {
+	return pt.StatusAt(time.Duration(time.Now().UnixNano()))
+}
+
+// StatusAt reports health as of the given instant, which must be on the
+// same clock the agents stamp their heartbeats with.
+func (pt *PivotTracing) StatusAt(now time.Duration) Status {
+	pt.mu.Lock()
+	agents := make([]AgentHealth, 0, len(pt.agents))
+	for _, rec := range pt.agents {
+		hb := rec.hb
+		age := now - hb.Time
+		agents = append(agents, AgentHealth{
+			Host:     hb.Host,
+			ProcName: hb.ProcName,
+			Interval: hb.Interval,
+			Age:      age,
+			Healthy:  age >= 0 && age <= StaleAfterIntervals*hb.Interval,
+			Queries:  hb.Queries,
+			Stats:    hb.Stats,
+		})
+	}
+	handles := make([]*Installed, 0, len(pt.installed))
+	for _, h := range pt.installed {
+		handles = append(handles, h)
+	}
+	pt.mu.Unlock()
+
+	sort.Slice(agents, func(i, j int) bool {
+		if agents[i].Host != agents[j].Host {
+			return agents[i].Host < agents[j].Host
+		}
+		return agents[i].ProcName < agents[j].ProcName
+	})
+
+	queries := make([]QueryStatus, 0, len(handles))
+	for _, h := range handles {
+		h.mu.Lock()
+		qs := QueryStatus{
+			Name:        h.Name,
+			Rows:        len(h.global.Rows()),
+			Reports:     h.reports,
+			FirstResult: h.firstResult,
+		}
+		h.mu.Unlock()
+		for _, prog := range h.Plan.Programs {
+			qs.Invocations += prog.Cost.Invocations.Load()
+			qs.TuplesEmitted += prog.Cost.TuplesEmitted.Load()
+		}
+		queries = append(queries, qs)
+	}
+	sort.Slice(queries, func(i, j int) bool { return queries[i].Name < queries[j].Name })
+
+	return Status{
+		Now:       now,
+		Agents:    agents,
+		Queries:   queries,
+		Telemetry: pt.tel.Snapshot(),
+	}
+}
+
+// StatusText renders the wall-clock status (see RenderStatus).
+func (pt *PivotTracing) StatusText() string { return RenderStatus(pt.Status()) }
+
+// RenderStatus formats a Status as the aligned tables cmd/ptstat prints:
+// agents (with heartbeat age and health), queries (with cost counters),
+// then the frontend telemetry snapshot.
+func RenderStatus(s Status) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "agents (%d):\n", len(s.Agents))
+	fmt.Fprintf(&b, "  %-24s %-12s %10s %10s %-9s %7s %9s %9s %9s\n",
+		"host", "proc", "age", "interval", "health", "queries", "reports", "rows", "tuples")
+	for _, a := range s.Agents {
+		health := "ok"
+		if !a.Healthy {
+			health = "UNHEALTHY"
+		}
+		fmt.Fprintf(&b, "  %-24s %-12s %10s %10s %-9s %7d %9d %9d %9d\n",
+			a.Host, a.ProcName,
+			a.Age.Round(time.Millisecond), a.Interval, health, a.Queries,
+			a.Stats.Reports, a.Stats.RowsReported, a.Stats.TuplesEmitted)
+	}
+	fmt.Fprintf(&b, "\nqueries (%d):\n", len(s.Queries))
+	fmt.Fprintf(&b, "  %-16s %8s %9s %14s %12s %9s\n",
+		"query", "rows", "reports", "first-result", "invocations", "emitted")
+	for _, q := range s.Queries {
+		first := "-"
+		if q.FirstResult >= 0 {
+			first = q.FirstResult.Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(&b, "  %-16s %8d %9d %14s %12d %9d\n",
+			q.Name, q.Rows, q.Reports, first, q.Invocations, q.TuplesEmitted)
+	}
+	if !s.Telemetry.Empty() {
+		b.WriteString("\ntelemetry:\n")
+		b.WriteString(s.Telemetry.Render())
+	}
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/bus"
+	"repro/internal/tracepoint"
+)
+
+func heartbeat(host, proc string, at, interval time.Duration) agent.Heartbeat {
+	return agent.Heartbeat{
+		Host: host, ProcName: proc, Time: at, Interval: interval,
+	}
+}
+
+func TestStatusHeartbeatStaleness(t *testing.T) {
+	b := bus.New()
+	pt := New(b, tracepoint.NewRegistry())
+	defer pt.Close()
+
+	b.Publish(agent.HealthTopic, heartbeat("h1", "svc", 10*time.Second, time.Second))
+
+	// Fresh: within 3 intervals of the heartbeat.
+	s := pt.StatusAt(12 * time.Second)
+	if len(s.Agents) != 1 {
+		t.Fatalf("agents = %v", s.Agents)
+	}
+	if a := s.Agents[0]; !a.Healthy || a.Age != 2*time.Second {
+		t.Errorf("fresh agent = %+v", a)
+	}
+
+	// Exactly at the staleness boundary is still healthy.
+	if a := pt.StatusAt(13 * time.Second).Agents[0]; !a.Healthy {
+		t.Errorf("boundary agent unhealthy: %+v", a)
+	}
+
+	// One tick past 3 intervals: unhealthy.
+	if a := pt.StatusAt(13*time.Second + time.Nanosecond).Agents[0]; a.Healthy {
+		t.Errorf("stale agent healthy: %+v", a)
+	}
+
+	// A heartbeat from the future (clock skew) is also flagged.
+	if a := pt.StatusAt(9 * time.Second).Agents[0]; a.Healthy {
+		t.Errorf("future heartbeat healthy: %+v", a)
+	}
+
+	// A new heartbeat recovers the agent.
+	b.Publish(agent.HealthTopic, heartbeat("h1", "svc", 20*time.Second, time.Second))
+	if a := pt.StatusAt(21 * time.Second).Agents[0]; !a.Healthy {
+		t.Errorf("recovered agent unhealthy: %+v", a)
+	}
+}
+
+func TestStatusSortsAgentsAndRendersHealth(t *testing.T) {
+	b := bus.New()
+	pt := New(b, tracepoint.NewRegistry())
+	defer pt.Close()
+
+	b.Publish(agent.HealthTopic, heartbeat("h2", "svc", time.Second, time.Second))
+	b.Publish(agent.HealthTopic, heartbeat("h1", "worker", time.Second, time.Second))
+	b.Publish(agent.HealthTopic, heartbeat("h1", "svc", 0, time.Second)) // stale below
+
+	s := pt.StatusAt(10 * time.Second)
+	if len(s.Agents) != 3 {
+		t.Fatalf("agents = %v", s.Agents)
+	}
+	order := []string{"h1/svc", "h1/worker", "h2/svc"}
+	for i, a := range s.Agents {
+		if got := a.Host + "/" + a.ProcName; got != order[i] {
+			t.Errorf("agent[%d] = %s, want %s", i, got, order[i])
+		}
+	}
+
+	out := RenderStatus(s)
+	if !strings.Contains(out, "UNHEALTHY") {
+		t.Errorf("stale agent not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "agents (3):") {
+		t.Errorf("agent count missing:\n%s", out)
+	}
+}
+
+func TestStatusRequestRoundTrip(t *testing.T) {
+	b := bus.New()
+	pt := New(b, tracepoint.NewRegistry())
+	defer pt.Close()
+
+	var got agent.StatusResponse
+	sub := b.Subscribe(agent.StatusResponseTopic, func(msg any) {
+		if resp, ok := msg.(agent.StatusResponse); ok {
+			got = resp
+		}
+	})
+	defer b.Unsubscribe(sub)
+
+	b.Publish(agent.StatusRequestTopic, agent.StatusRequest{ID: "req-7"})
+	if got.ID != "req-7" {
+		t.Fatalf("response ID = %q", got.ID)
+	}
+	if !strings.Contains(got.Text, "agents (0):") {
+		t.Errorf("status text = %q", got.Text)
+	}
+}

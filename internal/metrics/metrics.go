@@ -41,11 +41,27 @@ func NewCollector(op *advice.EmitOp, bin time.Duration) *Collector {
 	return &Collector{op: op, bin: bin, bins: make(map[int64]*advice.Accumulator)}
 }
 
+// binOf maps a report time to its bin index with floor division, so
+// negative times (reports stamped before the collector's epoch, or from
+// a skewed clock) land in distinct negative bins instead of colliding
+// with bin 0 — integer division alone truncates toward zero, folding
+// [-bin, bin) into one bin of double width.
+func (c *Collector) binOf(t time.Duration) int64 {
+	b := int64(t / c.bin)
+	if t < 0 && t%c.bin != 0 {
+		b--
+	}
+	return b
+}
+
 // OnReport folds one agent report; register it with Installed.OnReport.
+// Reports may arrive out of order and several reports may land in the
+// same bin: each bin's accumulator merges whatever arrives for it,
+// whenever it arrives, and Series orders bins by index at read time.
 func (c *Collector) OnReport(r agent.Report) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	b := int64(r.Time / c.bin)
+	b := c.binOf(r.Time)
 	acc, ok := c.bins[b]
 	if !ok {
 		acc = advice.NewAccumulator(c.op)

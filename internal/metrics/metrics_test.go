@@ -48,6 +48,51 @@ func TestCollectorBinsAndMergesAcrossProcesses(t *testing.T) {
 	}
 }
 
+func TestCollectorOutOfOrderReports(t *testing.T) {
+	c := NewCollector(sumOp(), time.Second)
+	// Reports arrive newest-first and interleaved; binning must not
+	// depend on arrival order.
+	c.OnReport(report(2500*time.Millisecond, "h1", "k", 7))
+	c.OnReport(report(1100*time.Millisecond, "h1", "k", 10))
+	c.OnReport(report(2900*time.Millisecond, "h2", "k", 3)) // duplicate bin, late
+	c.OnReport(report(1900*time.Millisecond, "h2", "k", 5)) // duplicate bin, late
+	series := c.Series([]int{0}, 1, false)
+	pts := series["k"]
+	if len(pts) != 2 {
+		t.Fatalf("series = %v", pts)
+	}
+	if pts[0].T != time.Second || pts[0].V != 15 {
+		t.Errorf("bin 1 = %v, want (1s, 15)", pts[0])
+	}
+	if pts[1].T != 2*time.Second || pts[1].V != 10 {
+		t.Errorf("bin 2 = %v, want (2s, 10)", pts[1])
+	}
+}
+
+func TestCollectorNegativeTimesGetOwnBins(t *testing.T) {
+	c := NewCollector(sumOp(), time.Second)
+	// A report stamped before the epoch (skewed clock) must not share
+	// bin 0 with a positive-time report: -500ms floors to bin -1.
+	c.OnReport(report(-500*time.Millisecond, "h1", "k", 1))
+	c.OnReport(report(500*time.Millisecond, "h2", "k", 2))
+	c.OnReport(report(-1500*time.Millisecond, "h1", "k", 4))
+	c.OnReport(report(-time.Second, "h1", "k", 8)) // exact boundary: bin -1
+	series := c.Series([]int{0}, 1, false)
+	pts := series["k"]
+	if len(pts) != 3 {
+		t.Fatalf("series = %v", pts)
+	}
+	if pts[0].T != -2*time.Second || pts[0].V != 4 {
+		t.Errorf("bin -2 = %v, want (-2s, 4)", pts[0])
+	}
+	if pts[1].T != -time.Second || pts[1].V != 9 {
+		t.Errorf("bin -1 = %v, want (-1s, 9)", pts[1])
+	}
+	if pts[2].T != 0 || pts[2].V != 2 {
+		t.Errorf("bin 0 = %v, want (0s, 2)", pts[2])
+	}
+}
+
 func TestCollectorRateDividesByBin(t *testing.T) {
 	c := NewCollector(sumOp(), 2*time.Second)
 	c.OnReport(report(0, "h1", "k", 10))

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/tuple"
 )
 
@@ -52,6 +53,15 @@ type Tracepoint struct {
 	schema      tuple.Schema // DefaultExports + Exports
 	woven       atomic.Pointer[[]Advice]
 	invocations atomic.Int64
+	meters      atomic.Pointer[Meters]
+}
+
+// Meters are a tracepoint's self-telemetry instruments, attached by
+// Registry.SetTelemetry. While unattached (the default), the disabled
+// Here fast path stays a single atomic load; attached, it costs one more.
+type Meters struct {
+	Hits   *telemetry.Counter // Here crossings, whether or not advice ran
+	Weaves *telemetry.Counter // advice installations at this tracepoint
 }
 
 // Schema returns the full exported schema: default exports then declared.
@@ -73,7 +83,13 @@ func (tp *Tracepoint) Invocations() int64 { return tp.invocations.Load() }
 func (tp *Tracepoint) Here(ctx context.Context, vals ...any) {
 	list := tp.woven.Load()
 	if list == nil || len(*list) == 0 {
+		if m := tp.meters.Load(); m != nil {
+			m.Hits.Inc()
+		}
 		return
+	}
+	if m := tp.meters.Load(); m != nil {
+		m.Hits.Inc()
 	}
 	tp.invocations.Add(1)
 	full := make(tuple.Tuple, len(tp.schema))
@@ -99,6 +115,34 @@ type Registry struct {
 	mu    sync.Mutex
 	tps   map[string]*Tracepoint
 	hooks []func(*Tracepoint)
+
+	tel     *telemetry.Registry
+	weaveNS atomic.Pointer[telemetry.Histogram]
+}
+
+// SetTelemetry attaches self-telemetry to the registry: every tracepoint,
+// existing and future, gets hit/weave counters ("tracepoint.hits.<name>",
+// "tracepoint.weaves.<name>"), and weave latency is recorded in the
+// "tracepoint.weave.ns" histogram.
+func (r *Registry) SetTelemetry(t *telemetry.Registry) {
+	r.mu.Lock()
+	r.tel = t
+	existing := make([]*Tracepoint, 0, len(r.tps))
+	for _, tp := range r.tps {
+		existing = append(existing, tp)
+	}
+	r.mu.Unlock()
+	r.weaveNS.Store(t.Histogram("tracepoint.weave.ns"))
+	for _, tp := range existing {
+		tp.meters.Store(metersFor(t, tp.Name))
+	}
+}
+
+func metersFor(t *telemetry.Registry, name string) *Meters {
+	return &Meters{
+		Hits:   t.Counter("tracepoint.hits." + name),
+		Weaves: t.Counter("tracepoint.weaves." + name),
+	}
 }
 
 // OnDefine registers a callback invoked whenever a new tracepoint is
@@ -146,6 +190,9 @@ func (r *Registry) Define(name string, exports ...string) *Tracepoint {
 		Exports: tuple.Schema(exports),
 		schema:  DefaultExports.Concat(tuple.Schema(exports)),
 	}
+	if r.tel != nil {
+		tp.meters.Store(metersFor(r.tel, name))
+	}
 	r.tps[name] = tp
 	var hooks []func(*Tracepoint)
 	hooks = append(hooks, r.hooks...)
@@ -183,7 +230,18 @@ func (r *Registry) Weave(name string, a Advice) error {
 	if tp == nil {
 		return fmt.Errorf("tracepoint: weave into undefined tracepoint %q", name)
 	}
+	h := r.weaveNS.Load()
+	var start time.Time
+	if h != nil {
+		start = time.Now()
+	}
 	tp.weave(a)
+	if h != nil {
+		h.Observe(int64(time.Since(start)))
+	}
+	if m := tp.meters.Load(); m != nil {
+		m.Weaves.Inc()
+	}
 	return nil
 }
 

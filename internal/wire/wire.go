@@ -472,9 +472,12 @@ func DecodeProgram(buf []byte) (*advice.Program, []byte, error) {
 
 // Message type tags on the wire.
 const (
-	TagInstall   = 1
-	TagUninstall = 2
-	TagReport    = 3
+	TagInstall        = 1
+	TagUninstall      = 2
+	TagReport         = 3
+	TagHeartbeat      = 4
+	TagStatusRequest  = 5
+	TagStatusResponse = 6
 )
 
 // Marshal encodes a bus message (agent.Install, agent.Uninstall, or
@@ -492,6 +495,24 @@ func Marshal(msg any) ([]byte, error) {
 	case agent.Uninstall:
 		buf := []byte{TagUninstall}
 		return appendString(buf, m.QueryID), nil
+	case agent.Heartbeat:
+		buf := []byte{TagHeartbeat}
+		buf = appendString(buf, m.Host)
+		buf = appendString(buf, m.ProcName)
+		buf = binary.AppendVarint(buf, int64(m.Time))
+		buf = binary.AppendVarint(buf, int64(m.Interval))
+		buf = binary.AppendVarint(buf, int64(m.Queries))
+		buf = binary.AppendVarint(buf, m.Stats.TuplesEmitted)
+		buf = binary.AppendVarint(buf, m.Stats.RowsReported)
+		buf = binary.AppendVarint(buf, m.Stats.Reports)
+		return buf, nil
+	case agent.StatusRequest:
+		buf := []byte{TagStatusRequest}
+		return appendString(buf, m.ID), nil
+	case agent.StatusResponse:
+		buf := []byte{TagStatusResponse}
+		buf = appendString(buf, m.ID)
+		return appendString(buf, m.Text), nil
 	case agent.Report:
 		buf := []byte{TagReport}
 		buf = appendString(buf, m.QueryID)
@@ -548,6 +569,46 @@ func Unmarshal(buf []byte) (any, error) {
 		var m agent.Uninstall
 		var err error
 		if m.QueryID, buf, err = decodeString(buf); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TagHeartbeat:
+		var m agent.Heartbeat
+		var err error
+		if m.Host, buf, err = decodeString(buf); err != nil {
+			return nil, err
+		}
+		if m.ProcName, buf, err = decodeString(buf); err != nil {
+			return nil, err
+		}
+		ints := [6]int64{}
+		for i := range ints {
+			v, k := binary.Varint(buf)
+			if k <= 0 {
+				return nil, errTruncated
+			}
+			ints[i] = v
+			buf = buf[k:]
+		}
+		m.Time = time.Duration(ints[0])
+		m.Interval = time.Duration(ints[1])
+		m.Queries = int(ints[2])
+		m.Stats = agent.Stats{TuplesEmitted: ints[3], RowsReported: ints[4], Reports: ints[5]}
+		return m, nil
+	case TagStatusRequest:
+		var m agent.StatusRequest
+		var err error
+		if m.ID, buf, err = decodeString(buf); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TagStatusResponse:
+		var m agent.StatusResponse
+		var err error
+		if m.ID, buf, err = decodeString(buf); err != nil {
+			return nil, err
+		}
+		if m.Text, buf, err = decodeString(buf); err != nil {
 			return nil, err
 		}
 		return m, nil

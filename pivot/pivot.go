@@ -31,6 +31,7 @@ import (
 	"context"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/agent"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/core"
 	"repro/internal/plan"
+	"repro/internal/telemetry"
 	"repro/internal/tracepoint"
 	"repro/internal/tuple"
 	"repro/internal/wire"
@@ -124,6 +126,47 @@ func (pt *PT) InstallNamed(name, text string) (*Query, error) {
 // Flush publishes the current partial results to installed query handles.
 func (pt *PT) Flush() { pt.Agent.Flush() }
 
+// serializeTP is the "baggage.Serialize" meta-tracepoint, armed by
+// EnableSelfTelemetry. It is package-global because Inject is a package
+// function; in the (test-only) case of several runtimes per OS process,
+// the last runtime to enable self-telemetry owns it.
+var serializeTP atomic.Pointer[tracepoint.Tracepoint]
+
+// EnableSelfTelemetry turns the tracer's instruments on itself:
+//
+//   - attaches the frontend's telemetry registry to the tracepoint
+//     registry, the bus, the agent, and the process's baggage layer, so
+//     Status() includes hit/weave counters, per-topic message counts,
+//     report totals, and baggage serialization volume;
+//
+//   - defines and arms the meta-tracepoints "agent.Report" (query, rows,
+//     tuples), "tracepoint.Weave" (name, query), and "baggage.Serialize"
+//     (bytes), so Pivot Tracing queries can run over Pivot Tracing
+//     itself — e.g.
+//
+//     From r In agent.Report GroupBy r.host Select r.host, SUM(r.tuples)
+//
+// It returns the telemetry registry for direct snapshotting.
+func (pt *PT) EnableSelfTelemetry() *telemetry.Registry {
+	tel := pt.Frontend.Telemetry()
+	pt.Registry.SetTelemetry(tel)
+	pt.Bus.SetTelemetry(tel)
+	pt.Agent.SetTelemetry(tel)
+	baggage.SetTelemetry(tel)
+	pt.Agent.EnableMetaTracepoint()
+	pt.Frontend.EnableMetaTracepoints()
+	serializeTP.Store(pt.Registry.Define("baggage.Serialize", "bytes"))
+	return tel
+}
+
+// Status reports the tracer's own health: per-agent heartbeat ages,
+// per-query progress and cost, and (after EnableSelfTelemetry) the full
+// telemetry snapshot.
+func (pt *PT) Status() core.Status { return pt.Frontend.Status() }
+
+// StatusText renders Status as aligned text tables.
+func (pt *PT) StatusText() string { return pt.Frontend.StatusText() }
+
 // StartReporting flushes on a wall-clock interval until the returned stop
 // function is called.
 func (pt *PT) StartReporting(interval time.Duration) (stop func()) {
@@ -156,7 +199,11 @@ func NewRequest(ctx context.Context) context.Context {
 // Inject serializes the request's baggage for transport in an RPC header.
 // Empty baggage serializes to zero bytes.
 func Inject(ctx context.Context) []byte {
-	return baggage.FromContext(ctx).Serialize()
+	out := baggage.FromContext(ctx).Serialize()
+	if tp := serializeTP.Load(); tp != nil {
+		tp.Here(ctx, int64(len(out)))
+	}
+	return out
 }
 
 // Extract attaches baggage received from the wire to ctx (lazily decoded).
@@ -194,7 +241,8 @@ func (pt *PT) ServeBus(addr string) (busAddr string, shutdown func(), err error)
 		return "", nil, err
 	}
 	link, err := bus.Connect(pt.Bus, srv.Addr(), wire.BusCodec{},
-		[]string{agent.ControlTopic}, []string{agent.ResultsTopic})
+		[]string{agent.ControlTopic, agent.StatusResponseTopic},
+		[]string{agent.ResultsTopic, agent.HealthTopic, agent.StatusRequestTopic})
 	if err != nil {
 		srv.Close()
 		return "", nil, err
@@ -208,7 +256,7 @@ func (pt *PT) ServeBus(addr string) (busAddr string, shutdown func(), err error)
 // disconnect function.
 func (pt *PT) ConnectBus(busAddr string) (disconnect func(), err error) {
 	link, err := bus.Connect(pt.Bus, busAddr, wire.BusCodec{},
-		[]string{agent.ResultsTopic}, []string{agent.ControlTopic})
+		[]string{agent.ResultsTopic, agent.HealthTopic}, []string{agent.ControlTopic})
 	if err != nil {
 		return nil, err
 	}

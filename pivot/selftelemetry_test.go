@@ -1,0 +1,146 @@
+package pivot
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bus"
+)
+
+// TestMetaTracepointQuery is the acceptance test for self-telemetry: a
+// Pivot Tracing query installed over the tracer's own agent.Report
+// meta-tracepoint must observe the reports the tracer sends for an
+// ordinary application query.
+func TestMetaTracepointQuery(t *testing.T) {
+	pt := New("meta-test")
+	pt.EnableSelfTelemetry()
+	handle := pt.Define("Server.Handle", "bytes")
+
+	// The meta query first, so it is woven before the app query reports.
+	meta, err := pt.Install(`From r In agent.Report
+		GroupBy r.host
+		Select r.host, SUM(r.tuples)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := pt.Install(`From e In Server.Handle
+		GroupBy e.procName
+		Select e.procName, COUNT, SUM(e.bytes)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 25
+	for i := 0; i < n; i++ {
+		ctx := pt.NewRequest(context.Background())
+		handle.Here(ctx, 10)
+	}
+	// Flush 1 publishes the app report and crosses agent.Report; flush 2
+	// reports the meta query's own aggregation of that crossing.
+	pt.Flush()
+	pt.Flush()
+
+	rows := app.Rows()
+	if len(rows) != 1 || rows[0][1].Int() != n {
+		t.Fatalf("app rows = %v", rows)
+	}
+	mrows := meta.Rows()
+	// The app query emitted n tuples in flush 1. (The meta query itself
+	// also reports, so later flushes would add more; after exactly two
+	// flushes the sum is the app query's tuple count.)
+	if len(mrows) != 1 {
+		t.Fatalf("meta rows = %v", mrows)
+	}
+	if got := mrows[0][1].Int(); got != n {
+		t.Errorf("SUM(r.tuples) = %d, want %d", got, n)
+	}
+}
+
+// TestSelfTelemetryCounters checks that enabling self-telemetry populates
+// hit counters, baggage serialization volume, and the status surface.
+func TestSelfTelemetryCounters(t *testing.T) {
+	pt := New("counters-test")
+	tel := pt.EnableSelfTelemetry()
+	handle := pt.Define("Server.Handle", "bytes")
+
+	q, err := pt.Install(`From e In Server.Handle
+		GroupBy e.host Select e.host, COUNT`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := pt.NewRequest(context.Background())
+	handle.Here(ctx, 1)
+	handle.Here(ctx, 2)
+	Inject(ctx) // empty baggage (no join packs tuples), but still counted
+	pt.Flush()
+
+	snap := tel.Snapshot()
+	if got := snap.Counters["tracepoint.hits.Server.Handle"]; got != 2 {
+		t.Errorf("tracepoint hits = %d, want 2", got)
+	}
+	if got := snap.Counters["tracepoint.weaves.Server.Handle"]; got != 1 {
+		t.Errorf("tracepoint weaves = %d, want 1", got)
+	}
+	if got := snap.Counters["baggage.serializations"]; got < 1 {
+		t.Errorf("baggage serializations = %d, want >= 1", got)
+	}
+	if got := snap.Counters["agent.reports"]; got < 1 {
+		t.Errorf("agent reports = %d, want >= 1", got)
+	}
+	if got := snap.Counters["bus.published"]; got < 1 {
+		t.Errorf("bus published = %d, want >= 1", got)
+	}
+
+	out := pt.StatusText()
+	for _, want := range []string{"agents (1):", q.Name, "telemetry:", "tracepoint.hits.Server.Handle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("status missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBusServerStatusEndpoint exercises the TCP introspection surface:
+// FetchServerStatus must return the server's own telemetry, and a status
+// request relayed over the bus must come back with the frontend's status.
+func TestBusServerStatusEndpoint(t *testing.T) {
+	front := New("frontend")
+	front.EnableSelfTelemetry()
+	addr, shutdown, err := front.ServeBus("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	worker := New("worker")
+	disconnect, err := worker.ConnectBus(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disconnect()
+	worker.Flush() // one heartbeat so the frontend sees the worker
+
+	text, err := bus.FetchServerStatus(addr, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"bus server", "bus.server.frames", "bus.server.conns"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("server status missing %q:\n%s", want, text)
+		}
+	}
+
+	// The worker's heartbeat travels the TCP relay asynchronously.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		s := front.Status()
+		if len(s.Agents) >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("frontend never saw the worker heartbeat")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
