@@ -4,6 +4,12 @@
 // depth. It is the operator's answer to "is the tracer healthy and
 // cheap?" (the §4 'explain' idea turned on the tracer's own runtime).
 //
+// The agents table includes each agent's resilience counters — bus
+// reconnects ("reconn"), reports replayed from the retention buffer after
+// an outage ("replay"), and reports evicted from that buffer ("drops") —
+// so bounded loss during bus outages is visible and attributable rather
+// than silent.
+//
 // Usage:
 //
 //	ptstat -addr 127.0.0.1:7000            one-shot cluster view

@@ -95,13 +95,25 @@ type Report struct {
 // DefaultInterval is the agent reporting interval (the paper's default).
 const DefaultInterval = time.Second
 
+// DefaultRetention is the default capacity of the agent's outage ring
+// buffer (reports retained per process while the bus link is down).
+const DefaultRetention = 64
+
 // Stats counts an agent's activity, used by the tuple-traffic experiments
 // (Fig 6, and the §4 claim that Q2 drops from ~600 emitted tuples/s to 6
-// reported tuples/s per DataNode).
+// reported tuples/s per DataNode) and by the frontend's health view. The
+// resilience counters make report loss auditable: every report the agent
+// ever published is either merged at the frontend, still buffered, or
+// counted in ReportsDropped — nothing disappears silently.
 type Stats struct {
 	TuplesEmitted int64 // advice EMIT operations executed
 	RowsReported  int64 // aggregated rows published to the bus
 	Reports       int64 // report messages published
+
+	ReportsRetained int64 // reports buffered during bus outages
+	ReportsReplayed int64 // buffered reports replayed after reconnect
+	ReportsDropped  int64 // reports lost to ring-buffer overflow
+	Reconnects      int64 // bus link reconnections observed
 }
 
 // Agent is the per-process Pivot Tracing runtime.
@@ -119,6 +131,15 @@ type Agent struct {
 	rowsReported  atomic.Int64
 	reports       atomic.Int64
 
+	retainMu  sync.Mutex
+	retained  []Report // FIFO ring of reports awaiting replay
+	retainCap int
+
+	reportsRetained atomic.Int64
+	reportsReplayed atomic.Int64
+	reportsDropped  atomic.Int64
+	reconnects      atomic.Int64
+
 	meters atomic.Pointer[agentMeters]
 	metaTP atomic.Pointer[tracepoint.Tracepoint]
 
@@ -127,20 +148,32 @@ type Agent struct {
 
 // agentMeters are the agent's self-telemetry instruments.
 type agentMeters struct {
-	reports *telemetry.Counter
-	rows    *telemetry.Counter
-	tuples  *telemetry.Counter
-	queries *telemetry.Gauge
+	reports    *telemetry.Counter
+	rows       *telemetry.Counter
+	tuples     *telemetry.Counter
+	queries    *telemetry.Gauge
+	retainedC  *telemetry.Counter
+	replayedC  *telemetry.Counter
+	droppedC   *telemetry.Counter
+	reconnects *telemetry.Counter
+	buffered   *telemetry.Gauge
 }
 
 // SetTelemetry attaches self-telemetry to the agent: "agent.reports",
-// "agent.rows", "agent.tuples" counters and an "agent.queries" gauge.
+// "agent.rows", "agent.tuples" counters, an "agent.queries" gauge, and the
+// resilience meters "agent.reports.retained", "agent.reports.replayed",
+// "agent.reports.dropped", "agent.reconnects", and "agent.reports.buffered".
 func (a *Agent) SetTelemetry(t *telemetry.Registry) {
 	a.meters.Store(&agentMeters{
-		reports: t.Counter("agent.reports"),
-		rows:    t.Counter("agent.rows"),
-		tuples:  t.Counter("agent.tuples"),
-		queries: t.Gauge("agent.queries"),
+		reports:    t.Counter("agent.reports"),
+		rows:       t.Counter("agent.rows"),
+		tuples:     t.Counter("agent.tuples"),
+		queries:    t.Gauge("agent.queries"),
+		retainedC:  t.Counter("agent.reports.retained"),
+		replayedC:  t.Counter("agent.reports.replayed"),
+		droppedC:   t.Counter("agent.reports.dropped"),
+		reconnects: t.Counter("agent.reconnects"),
+		buffered:   t.Gauge("agent.reports.buffered"),
 	})
 }
 
@@ -403,12 +436,110 @@ func (a *Agent) CostReport() string {
 	return b.String()
 }
 
+// SetRetention sets the capacity of the agent's outage ring buffer: how
+// many reports are retained for replay while the bus link is down. When
+// the buffer is full the oldest report is evicted and counted as dropped.
+// capacity <= 0 selects DefaultRetention.
+func (a *Agent) SetRetention(capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultRetention
+	}
+	a.retainMu.Lock()
+	a.retainCap = capacity
+	a.retainMu.Unlock()
+}
+
+// Retain buffers a report that failed to reach the bus server (the link's
+// OnDrop path), evicting the oldest buffered report — counted in
+// ReportsDropped — if the ring is full.
+func (a *Agent) Retain(r Report) {
+	m := a.meters.Load()
+	a.retainMu.Lock()
+	limit := a.retainCap
+	if limit <= 0 {
+		limit = DefaultRetention
+	}
+	evicted := 0
+	for len(a.retained) >= limit {
+		a.retained = append(a.retained[:0], a.retained[1:]...)
+		evicted++
+	}
+	a.retained = append(a.retained, r)
+	buffered := len(a.retained)
+	a.retainMu.Unlock()
+
+	a.reportsRetained.Add(1)
+	a.reportsDropped.Add(int64(evicted))
+	if m != nil {
+		m.retainedC.Inc()
+		m.droppedC.Add(int64(evicted))
+		m.buffered.Set(int64(buffered))
+	}
+}
+
+// ReplayRetained drains the outage buffer in FIFO order through send,
+// stopping at the first failure (the failed report stays buffered, at the
+// front). It returns how many reports were replayed. Typically called
+// from a link's OnUp callback with the link's direct Send.
+func (a *Agent) ReplayRetained(send func(Report) error) int {
+	m := a.meters.Load()
+	replayed := 0
+	for {
+		a.retainMu.Lock()
+		if len(a.retained) == 0 {
+			a.retainMu.Unlock()
+			break
+		}
+		r := a.retained[0]
+		a.retained = a.retained[1:]
+		buffered := len(a.retained)
+		a.retainMu.Unlock()
+
+		if err := send(r); err != nil {
+			// Put the failed report back at the front; it is still the
+			// oldest unreplayed one.
+			a.retainMu.Lock()
+			a.retained = append([]Report{r}, a.retained...)
+			a.retainMu.Unlock()
+			break
+		}
+		replayed++
+		a.reportsReplayed.Add(1)
+		if m != nil {
+			m.replayedC.Inc()
+			m.buffered.Set(int64(buffered))
+		}
+	}
+	return replayed
+}
+
+// Buffered returns the number of reports currently awaiting replay.
+func (a *Agent) Buffered() int {
+	a.retainMu.Lock()
+	defer a.retainMu.Unlock()
+	return len(a.retained)
+}
+
+// NoteReconnect records a bus-link reconnection in the agent's stats (the
+// pivot layer wires this to the link's OnUp callback so heartbeats carry
+// the count).
+func (a *Agent) NoteReconnect() {
+	a.reconnects.Add(1)
+	if m := a.meters.Load(); m != nil {
+		m.reconnects.Inc()
+	}
+}
+
 // Stats returns the agent's activity counters.
 func (a *Agent) Stats() Stats {
 	return Stats{
-		TuplesEmitted: a.tuplesEmitted.Load(),
-		RowsReported:  a.rowsReported.Load(),
-		Reports:       a.reports.Load(),
+		TuplesEmitted:   a.tuplesEmitted.Load(),
+		RowsReported:    a.rowsReported.Load(),
+		Reports:         a.reports.Load(),
+		ReportsRetained: a.reportsRetained.Load(),
+		ReportsReplayed: a.reportsReplayed.Load(),
+		ReportsDropped:  a.reportsDropped.Load(),
+		Reconnects:      a.reconnects.Load(),
 	}
 }
 

@@ -205,3 +205,116 @@ func TestNilEnvAgentManualFlush(t *testing.T) {
 		t.Error("wall-clock report time expected")
 	}
 }
+
+// --- outage retention ring buffer ---
+
+func report(id string, at time.Duration) Report {
+	return Report{QueryID: id, Host: "h1", ProcName: "p", Time: at}
+}
+
+func newIdleAgent() *Agent {
+	return New(nil, info("h1"), tracepoint.NewRegistry(), bus.New(), 0)
+}
+
+func TestRetainReplaysInFIFOOrder(t *testing.T) {
+	a := newIdleAgent()
+	defer a.Close()
+	a.SetRetention(8)
+	for i := 0; i < 3; i++ {
+		a.Retain(report("Q", time.Duration(i)))
+	}
+	if a.Buffered() != 3 {
+		t.Fatalf("buffered = %d, want 3", a.Buffered())
+	}
+	var sent []Report
+	n := a.ReplayRetained(func(r Report) error { sent = append(sent, r); return nil })
+	if n != 3 || a.Buffered() != 0 {
+		t.Fatalf("replayed = %d (buffered %d), want 3 (0)", n, a.Buffered())
+	}
+	for i, r := range sent {
+		if r.Time != time.Duration(i) {
+			t.Errorf("replay[%d].Time = %d, want %d (FIFO)", i, r.Time, i)
+		}
+	}
+	st := a.Stats()
+	if st.ReportsRetained != 3 || st.ReportsReplayed != 3 || st.ReportsDropped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRetainEvictsOldestWhenFull(t *testing.T) {
+	a := newIdleAgent()
+	defer a.Close()
+	a.SetRetention(2)
+	for i := 0; i < 5; i++ {
+		a.Retain(report("Q", time.Duration(i)))
+	}
+	if a.Buffered() != 2 {
+		t.Fatalf("buffered = %d, want 2", a.Buffered())
+	}
+	var sent []Report
+	a.ReplayRetained(func(r Report) error { sent = append(sent, r); return nil })
+	if len(sent) != 2 || sent[0].Time != 3 || sent[1].Time != 4 {
+		t.Fatalf("replayed %v, want times 3,4 (newest retained)", sent)
+	}
+	st := a.Stats()
+	// Every retained report is accounted: 5 retained = 2 replayed + 3 dropped.
+	if st.ReportsRetained != 5 || st.ReportsDropped != 3 || st.ReportsReplayed != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestReplayStopsAtFirstFailureAndKeepsReport(t *testing.T) {
+	a := newIdleAgent()
+	defer a.Close()
+	a.SetRetention(8)
+	for i := 0; i < 3; i++ {
+		a.Retain(report("Q", time.Duration(i)))
+	}
+	calls := 0
+	n := a.ReplayRetained(func(r Report) error {
+		calls++
+		if calls == 2 {
+			return bus.ErrLinkDown
+		}
+		return nil
+	})
+	if n != 1 {
+		t.Fatalf("replayed = %d, want 1", n)
+	}
+	// The failed report (Time=1) and its successor are still buffered, in
+	// order, for the next reconnect.
+	var sent []Report
+	a.ReplayRetained(func(r Report) error { sent = append(sent, r); return nil })
+	if len(sent) != 2 || sent[0].Time != 1 || sent[1].Time != 2 {
+		t.Fatalf("second replay %v, want times 1,2", sent)
+	}
+}
+
+func TestRetentionDefaultsWhenUnset(t *testing.T) {
+	a := newIdleAgent()
+	defer a.Close()
+	for i := 0; i < DefaultRetention+5; i++ {
+		a.Retain(report("Q", time.Duration(i)))
+	}
+	if a.Buffered() != DefaultRetention {
+		t.Fatalf("buffered = %d, want DefaultRetention (%d)", a.Buffered(), DefaultRetention)
+	}
+	if st := a.Stats(); st.ReportsDropped != 5 {
+		t.Errorf("dropped = %d, want 5", st.ReportsDropped)
+	}
+}
+
+func TestNoteReconnectCountsIntoStatsAndHeartbeat(t *testing.T) {
+	b := bus.New()
+	a := New(nil, info("h1"), tracepoint.NewRegistry(), b, 0)
+	defer a.Close()
+	var hb Heartbeat
+	b.Subscribe(HealthTopic, func(msg any) { hb = msg.(Heartbeat) })
+	a.NoteReconnect()
+	a.NoteReconnect()
+	a.Flush()
+	if hb.Stats.Reconnects != 2 {
+		t.Errorf("heartbeat reconnects = %d, want 2", hb.Stats.Reconnects)
+	}
+}

@@ -136,3 +136,73 @@ func TestQuickSplitNeverLeaksAcrossSiblings(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestQuickMergeCommutesWithWireRoundtrip: joining two branches gives the
+// same result whether or not each branch first crossed the wire — i.e. the
+// Set merge/union semantics of every kind (append, left-wins, capacity
+// clamps, frontier dedup, AGG group merge) survive the varint codec.
+func TestQuickMergeCommutesWithWireRoundtrip(t *testing.T) {
+	kinds := []SetSpec{
+		{Kind: All, Fields: tuple.Schema{"a", "b"}},
+		{Kind: First, Fields: tuple.Schema{"a", "b"}},
+		{Kind: FirstN, N: 3, Fields: tuple.Schema{"a", "b"}},
+		{Kind: Recent, Fields: tuple.Schema{"a", "b"}},
+		{Kind: RecentN, N: 2, Fields: tuple.Schema{"a", "b"}},
+		{Kind: Frontier, Fields: tuple.Schema{"a", "b"}},
+		{Kind: Agg, Fields: tuple.Schema{"a", "b"},
+			GroupBy: []int{0}, Aggs: []AggField{{Pos: 1, Fn: agg.Sum}}},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		left, right := New().Split()
+		for s, spec := range kinds {
+			slot := spec.Kind.String() + string(rune('0'+s))
+			for _, br := range []*Baggage{left, right} {
+				for i := 0; i < rng.Intn(5); i++ {
+					br.Pack(slot, spec, tuple.Tuple{
+						tuple.String(string(rune('x' + rng.Intn(3)))),
+						tuple.Int(int64(rng.Intn(100))),
+					})
+				}
+			}
+		}
+		direct := Join(left, right)
+		wired := Join(Deserialize(left.Serialize()), Deserialize(right.Serialize()))
+		for s, spec := range kinds {
+			slot := spec.Kind.String() + string(rune('0'+s))
+			want := direct.Unpack(slot)
+			got := wired.Unpack(slot)
+			if len(want) != len(got) {
+				return false
+			}
+			for i := range want {
+				if !want[i].Equal(got[i]) {
+					return false
+				}
+			}
+			// Kind-specific merge invariants.
+			switch spec.Kind {
+			case First, Recent:
+				if len(got) > 1 {
+					return false
+				}
+			case FirstN, RecentN:
+				if len(got) > spec.N {
+					return false
+				}
+			case Frontier:
+				for i := range got {
+					for j := i + 1; j < len(got); j++ {
+						if got[i].Equal(got[j]) {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

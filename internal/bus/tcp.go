@@ -6,8 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/telemetry"
@@ -28,9 +31,21 @@ type Codec interface {
 	Unmarshal(data []byte) (any, error)
 }
 
+// Frame protocol errors. A frame error poisons only the connection it
+// arrived on; the server drops that connection and keeps relaying for
+// everyone else.
+var (
+	errEmptyTopic       = errors.New("bus: zero-length topic")
+	errOversizedTopic   = errors.New("bus: oversized topic")
+	errOversizedPayload = errors.New("bus: oversized payload")
+)
+
 // frame layout: uvarint topic length, topic, uvarint payload length,
 // payload.
 func writeFrame(w *bufio.Writer, topic string, payload []byte) error {
+	if len(topic) == 0 {
+		return errEmptyTopic
+	}
 	var hdr [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(hdr[:], uint64(len(topic)))
 	if _, err := w.Write(hdr[:n]); err != nil {
@@ -56,8 +71,11 @@ func readFrame(r *bufio.Reader) (topic string, payload []byte, err error) {
 	if err != nil {
 		return "", nil, err
 	}
+	if tlen == 0 {
+		return "", nil, errEmptyTopic
+	}
 	if tlen > maxFrame {
-		return "", nil, errors.New("bus: oversized topic")
+		return "", nil, errOversizedTopic
 	}
 	tbuf := make([]byte, tlen)
 	if _, err := io.ReadFull(r, tbuf); err != nil {
@@ -68,7 +86,7 @@ func readFrame(r *bufio.Reader) (topic string, payload []byte, err error) {
 		return "", nil, err
 	}
 	if plen > maxFrame {
-		return "", nil, errors.New("bus: oversized payload")
+		return "", nil, errOversizedPayload
 	}
 	pbuf := make([]byte, plen)
 	if _, err := io.ReadFull(r, pbuf); err != nil {
@@ -82,6 +100,21 @@ func readFrame(r *bufio.Reader) (topic string, payload []byte, err error) {
 // payload is the server's StatusText. It gives every deployment a text
 // introspection endpoint on the port it already has open.
 const StatusTopic = "pt.bus.status"
+
+// SubscribeTopic is reserved on the server: a link announces its receive
+// topics by sending one frame to it (payload: newline-separated topic
+// list, empty for none). The server then relays only matching topics to
+// that connection, and parks frames that currently have no live
+// subscriber in a bounded per-topic retention buffer flushed to the next
+// matching subscriber — so a report replayed while the frontend is itself
+// still reconnecting is parked, not lost. Connections that never announce
+// (raw protocol peers) receive everything, as before.
+const SubscribeTopic = "pt.bus.sub"
+
+// retainPerTopic bounds the per-topic retention buffer of frames parked
+// while no subscriber is connected; overflow evicts the oldest frame and
+// counts it in bus.server.retained.dropped.
+const retainPerTopic = 64
 
 // maxQueuedBytes is the per-connection outbound queue limit; a subscriber
 // lagging further than this is disconnected rather than allowed to stall
@@ -101,6 +134,11 @@ type frame struct {
 // only itself. queuedBytes is the connection's lag in bytes.
 type serverConn struct {
 	conn net.Conn
+
+	// subs is the connection's announced receive-topic set, nil until the
+	// peer sends a SubscribeTopic frame (nil = receive everything).
+	// Guarded by the Server's mu, not the connection's.
+	subs map[string]bool
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -139,18 +177,22 @@ func (sc *serverConn) enqueue(f frame) bool {
 type Server struct {
 	ln net.Listener
 
-	mu     sync.Mutex
-	conns  map[net.Conn]*serverConn
-	depths map[string]*telemetry.Gauge // per-topic queued-frame gauges
-	done   bool
+	mu       sync.Mutex
+	conns    map[net.Conn]*serverConn
+	depths   map[string]*telemetry.Gauge // per-topic queued-frame gauges
+	retained map[string][][]byte         // parked frames awaiting a subscriber
+	done     bool
 
-	tel     *telemetry.Registry
-	frames  *telemetry.Counter // frames received
-	bytes   *telemetry.Counter // payload bytes received
-	queued  *telemetry.Gauge   // outbound frames queued across all conns
-	lag     *telemetry.Gauge   // outbound bytes queued across all conns
-	connsG  *telemetry.Gauge   // live connections
-	dropped *telemetry.Counter // slow-consumer disconnects
+	tel         *telemetry.Registry
+	frames      *telemetry.Counter // frames received
+	bytes       *telemetry.Counter // payload bytes received
+	queued      *telemetry.Gauge   // outbound frames queued across all conns
+	lag         *telemetry.Gauge   // outbound bytes queued across all conns
+	connsG      *telemetry.Gauge   // live connections
+	dropped     *telemetry.Counter // slow-consumer disconnects
+	badFrames   *telemetry.Counter // malformed/truncated inbound frames
+	retainedG   *telemetry.Gauge   // frames parked awaiting a subscriber
+	retainDrops *telemetry.Counter // parked frames evicted by the cap
 }
 
 // Serve starts a pub/sub server on addr (e.g. "127.0.0.1:0") and returns
@@ -162,16 +204,20 @@ func Serve(addr string) (*Server, error) {
 	}
 	tel := telemetry.NewRegistry()
 	s := &Server{
-		ln:      ln,
-		conns:   make(map[net.Conn]*serverConn),
-		depths:  make(map[string]*telemetry.Gauge),
-		tel:     tel,
-		frames:  tel.Counter("bus.server.frames"),
-		bytes:   tel.Counter("bus.server.bytes"),
-		queued:  tel.Gauge("bus.server.queued.frames"),
-		lag:     tel.Gauge("bus.server.queued.bytes"),
-		connsG:  tel.Gauge("bus.server.conns"),
-		dropped: tel.Counter("bus.server.dropped.conns"),
+		ln:          ln,
+		conns:       make(map[net.Conn]*serverConn),
+		depths:      make(map[string]*telemetry.Gauge),
+		retained:    make(map[string][][]byte),
+		tel:         tel,
+		frames:      tel.Counter("bus.server.frames"),
+		bytes:       tel.Counter("bus.server.bytes"),
+		queued:      tel.Gauge("bus.server.queued.frames"),
+		lag:         tel.Gauge("bus.server.queued.bytes"),
+		connsG:      tel.Gauge("bus.server.conns"),
+		dropped:     tel.Counter("bus.server.dropped.conns"),
+		badFrames:   tel.Counter("bus.server.badframes"),
+		retainedG:   tel.Gauge("bus.server.retained"),
+		retainDrops: tel.Counter("bus.server.retained.dropped"),
 	}
 	go s.acceptLoop()
 	return s, nil
@@ -289,6 +335,12 @@ func (s *Server) serveConn(sc *serverConn) {
 	for {
 		topic, payload, err := readFrame(r)
 		if err != nil {
+			// A clean EOF is an orderly disconnect; anything else is a
+			// malformed or truncated frame. Either way only this
+			// connection dies — the relay keeps serving everyone else.
+			if !errors.Is(err, io.EOF) {
+				s.badFrames.Inc()
+			}
 			return
 		}
 		s.frames.Inc()
@@ -297,16 +349,72 @@ func (s *Server) serveConn(sc *serverConn) {
 			s.relay(topic, []byte(s.StatusText()), []*serverConn{sc})
 			continue
 		}
+		if topic == SubscribeTopic {
+			s.subscribe(sc, payload)
+			continue
+		}
 		s.mu.Lock()
 		targets := make([]*serverConn, 0, len(s.conns))
 		for other, osc := range s.conns {
 			if other == conn {
 				continue
 			}
+			if osc.subs != nil && !osc.subs[topic] {
+				continue
+			}
 			targets = append(targets, osc)
+		}
+		if len(targets) == 0 {
+			s.retainLocked(topic, payload)
+			s.mu.Unlock()
+			continue
 		}
 		s.mu.Unlock()
 		s.relay(topic, payload, targets)
+	}
+}
+
+// retainLocked parks a frame that currently has no subscriber, evicting
+// the oldest parked frame when the per-topic cap is hit. Caller holds mu.
+func (s *Server) retainLocked(topic string, payload []byte) {
+	q := s.retained[topic]
+	if len(q) >= retainPerTopic {
+		q = append(q[:0:0], q[1:]...)
+		s.retainDrops.Inc()
+		s.retainedG.Add(-1)
+	}
+	s.retained[topic] = append(q, payload)
+	s.retainedG.Add(1)
+}
+
+// subscribe records a connection's announced receive topics and flushes
+// any frames parked for them, oldest first.
+func (s *Server) subscribe(sc *serverConn, payload []byte) {
+	subs := make(map[string]bool)
+	for _, t := range strings.Split(string(payload), "\n") {
+		if t != "" {
+			subs[t] = true
+		}
+	}
+	type parked struct {
+		topic    string
+		payloads [][]byte
+	}
+	var backlog []parked
+	s.mu.Lock()
+	sc.subs = subs
+	for t := range subs {
+		if q := s.retained[t]; len(q) > 0 {
+			delete(s.retained, t)
+			backlog = append(backlog, parked{topic: t, payloads: q})
+		}
+	}
+	s.mu.Unlock()
+	for _, p := range backlog {
+		s.retainedG.Add(-int64(len(p.payloads)))
+		for _, pl := range p.payloads {
+			s.relay(p.topic, pl, []*serverConn{sc})
+		}
 	}
 }
 
@@ -349,14 +457,17 @@ func (s *Server) Close() {
 
 // FetchServerStatus dials a pub/sub server, requests its status text, and
 // returns it. It is the client side of the StatusTopic endpoint, used by
-// cmd/ptstat.
+// cmd/ptstat. The connection is closed on every exit path, including a
+// read that times out after a successful dial.
 func FetchServerStatus(addr string, timeout time.Duration) (string, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return "", err
 	}
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(timeout))
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return "", err
+	}
 	w := bufio.NewWriter(conn)
 	if err := writeFrame(w, StatusTopic, nil); err != nil {
 		return "", err
@@ -373,75 +484,338 @@ func FetchServerStatus(addr string, timeout time.Duration) (string, error) {
 	}
 }
 
+// ErrLinkDown is returned by Link.Send while the link is disconnected.
+var ErrLinkDown = errors.New("bus: link down")
+
+// Backoff and retention defaults for reconnecting links.
+const (
+	DefaultBackoffBase = 20 * time.Millisecond
+	DefaultBackoffMax  = 2 * time.Second
+)
+
+// LinkOptions configures a Link's resilience behavior. The zero value is
+// the original fail-fast link: the first I/O error kills it permanently.
+type LinkOptions struct {
+	// Reconnect enables automatic redial with exponential backoff and
+	// seeded jitter after the connection fails. Local subscriptions are
+	// kept across outages, so bridging resumes (resubscription) as soon
+	// as a dial succeeds.
+	Reconnect bool
+
+	// BackoffBase/BackoffMax bound the redial schedule: the nth attempt
+	// waits base*2^n plus up to 50% jitter, capped at max. Zero values
+	// take the defaults above.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// JitterSeed fixes the jitter RNG so chaos tests replay exactly.
+	JitterSeed int64
+
+	// Dial overrides the dialer (fault injectors wrap connections here).
+	// Nil dials plain TCP.
+	Dial func(addr string) (net.Conn, error)
+
+	// OnUp is called (from the reconnect goroutine) after each successful
+	// reconnect, with the total reconnect count. Callers replay buffered
+	// traffic here.
+	OnUp func(reconnects int64)
+
+	// OnDown is called once per connection loss with the causing error.
+	OnDown func(err error)
+
+	// OnDrop is called for each locally published message on a send topic
+	// that could not be forwarded (link down, or the write failed).
+	// Callers use it to retain reports for replay.
+	OnDrop func(topic string, msg any)
+
+	// Telemetry, when set, records "bus.link.reconnects" and
+	// "bus.link.drops" counters and a "bus.link.connected" gauge.
+	Telemetry *telemetry.Registry
+}
+
 // Link bridges a process's local Bus to a remote pub/sub server: messages
 // published locally on the send topics are marshaled and forwarded;
 // frames received for the recv topics are unmarshaled and published
-// locally. Close the link to disconnect.
+// locally. With LinkOptions.Reconnect the link survives server outages:
+// it redials with exponential backoff + jitter, resumes bridging, and
+// reports messages lost meanwhile via OnDrop. Close the link to
+// disconnect.
 type Link struct {
-	conn net.Conn
-	w    *bufio.Writer
-	wmu  sync.Mutex
-	subs []Subscription
-	bus  *Bus
-	errs chan error
+	addr    string
+	codec   Codec
+	bus     *Bus
+	opts    LinkOptions
+	recv    []string // announced to the server on every (re)connect
+	recvSet map[string]bool
+	subs    []Subscription
+
+	mu           sync.Mutex
+	conn         net.Conn
+	w            *bufio.Writer
+	gen          int // connection generation; stale recv loops no-op
+	closed       bool
+	reconnecting bool
+
+	reconnects atomic.Int64
+	drops      atomic.Int64
+	errs       chan error
+
+	mReconnects *telemetry.Counter
+	mDrops      *telemetry.Counter
+	mConnected  *telemetry.Gauge
 }
 
-// Connect dials the server and starts bridging.
+// Connect dials the server and starts bridging with fail-fast semantics
+// (no reconnection) — the historical behavior.
 func Connect(b *Bus, addr string, codec Codec, send, recv []string) (*Link, error) {
-	conn, err := net.Dial("tcp", addr)
+	return ConnectOptions(b, addr, codec, send, recv, LinkOptions{})
+}
+
+// ConnectOptions dials the server and starts bridging with the given
+// resilience options. The initial dial must succeed; reconnection applies
+// to failures after that.
+func ConnectOptions(b *Bus, addr string, codec Codec, send, recv []string, opts LinkOptions) (*Link, error) {
+	if opts.BackoffBase <= 0 {
+		opts.BackoffBase = DefaultBackoffBase
+	}
+	if opts.BackoffMax < opts.BackoffBase {
+		opts.BackoffMax = DefaultBackoffMax
+	}
+	if opts.Dial == nil {
+		opts.Dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	conn, err := opts.Dial(addr)
 	if err != nil {
 		return nil, err
 	}
-	l := &Link{conn: conn, w: bufio.NewWriter(conn), bus: b, errs: make(chan error, 1)}
+	l := &Link{
+		addr:    addr,
+		codec:   codec,
+		bus:     b,
+		opts:    opts,
+		recv:    append([]string(nil), recv...),
+		recvSet: make(map[string]bool, len(recv)),
+		conn:    conn,
+		w:       bufio.NewWriter(conn),
+		errs:    make(chan error, 1),
+	}
+	for _, t := range recv {
+		l.recvSet[t] = true
+	}
+	if err := l.announce(l.w); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if tel := opts.Telemetry; tel != nil {
+		l.mReconnects = tel.Counter("bus.link.reconnects")
+		l.mDrops = tel.Counter("bus.link.drops")
+		l.mConnected = tel.Gauge("bus.link.connected")
+		l.mConnected.Set(1)
+	}
 
 	for _, topic := range send {
 		topic := topic
 		sub := b.Subscribe(topic, func(msg any) {
-			payload, err := codec.Marshal(msg)
-			if err != nil {
-				return // unmarshalable local-only message
+			if err := l.Send(topic, msg); err != nil && !errors.Is(err, errUnmarshalable) {
+				l.noteDrop(topic, msg)
 			}
-			l.wmu.Lock()
-			defer l.wmu.Unlock()
-			writeFrame(l.w, topic, payload)
 		})
 		l.subs = append(l.subs, sub)
 	}
-
-	recvSet := make(map[string]bool, len(recv))
-	for _, t := range recv {
-		recvSet[t] = true
-	}
-	go func() {
-		r := bufio.NewReader(conn)
-		for {
-			topic, payload, err := readFrame(r)
-			if err != nil {
-				select {
-				case l.errs <- err:
-				default:
-				}
-				return
-			}
-			if !recvSet[topic] {
-				continue
-			}
-			msg, err := codec.Unmarshal(payload)
-			if err != nil {
-				continue
-			}
-			b.Publish(topic, msg)
-		}
-	}()
+	go l.recvLoop(conn, 0)
 	return l, nil
 }
 
-// Close stops bridging and closes the connection.
+// announce tells the server which topics this link wants relayed, so
+// frames published while no subscriber is connected are parked for the
+// next one instead of vanishing.
+func (l *Link) announce(w *bufio.Writer) error {
+	return writeFrame(w, SubscribeTopic, []byte(strings.Join(l.recv, "\n")))
+}
+
+// errUnmarshalable marks local-only messages the codec cannot carry; they
+// are not link losses.
+var errUnmarshalable = errors.New("bus: message not marshalable")
+
+// Send marshals and forwards one message to the server immediately,
+// bypassing the local bus. It returns ErrLinkDown (or the write error) if
+// the message did not reach the socket; callers replaying buffered
+// traffic use the error to re-buffer. Send does not invoke OnDrop.
+func (l *Link) Send(topic string, msg any) error {
+	payload, err := l.codec.Marshal(msg)
+	if err != nil {
+		return errUnmarshalable
+	}
+	l.mu.Lock()
+	if l.closed || l.conn == nil {
+		l.mu.Unlock()
+		return ErrLinkDown
+	}
+	conn := l.conn
+	err = writeFrame(l.w, topic, payload)
+	if err != nil {
+		l.connDownLocked(conn, err)
+		l.mu.Unlock()
+		return err
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// noteDrop records one undeliverable send-topic message.
+func (l *Link) noteDrop(topic string, msg any) {
+	l.drops.Add(1)
+	if l.mDrops != nil {
+		l.mDrops.Inc()
+	}
+	if l.opts.OnDrop != nil {
+		l.opts.OnDrop(topic, msg)
+	}
+}
+
+// recvLoop reads frames from one connection until it fails, then triggers
+// reconnection. gen identifies the connection so a stale loop cannot tear
+// down its successor.
+func (l *Link) recvLoop(conn net.Conn, gen int) {
+	r := bufio.NewReader(conn)
+	for {
+		topic, payload, err := readFrame(r)
+		if err != nil {
+			select {
+			case l.errs <- err:
+			default:
+			}
+			l.mu.Lock()
+			if l.gen == gen {
+				l.connDownLocked(conn, err)
+			}
+			l.mu.Unlock()
+			return
+		}
+		if !l.recvSet[topic] {
+			continue
+		}
+		msg, err := l.codec.Unmarshal(payload)
+		if err != nil {
+			continue
+		}
+		l.bus.Publish(topic, msg)
+	}
+}
+
+// connDownLocked transitions the link to disconnected (if conn is still
+// current) and starts the reconnect loop when enabled. Caller holds l.mu.
+func (l *Link) connDownLocked(conn net.Conn, err error) {
+	if l.conn != conn || l.conn == nil {
+		return // already superseded
+	}
+	l.conn.Close()
+	l.conn = nil
+	l.w = nil
+	l.gen++
+	if l.mConnected != nil {
+		l.mConnected.Set(0)
+	}
+	if l.opts.OnDown != nil {
+		down := l.opts.OnDown
+		go down(err)
+	}
+	if l.opts.Reconnect && !l.closed && !l.reconnecting {
+		l.reconnecting = true
+		go l.reconnectLoop()
+	}
+}
+
+// reconnectLoop redials with exponential backoff and seeded jitter until
+// a dial succeeds or the link is closed.
+func (l *Link) reconnectLoop() {
+	rng := rand.New(rand.NewSource(l.opts.JitterSeed))
+	backoff := l.opts.BackoffBase
+	for {
+		wait := backoff + time.Duration(rng.Int63n(int64(backoff)/2+1))
+		time.Sleep(wait)
+		l.mu.Lock()
+		if l.closed {
+			l.reconnecting = false
+			l.mu.Unlock()
+			return
+		}
+		l.mu.Unlock()
+
+		conn, err := l.opts.Dial(l.addr)
+		if err != nil {
+			if backoff *= 2; backoff > l.opts.BackoffMax {
+				backoff = l.opts.BackoffMax
+			}
+			continue
+		}
+		w := bufio.NewWriter(conn)
+		if err := l.announce(w); err != nil {
+			conn.Close()
+			if backoff *= 2; backoff > l.opts.BackoffMax {
+				backoff = l.opts.BackoffMax
+			}
+			continue
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.reconnecting = false
+			l.mu.Unlock()
+			conn.Close()
+			return
+		}
+		l.conn = conn
+		l.w = w
+		l.gen++
+		gen := l.gen
+		l.reconnecting = false
+		l.mu.Unlock()
+
+		l.reconnects.Add(1)
+		if l.mReconnects != nil {
+			l.mReconnects.Inc()
+		}
+		if l.mConnected != nil {
+			l.mConnected.Set(1)
+		}
+		go l.recvLoop(conn, gen)
+		if l.opts.OnUp != nil {
+			l.opts.OnUp(l.reconnects.Load())
+		}
+		return
+	}
+}
+
+// Connected reports whether the link currently has a live connection.
+func (l *Link) Connected() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.conn != nil && !l.closed
+}
+
+// Reconnects returns how many times the link has reconnected.
+func (l *Link) Reconnects() int64 { return l.reconnects.Load() }
+
+// Drops returns how many send-topic messages were lost to outages.
+func (l *Link) Drops() int64 { return l.drops.Load() }
+
+// Close stops bridging, disables reconnection, and closes the connection.
 func (l *Link) Close() {
 	for _, sub := range l.subs {
 		l.bus.Unsubscribe(sub)
 	}
-	l.conn.Close()
+	l.mu.Lock()
+	l.closed = true
+	conn := l.conn
+	l.conn = nil
+	l.w = nil
+	l.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	if l.mConnected != nil {
+		l.mConnected.Set(0)
+	}
 }
 
 // Err reports the first receive-loop error, if any (nil while healthy).

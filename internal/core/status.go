@@ -157,17 +157,19 @@ func (pt *PivotTracing) StatusText() string { return RenderStatus(pt.Status()) }
 func RenderStatus(s Status) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "agents (%d):\n", len(s.Agents))
-	fmt.Fprintf(&b, "  %-24s %-12s %10s %10s %-9s %7s %9s %9s %9s\n",
-		"host", "proc", "age", "interval", "health", "queries", "reports", "rows", "tuples")
+	fmt.Fprintf(&b, "  %-24s %-12s %10s %10s %-9s %7s %9s %9s %9s %7s %7s %7s\n",
+		"host", "proc", "age", "interval", "health", "queries", "reports", "rows", "tuples",
+		"reconn", "replay", "drops")
 	for _, a := range s.Agents {
 		health := "ok"
 		if !a.Healthy {
 			health = "UNHEALTHY"
 		}
-		fmt.Fprintf(&b, "  %-24s %-12s %10s %10s %-9s %7d %9d %9d %9d\n",
+		fmt.Fprintf(&b, "  %-24s %-12s %10s %10s %-9s %7d %9d %9d %9d %7d %7d %7d\n",
 			a.Host, a.ProcName,
 			a.Age.Round(time.Millisecond), a.Interval, health, a.Queries,
-			a.Stats.Reports, a.Stats.RowsReported, a.Stats.TuplesEmitted)
+			a.Stats.Reports, a.Stats.RowsReported, a.Stats.TuplesEmitted,
+			a.Stats.Reconnects, a.Stats.ReportsReplayed, a.Stats.ReportsDropped)
 	}
 	fmt.Fprintf(&b, "\nqueries (%d):\n", len(s.Queries))
 	fmt.Fprintf(&b, "  %-16s %8s %9s %14s %12s %9s\n",

@@ -1,0 +1,44 @@
+// Netsim hooks: scheduled capacity faults for the flow-level simulator.
+// The cluster experiments inject faults by hand-rolling goroutines that
+// sleep and call Network.SetRate; Schedule packages that pattern as data,
+// so chaos scenarios can be declared up front and replayed exactly.
+
+package faultinject
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+)
+
+// LinkFault is one scheduled capacity change: at virtual time At, set the
+// named netsim link to Rate bytes/second (a limplock is a rate collapse; a
+// repair is the rate restored).
+type LinkFault struct {
+	At   time.Duration
+	Link string
+	Rate float64
+}
+
+// Schedule installs the faults on the network, to be applied at their
+// virtual times by a managed goroutine. Faults are applied in At order
+// regardless of input order. Must be called before env.Run starts, or from
+// a managed goroutine.
+func Schedule(env *simtime.Env, n *netsim.Network, faults []LinkFault) {
+	fs := make([]LinkFault, len(faults))
+	copy(fs, faults)
+	sort.SliceStable(fs, func(i, j int) bool { return fs[i].At < fs[j].At })
+	env.Go(func() {
+		for _, f := range fs {
+			if d := f.At - env.Now(); d > 0 {
+				env.Sleep(d)
+			}
+			if env.Done() {
+				return
+			}
+			n.SetRate(f.Link, f.Rate)
+		}
+	})
+}

@@ -505,6 +505,10 @@ func Marshal(msg any) ([]byte, error) {
 		buf = binary.AppendVarint(buf, m.Stats.TuplesEmitted)
 		buf = binary.AppendVarint(buf, m.Stats.RowsReported)
 		buf = binary.AppendVarint(buf, m.Stats.Reports)
+		buf = binary.AppendVarint(buf, m.Stats.ReportsRetained)
+		buf = binary.AppendVarint(buf, m.Stats.ReportsReplayed)
+		buf = binary.AppendVarint(buf, m.Stats.ReportsDropped)
+		buf = binary.AppendVarint(buf, m.Stats.Reconnects)
 		return buf, nil
 	case agent.StatusRequest:
 		buf := []byte{TagStatusRequest}
@@ -581,7 +585,7 @@ func Unmarshal(buf []byte) (any, error) {
 		if m.ProcName, buf, err = decodeString(buf); err != nil {
 			return nil, err
 		}
-		ints := [6]int64{}
+		ints := [10]int64{}
 		for i := range ints {
 			v, k := binary.Varint(buf)
 			if k <= 0 {
@@ -593,7 +597,11 @@ func Unmarshal(buf []byte) (any, error) {
 		m.Time = time.Duration(ints[0])
 		m.Interval = time.Duration(ints[1])
 		m.Queries = int(ints[2])
-		m.Stats = agent.Stats{TuplesEmitted: ints[3], RowsReported: ints[4], Reports: ints[5]}
+		m.Stats = agent.Stats{
+			TuplesEmitted: ints[3], RowsReported: ints[4], Reports: ints[5],
+			ReportsRetained: ints[6], ReportsReplayed: ints[7],
+			ReportsDropped: ints[8], Reconnects: ints[9],
+		}
 		return m, nil
 	case TagStatusRequest:
 		var m agent.StatusRequest

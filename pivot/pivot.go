@@ -29,6 +29,7 @@ package pivot
 
 import (
 	"context"
+	"net"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -230,6 +231,47 @@ func Join(ctx context.Context, a, b context.Context) context.Context {
 	return baggage.NewContext(ctx, merged)
 }
 
+// BusOptions configures a runtime's connection to the pub/sub server: the
+// reconnection schedule of the underlying bus.Link and the report
+// retention buffer used to replay reports published during an outage.
+type BusOptions struct {
+	// Reconnect keeps the link alive across bus outages: redial with
+	// exponential backoff + jitter, then resume bridging and replay
+	// retained reports. DefaultBusOptions enables it.
+	Reconnect bool
+
+	// BackoffBase/BackoffMax bound the redial schedule (zero values take
+	// the bus package defaults).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// Seed fixes the backoff jitter RNG (deterministic chaos tests).
+	Seed int64
+
+	// Retention is the agent's outage ring-buffer capacity in reports;
+	// <= 0 selects agent.DefaultRetention.
+	Retention int
+
+	// Dial overrides the link's dialer (fault injection in tests).
+	Dial func(addr string) (net.Conn, error)
+}
+
+// DefaultBusOptions is the production posture: reconnect with the default
+// backoff schedule and retention.
+func DefaultBusOptions() BusOptions { return BusOptions{Reconnect: true} }
+
+// linkOptions translates BusOptions to the bus layer.
+func (o BusOptions) linkOptions(tel *telemetry.Registry) bus.LinkOptions {
+	return bus.LinkOptions{
+		Reconnect:   o.Reconnect,
+		BackoffBase: o.BackoffBase,
+		BackoffMax:  o.BackoffMax,
+		JitterSeed:  o.Seed,
+		Dial:        o.Dial,
+		Telemetry:   tel,
+	}
+}
+
 // ServeBus starts the central pub/sub server of a distributed deployment
 // (§5 of the paper) on addr ("host:port", or ":0" for an ephemeral port)
 // and connects this runtime to it as the query frontend: installed queries
@@ -240,23 +282,72 @@ func (pt *PT) ServeBus(addr string) (busAddr string, shutdown func(), err error)
 	if err != nil {
 		return "", nil, err
 	}
-	link, err := bus.Connect(pt.Bus, srv.Addr(), wire.BusCodec{},
-		[]string{agent.ControlTopic, agent.StatusResponseTopic},
-		[]string{agent.ResultsTopic, agent.HealthTopic, agent.StatusRequestTopic})
+	disconnect, err := pt.ConnectFrontend(srv.Addr(), DefaultBusOptions())
 	if err != nil {
 		srv.Close()
 		return "", nil, err
 	}
-	return srv.Addr(), func() { link.Close(); srv.Close() }, nil
+	return srv.Addr(), func() { disconnect(); srv.Close() }, nil
+}
+
+// ConnectFrontend joins this runtime to an existing pub/sub server as the
+// query frontend (the serving half of ServeBus without owning the server —
+// for deployments where the bus runs elsewhere, and for chaos tests that
+// kill and restart it). On every reconnect the frontend rebroadcasts its
+// standing installs, so workers that joined — or rejoined — during the
+// outage still weave every active query.
+func (pt *PT) ConnectFrontend(busAddr string, opts BusOptions) (disconnect func(), err error) {
+	lopts := opts.linkOptions(pt.Frontend.Telemetry())
+	var link *bus.Link
+	lopts.OnUp = func(int64) {
+		for _, inst := range pt.Frontend.Installs() {
+			link.Send(agent.ControlTopic, inst)
+		}
+	}
+	link, err = bus.ConnectOptions(pt.Bus, busAddr, wire.BusCodec{},
+		[]string{agent.ControlTopic, agent.StatusResponseTopic},
+		[]string{agent.ResultsTopic, agent.HealthTopic, agent.StatusRequestTopic},
+		lopts)
+	if err != nil {
+		return nil, err
+	}
+	return link.Close, nil
 }
 
 // ConnectBus joins this runtime to a distributed deployment as a monitored
 // worker: queries installed at the frontend weave into this process's
-// tracepoints, and this process's reports stream back. It returns a
-// disconnect function.
+// tracepoints, and this process's reports stream back. The connection is
+// resilient (DefaultBusOptions): during a bus outage flushed reports are
+// retained in the agent's bounded ring buffer and replayed on reconnect,
+// with losses counted in the agent's stats. It returns a disconnect
+// function.
 func (pt *PT) ConnectBus(busAddr string) (disconnect func(), err error) {
-	link, err := bus.Connect(pt.Bus, busAddr, wire.BusCodec{},
-		[]string{agent.ResultsTopic, agent.HealthTopic}, []string{agent.ControlTopic})
+	return pt.ConnectBusWith(busAddr, DefaultBusOptions())
+}
+
+// ConnectBusWith is ConnectBus with explicit resilience options.
+func (pt *PT) ConnectBusWith(busAddr string, opts BusOptions) (disconnect func(), err error) {
+	pt.Agent.SetRetention(opts.Retention)
+	lopts := opts.linkOptions(pt.Frontend.Telemetry())
+	var link *bus.Link
+	lopts.OnDrop = func(topic string, msg any) {
+		// Reports survive the outage in the agent's ring buffer;
+		// heartbeats are liveness beacons and not worth replaying.
+		if topic == agent.ResultsTopic {
+			if r, ok := msg.(agent.Report); ok {
+				pt.Agent.Retain(r)
+			}
+		}
+	}
+	lopts.OnUp = func(int64) {
+		pt.Agent.NoteReconnect()
+		pt.Agent.ReplayRetained(func(r agent.Report) error {
+			return link.Send(agent.ResultsTopic, r)
+		})
+	}
+	link, err = bus.ConnectOptions(pt.Bus, busAddr, wire.BusCodec{},
+		[]string{agent.ResultsTopic, agent.HealthTopic}, []string{agent.ControlTopic},
+		lopts)
 	if err != nil {
 		return nil, err
 	}

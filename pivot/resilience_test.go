@@ -1,0 +1,220 @@
+package pivot
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/bus"
+)
+
+// Full-stack chaos suite: a distributed deployment (frontend + worker over
+// the TCP pub/sub server) survives the bus being killed and restarted
+// mid-query. Agents reconnect within the backoff bound, reports flushed
+// during the outage are replayed from the agent's ring buffer, query
+// results converge, and the drop counters exactly account for any loss.
+// Seeds are fixed; the suite is deterministic under -race -count=N.
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// chaosBusOptions is the deterministic reconnect schedule for this suite.
+func chaosBusOptions(seed int64, retention int) BusOptions {
+	return BusOptions{
+		Reconnect:   true,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+		Seed:        seed,
+		Retention:   retention,
+	}
+}
+
+// linkConnected reads the runtime's "bus.link.connected" gauge.
+func linkConnected(pt *PT) bool {
+	return pt.Frontend.Telemetry().Snapshot().Gauges["bus.link.connected"] == 1
+}
+
+// countRow returns the COUNT cell of the query's single group row, or -1.
+func countRow(q *Query) int64 {
+	rows := q.Rows()
+	if len(rows) == 0 {
+		return -1
+	}
+	return rows[0][1].Int()
+}
+
+func TestQueryConvergesAcrossBusOutageWithReplay(t *testing.T) {
+	srv, err := bus.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	frontend := New("frontend")
+	frontend.Define("Work.Do", "n")
+	feDisconnect, err := frontend.ConnectFrontend(addr, chaosBusOptions(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer feDisconnect()
+
+	worker := New("worker")
+	tp := worker.Define("Work.Do", "n")
+	// No reconnect ordering is imposed: if the worker beats the frontend
+	// back and replays first, the server parks the reports until the
+	// frontend resubscribes.
+	wkDisconnect, err := worker.ConnectBusWith(addr, chaosBusOptions(2, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wkDisconnect()
+
+	q, err := frontend.Install(`From w In Work.Do GroupBy w.host Select w.host, COUNT`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "install to reach the worker", tp.Enabled)
+
+	cross := func(n int) {
+		for i := 0; i < n; i++ {
+			tp.Here(worker.NewRequest(context.Background()), int64(i))
+		}
+	}
+
+	// Phase 1: healthy. 10 crossings reach the frontend.
+	cross(10)
+	worker.Flush()
+	waitFor(t, "pre-outage results", func() bool { return countRow(q) == 10 })
+
+	// Phase 2: the bus dies mid-query. Both links notice, and the three
+	// reports flushed during the outage are retained, not lost.
+	srv.Close()
+	waitFor(t, "links to notice the outage", func() bool {
+		return !linkConnected(frontend) && !linkConnected(worker)
+	})
+	for i := 0; i < 3; i++ {
+		cross(1)
+		worker.Flush()
+	}
+	if n := worker.Agent.Buffered(); n != 3 {
+		t.Fatalf("buffered reports = %d, want 3", n)
+	}
+	if st := worker.Agent.Stats(); st.ReportsRetained != 3 || st.ReportsDropped != 0 {
+		t.Fatalf("outage stats = %+v", st)
+	}
+
+	// Phase 3: the bus comes back at the same address. Links reconnect
+	// within the backoff bound, the buffer replays, and results converge
+	// to all 13 crossings with zero loss.
+	srv2, err := bus.Serve(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	waitFor(t, "links to reconnect", func() bool {
+		return linkConnected(frontend) && linkConnected(worker)
+	})
+	waitFor(t, "retained reports to replay", func() bool { return worker.Agent.Buffered() == 0 })
+	waitFor(t, "results to converge", func() bool { return countRow(q) == 13 })
+
+	// One more healthy interval so a post-reconnect heartbeat reaches the
+	// frontend with the resilience counters.
+	cross(1)
+	worker.Flush()
+	waitFor(t, "results after recovery", func() bool { return countRow(q) == 14 })
+
+	st := worker.Agent.Stats()
+	if st.ReportsReplayed != 3 || st.ReportsDropped != 0 || st.Reconnects < 1 {
+		t.Errorf("recovery stats = %+v", st)
+	}
+	// Exact accounting: every report the agent ever published was merged.
+	waitFor(t, "all reports merged", func() bool {
+		s := frontend.Status()
+		return len(s.Queries) == 1 && s.Queries[0].Reports == st.Reports
+	})
+	waitFor(t, "heartbeat with reconnect count", func() bool {
+		for _, a := range frontend.Status().Agents {
+			if a.ProcName == "worker" && a.Stats.Reconnects >= 1 && a.Stats.ReportsReplayed == 3 {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+func TestBoundedLossIsExactlyAccounted(t *testing.T) {
+	srv, err := bus.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	frontend := New("frontend")
+	frontend.Define("Work.Do", "n")
+	feDisconnect, err := frontend.ConnectFrontend(addr, chaosBusOptions(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer feDisconnect()
+
+	worker := New("worker")
+	tp := worker.Define("Work.Do", "n")
+	// Tiny ring: only 2 outage reports survive; older ones are evicted
+	// and counted as dropped.
+	wkDisconnect, err := worker.ConnectBusWith(addr, chaosBusOptions(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wkDisconnect()
+
+	q, err := frontend.Install(`From w In Work.Do GroupBy w.host Select w.host, COUNT`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "install to reach the worker", tp.Enabled)
+
+	tp.Here(worker.NewRequest(context.Background()), int64(0))
+	worker.Flush()
+	waitFor(t, "pre-outage results", func() bool { return countRow(q) == 1 })
+
+	srv.Close()
+	waitFor(t, "worker link down", func() bool { return !linkConnected(worker) })
+	// Five one-crossing reports during the outage; the ring keeps the
+	// newest two.
+	for i := 0; i < 5; i++ {
+		tp.Here(worker.NewRequest(context.Background()), int64(i))
+		worker.Flush()
+	}
+	if st := worker.Agent.Stats(); st.ReportsRetained != 5 || st.ReportsDropped != 3 {
+		t.Fatalf("outage stats = %+v", st)
+	}
+
+	srv2, err := bus.Serve(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	waitFor(t, "worker link reconnect", func() bool { return linkConnected(worker) })
+	waitFor(t, "surviving reports to replay", func() bool { return worker.Agent.Buffered() == 0 })
+
+	// Convergence with bounded, fully accounted loss: 6 crossings total,
+	// 3 lost to the ring bound, so COUNT converges to exactly 3.
+	waitFor(t, "results to converge", func() bool { return countRow(q) == 3 })
+	st := worker.Agent.Stats()
+	if st.ReportsReplayed != 2 || st.ReportsDropped != 3 {
+		t.Errorf("recovery stats = %+v", st)
+	}
+	// The ledger balances: published = merged + dropped.
+	waitFor(t, "report ledger to balance", func() bool {
+		s := frontend.Status()
+		return len(s.Queries) == 1 && s.Queries[0].Reports == st.Reports-st.ReportsDropped
+	})
+}
