@@ -1,8 +1,9 @@
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench fuzz-smoke coverage differential
 
-check: fmt vet build race
+check: fmt vet build race fuzz-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -22,3 +23,26 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 0.5s -run xxx .
+
+# Replay the checked-in fuzz corpora, then give each target a short live
+# fuzzing burst. FUZZTIME=2m fuzz-smoke for a deeper local run.
+fuzz-smoke:
+	$(GO) test ./internal/tuple ./internal/wire -run '^Fuzz'
+	@set -e; for t in FuzzDecodeValue FuzzDecodeTuple FuzzValueRoundTrip; do \
+		$(GO) test ./internal/tuple -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME); done
+	@set -e; for t in FuzzUnmarshal FuzzDecodeExpr; do \
+		$(GO) test ./internal/wire -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME); done
+
+# Full-suite statement coverage, failing if the total drops below the
+# floor recorded in coverage.baseline.
+coverage:
+	$(GO) test ./... -coverprofile=cover.out
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	floor=$$(cat coverage.baseline); \
+	echo "total coverage: $$total% (floor: $$floor%)"; \
+	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage dropped below the recorded baseline"; exit 1; }
+
+# The differential query-correctness sweep under the race detector.
+differential:
+	PT_DIFF_CASES=500 $(GO) test ./pivot -race -run TestDifferentialPipelineMatchesOracle

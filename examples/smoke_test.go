@@ -1,0 +1,49 @@
+// Package examples_test smoke-tests every runnable example: each one
+// must build, exit cleanly within the timeout, and print the output
+// markers that its README-level story depends on.
+package examples_test
+
+import (
+	"context"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExamplesRunCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples build and run whole programs; skipped in -short mode")
+	}
+	cases := []struct {
+		dir     string
+		markers []string
+	}{
+		{"quickstart", []string{"installed query; compiled advice:", "OBSERVE"}},
+		{"crosstier", []string{"storage bytes by originating application"}},
+		{"distributed", []string{"advice woven remotely: gateway=true store=true"}},
+		{"latency", []string{"avg latency"}},
+		{"replicadebug", []string{"Symptom:", "HDFS-6268"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			// The test runs with examples/ as its working directory; the
+			// example packages are addressed from the module root.
+			cmd := exec.CommandContext(ctx, "go", "run", "./examples/"+tc.dir)
+			cmd.Dir = ".."
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", tc.dir, err, out)
+			}
+			for _, m := range tc.markers {
+				if !strings.Contains(string(out), m) {
+					t.Errorf("output of %s is missing marker %q\n%s", tc.dir, m, out)
+				}
+			}
+		})
+	}
+}

@@ -1,11 +1,12 @@
 package baggage
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
-	"testing/quick"
 
 	"repro/internal/agg"
+	"repro/internal/randtest"
 	"repro/internal/tuple"
 )
 
@@ -56,32 +57,34 @@ func branchTree(seed int64, steps int) (got, want int64) {
 }
 
 func TestQuickExactlyOnceAcrossBranchTopologies(t *testing.T) {
-	f := func(seed int64) bool {
+	randtest.Check(t, 300, 100, func(seed int64) error {
 		got, want := branchTree(seed, 40)
-		return got == want
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
-		t.Fatal(err)
-	}
+		if got != want {
+			return fmt.Errorf("count = %d after rejoining all branches, want %d packs", got, want)
+		}
+		return nil
+	})
+}
+
+// allKinds is one SetSpec per set kind, for round-trip and merge checks.
+var allKinds = []SetSpec{
+	{Kind: All, Fields: tuple.Schema{"a", "b"}},
+	{Kind: First, Fields: tuple.Schema{"a", "b"}},
+	{Kind: FirstN, N: 3, Fields: tuple.Schema{"a", "b"}},
+	{Kind: Recent, Fields: tuple.Schema{"a", "b"}},
+	{Kind: RecentN, N: 2, Fields: tuple.Schema{"a", "b"}},
+	{Kind: Frontier, Fields: tuple.Schema{"a", "b"}},
+	{Kind: Agg, Fields: tuple.Schema{"a", "b"},
+		GroupBy: []int{0}, Aggs: []AggField{{Pos: 1, Fn: agg.Sum}}},
 }
 
 // TestQuickSerializeRoundtripPreservesEverything: serialize/deserialize is
 // lossless for random baggage contents across all set kinds.
 func TestQuickSerializeRoundtripPreservesEverything(t *testing.T) {
-	kinds := []SetSpec{
-		{Kind: All, Fields: tuple.Schema{"a", "b"}},
-		{Kind: First, Fields: tuple.Schema{"a", "b"}},
-		{Kind: FirstN, N: 3, Fields: tuple.Schema{"a", "b"}},
-		{Kind: Recent, Fields: tuple.Schema{"a", "b"}},
-		{Kind: RecentN, N: 2, Fields: tuple.Schema{"a", "b"}},
-		{Kind: Frontier, Fields: tuple.Schema{"a", "b"}},
-		{Kind: Agg, Fields: tuple.Schema{"a", "b"},
-			GroupBy: []int{0}, Aggs: []AggField{{Pos: 1, Fn: agg.Sum}}},
-	}
-	f := func(seed int64) bool {
+	randtest.Check(t, 200, 200, func(seed int64) error {
 		rng := rand.New(rand.NewSource(seed))
 		b := New()
-		for s, spec := range kinds {
+		for s, spec := range allKinds {
 			slot := spec.Kind.String() + string(rune('0'+s))
 			for i := 0; i < 1+rng.Intn(5); i++ {
 				b.Pack(slot, spec, tuple.Tuple{
@@ -91,31 +94,31 @@ func TestQuickSerializeRoundtripPreservesEverything(t *testing.T) {
 			}
 		}
 		d := Deserialize(b.Serialize())
-		for s, spec := range kinds {
+		for s, spec := range allKinds {
 			slot := spec.Kind.String() + string(rune('0'+s))
 			want := b.Unpack(slot)
 			got := d.Unpack(slot)
 			if len(want) != len(got) {
-				return false
+				return fmt.Errorf("slot %s: %d rows after round-trip, want %d", slot, len(got), len(want))
 			}
 			for i := range want {
 				if !want[i].Equal(got[i]) {
-					return false
+					return fmt.Errorf("slot %s row %d: %v after round-trip, want %v", slot, i, got[i], want[i])
 				}
 			}
 		}
-		return d.ByteSize() == b.ByteSize()
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
-		t.Fatal(err)
-	}
+		if d.ByteSize() != b.ByteSize() {
+			return fmt.Errorf("ByteSize %d after round-trip, want %d", d.ByteSize(), b.ByteSize())
+		}
+		return nil
+	})
 }
 
 // TestQuickSplitNeverLeaksAcrossSiblings: tuples packed in one branch are
 // never visible in a concurrent sibling, for random nested splits.
 func TestQuickSplitNeverLeaksAcrossSiblings(t *testing.T) {
 	spec := SetSpec{Kind: All, Fields: tuple.Schema{"v"}}
-	f := func(seed int64) bool {
+	randtest.Check(t, 200, 300, func(seed int64) error {
 		rng := rand.New(rand.NewSource(seed))
 		root := New()
 		a, b := root.Split()
@@ -130,11 +133,11 @@ func TestQuickSplitNeverLeaksAcrossSiblings(t *testing.T) {
 		for _, br := range branches {
 			br.Pack("s", spec, tuple.Tuple{tuple.Int(1)})
 		}
-		return b.Unpack("s") == nil
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
-		t.Fatal(err)
-	}
+		if rows := b.Unpack("s"); rows != nil {
+			return fmt.Errorf("sibling branch sees %d leaked rows", len(rows))
+		}
+		return nil
+	})
 }
 
 // TestQuickMergeCommutesWithWireRoundtrip: joining two branches gives the
@@ -142,20 +145,10 @@ func TestQuickSplitNeverLeaksAcrossSiblings(t *testing.T) {
 // Set merge/union semantics of every kind (append, left-wins, capacity
 // clamps, frontier dedup, AGG group merge) survive the varint codec.
 func TestQuickMergeCommutesWithWireRoundtrip(t *testing.T) {
-	kinds := []SetSpec{
-		{Kind: All, Fields: tuple.Schema{"a", "b"}},
-		{Kind: First, Fields: tuple.Schema{"a", "b"}},
-		{Kind: FirstN, N: 3, Fields: tuple.Schema{"a", "b"}},
-		{Kind: Recent, Fields: tuple.Schema{"a", "b"}},
-		{Kind: RecentN, N: 2, Fields: tuple.Schema{"a", "b"}},
-		{Kind: Frontier, Fields: tuple.Schema{"a", "b"}},
-		{Kind: Agg, Fields: tuple.Schema{"a", "b"},
-			GroupBy: []int{0}, Aggs: []AggField{{Pos: 1, Fn: agg.Sum}}},
-	}
-	f := func(seed int64) bool {
+	randtest.Check(t, 200, 400, func(seed int64) error {
 		rng := rand.New(rand.NewSource(seed))
 		left, right := New().Split()
-		for s, spec := range kinds {
+		for s, spec := range allKinds {
 			slot := spec.Kind.String() + string(rune('0'+s))
 			for _, br := range []*Baggage{left, right} {
 				for i := 0; i < rng.Intn(5); i++ {
@@ -168,41 +161,38 @@ func TestQuickMergeCommutesWithWireRoundtrip(t *testing.T) {
 		}
 		direct := Join(left, right)
 		wired := Join(Deserialize(left.Serialize()), Deserialize(right.Serialize()))
-		for s, spec := range kinds {
+		for s, spec := range allKinds {
 			slot := spec.Kind.String() + string(rune('0'+s))
 			want := direct.Unpack(slot)
 			got := wired.Unpack(slot)
 			if len(want) != len(got) {
-				return false
+				return fmt.Errorf("slot %s: wired join has %d rows, direct has %d", slot, len(got), len(want))
 			}
 			for i := range want {
 				if !want[i].Equal(got[i]) {
-					return false
+					return fmt.Errorf("slot %s row %d: wired %v, direct %v", slot, i, got[i], want[i])
 				}
 			}
 			// Kind-specific merge invariants.
 			switch spec.Kind {
 			case First, Recent:
 				if len(got) > 1 {
-					return false
+					return fmt.Errorf("slot %s: %d rows, capacity is 1", slot, len(got))
 				}
 			case FirstN, RecentN:
 				if len(got) > spec.N {
-					return false
+					return fmt.Errorf("slot %s: %d rows, capacity is %d", slot, len(got), spec.N)
 				}
 			case Frontier:
 				for i := range got {
 					for j := i + 1; j < len(got); j++ {
 						if got[i].Equal(got[j]) {
-							return false
+							return fmt.Errorf("slot %s: duplicate frontier rows %d and %d", slot, i, j)
 						}
 					}
 				}
 			}
 		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
-		t.Fatal(err)
-	}
+		return nil
+	})
 }

@@ -1,0 +1,378 @@
+// Package oracle is a reference evaluator for Pivot Tracing queries. It
+// takes a parsed query plus a fully materialized causal trace — every
+// tracepoint firing with its captured variables and its happened-before
+// set — and computes the exact expected result set in one process, with
+// no baggage, no agents, and no bus. It is deliberately small and direct
+// so that it is obviously correct; the differential harness in
+// pivot/differential_test.go runs the same cases through the real
+// distributed pipeline and asserts byte-equal results.
+//
+// Evaluation model. Each query event (a firing of a From-source
+// tracepoint) contributes the cross product of its own observed fields
+// with the "stream" of every directly joined alias. The stream of alias
+// j at event e is the concatenation, in firing order, of the rows
+// produced at every j-source firing that happened strictly before e —
+// where each such firing in turn crosses its own observation with the
+// streams of ITS upstream aliases (nested happened-before joins), and an
+// empty upstream stream suppresses the firing entirely (inner-join
+// semantics, matching advice's DroppedByJoin). A temporal filter on a
+// joined source retains a prefix (First/FirstN) or suffix
+// (MostRecent/MostRecentN) of the stream; firing order is only
+// meaningful on linear traces, so the case generator emits temporal
+// filters only there. Where predicates are evaluated as one conjunction
+// over the fully joined rows — equivalent to the planner's push-down
+// placement for every query the generator emits (predicate push-down
+// only changes results when a predicate lands below a temporal filter,
+// which the generator rules out). Aggregation replicates the documented
+// numeric semantics of internal/agg independently: SUM promotes to float
+// iff any input was a float, AVERAGE is always the float sum over the
+// count, MIN/MAX order by tuple.Value.Compare, and an empty input
+// produces no rows at all.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/agg"
+	"repro/internal/query"
+	"repro/internal/tracepoint"
+	"repro/internal/tuple"
+)
+
+// Event is one tracepoint firing in a materialized trace.
+type Event struct {
+	// Tracepoint is the dotted name of the tracepoint that fired.
+	Tracepoint string
+	// Values holds the full observed tuple by field name: the default
+	// exports (host, time, procName, procId, tracepoint) plus every
+	// declared export.
+	Values map[string]tuple.Value
+	// Before is the happened-before set: indexes (into Trace.Events) of
+	// the events that causally precede this one, transitively closed.
+	Before map[int]bool
+}
+
+// Trace is a fully materialized causal trace. Events are listed in
+// firing order; an event's index is its identity.
+type Trace struct {
+	Events []Event
+}
+
+// node is one query alias resolved against its sources.
+type node struct {
+	alias     string
+	tps       map[string]bool // source tracepoint names (unions have several)
+	filter    query.TempFilter
+	n         int
+	upstreams []*node // aliases happened-before-joined to this one, in join order
+}
+
+// row binds field references to values for one joined result row.
+type row map[query.FieldRef]tuple.Value
+
+type evaluator struct {
+	tr   *Trace
+	memo map[string][]row // "alias\x00eventIndex" → stream
+}
+
+// Evaluate computes the expected result set of q over tr. The registry
+// supplies tracepoint schemas for semantic analysis only. Grouped and
+// raw results alike are returned in evaluation order; compare result
+// sets with Canonical, which is order-insensitive.
+func Evaluate(q *query.Query, reg *tracepoint.Registry, tr *Trace) ([]tuple.Tuple, error) {
+	a, err := query.Analyze(q, reg, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(a.Subqueries) > 0 {
+		return nil, fmt.Errorf("oracle: subquery sources are not supported")
+	}
+
+	nodes := map[string]*node{}
+	from := &node{alias: q.From.Alias, tps: map[string]bool{}}
+	for _, s := range q.From.Sources {
+		from.tps[s.Tracepoint] = true
+	}
+	nodes[from.alias] = from
+	for i := range q.Joins {
+		j := &q.Joins[i]
+		nodes[j.Alias] = &node{
+			alias:  j.Alias,
+			tps:    map[string]bool{j.Source.Tracepoint: true},
+			filter: j.Source.Filter,
+			n:      j.Source.N,
+		}
+	}
+	for i := range q.Joins {
+		j := &q.Joins[i]
+		nodes[j.Right].upstreams = append(nodes[j.Right].upstreams, nodes[j.Alias])
+	}
+
+	ev := &evaluator{tr: tr, memo: map[string][]row{}}
+
+	// Assemble the working rows: one batch per From-source firing, with
+	// the Where conjunction applied over the fully joined rows.
+	var work []row
+	for i := range tr.Events {
+		if !from.tps[tr.Events[i].Tracepoint] {
+			continue
+		}
+		for _, r := range ev.contrib(from, i) {
+			if passes(q.Where, r) {
+				work = append(work, r)
+			}
+		}
+	}
+
+	grouped := len(q.GroupBy) > 0
+	for _, si := range q.Select {
+		if si.HasAgg {
+			grouped = true
+		}
+	}
+	if !grouped {
+		out := make([]tuple.Tuple, 0, len(work))
+		for _, r := range work {
+			t := make(tuple.Tuple, len(q.Select))
+			for i, si := range q.Select {
+				t[i] = si.Expr.Eval(r.resolve)
+			}
+			out = append(out, t)
+		}
+		return out, nil
+	}
+
+	// Grouped / aggregated output: group rows by the encoded GroupBy
+	// values, fold every aggregate, then emit one row per group. No
+	// input rows means no output rows (there is no COUNT=0 row).
+	type group struct {
+		rep    row
+		states []*aggState
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, r := range work {
+		kt := make(tuple.Tuple, len(q.GroupBy))
+		for i, gref := range q.GroupBy {
+			kt[i] = r[gref]
+		}
+		key := string(tuple.AppendTuple(nil, kt))
+		g, ok := groups[key]
+		if !ok {
+			g = &group{rep: r, states: make([]*aggState, len(q.Select))}
+			for i, si := range q.Select {
+				if si.HasAgg {
+					g.states[i] = &aggState{fn: si.Agg}
+				}
+			}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for i, si := range q.Select {
+			if !si.HasAgg {
+				continue
+			}
+			if si.Expr == nil { // bare COUNT
+				g.states[i].add(tuple.Null)
+			} else {
+				g.states[i].add(si.Expr.Eval(r.resolve))
+			}
+		}
+	}
+	out := make([]tuple.Tuple, 0, len(order))
+	for _, key := range order {
+		g := groups[key]
+		t := make(tuple.Tuple, len(q.Select))
+		for i, si := range q.Select {
+			if si.HasAgg {
+				t[i] = g.states[i].result()
+			} else {
+				t[i] = si.Expr.Eval(g.rep.resolve)
+			}
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// contrib returns the rows produced when event i crosses node n: the
+// event's own fields crossed with the stream of every upstream alias.
+// Any empty upstream stream suppresses the crossing (inner join).
+func (ev *evaluator) contrib(n *node, i int) []row {
+	base := row{}
+	for f, v := range ev.tr.Events[i].Values {
+		base[query.FieldRef{Alias: n.alias, Field: f}] = v
+	}
+	out := []row{base}
+	for _, up := range n.upstreams {
+		s := ev.stream(up, i)
+		if len(s) == 0 {
+			return nil
+		}
+		next := make([]row, 0, len(out)*len(s))
+		for _, r := range out {
+			for _, ur := range s {
+				next = append(next, merged(r, ur))
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// stream returns the rows of alias n visible at event `at`: the
+// concatenation, in firing order, of the contributions of every
+// n-source firing that happened strictly before `at`, with n's temporal
+// retention applied to the whole stream.
+func (ev *evaluator) stream(n *node, at int) []row {
+	key := fmt.Sprintf("%s\x00%d", n.alias, at)
+	if s, ok := ev.memo[key]; ok {
+		return s
+	}
+	var all []row
+	for j := range ev.tr.Events {
+		if !n.tps[ev.tr.Events[j].Tracepoint] || !ev.tr.Events[at].Before[j] {
+			continue
+		}
+		all = append(all, ev.contrib(n, j)...)
+	}
+	all = retain(n, all)
+	ev.memo[key] = all
+	return all
+}
+
+func retain(n *node, rows []row) []row {
+	switch n.filter {
+	case query.FilterFirst:
+		if len(rows) > 1 {
+			rows = rows[:1]
+		}
+	case query.FilterFirstN:
+		if len(rows) > n.n {
+			rows = rows[:n.n]
+		}
+	case query.FilterMostRecent:
+		if len(rows) > 1 {
+			rows = rows[len(rows)-1:]
+		}
+	case query.FilterMostRecentN:
+		if len(rows) > n.n {
+			rows = rows[len(rows)-n.n:]
+		}
+	}
+	return rows
+}
+
+func merged(a, b row) row {
+	m := make(row, len(a)+len(b))
+	for k, v := range a {
+		m[k] = v
+	}
+	for k, v := range b {
+		m[k] = v
+	}
+	return m
+}
+
+func passes(where []query.Expr, r row) bool {
+	for _, w := range where {
+		if !w.Eval(r.resolve).Bool() {
+			return false
+		}
+	}
+	return true
+}
+
+func (r row) resolve(f query.FieldRef) tuple.Value { return r[f] }
+
+// aggState independently replicates the numeric semantics of
+// internal/agg (a differential target, so deliberately not reused).
+type aggState struct {
+	fn       agg.Func
+	count    int64
+	sumI     int64
+	sumF     float64
+	anyFloat bool
+	best     tuple.Value
+	seen     bool
+}
+
+func (s *aggState) add(v tuple.Value) {
+	s.count++
+	switch s.fn {
+	case agg.Sum, agg.Average:
+		if v.Kind() == tuple.KindFloat {
+			s.anyFloat = true
+		}
+		s.sumI += v.Int()
+		s.sumF += v.Float()
+	case agg.Min:
+		if !s.seen || v.Compare(s.best) < 0 {
+			s.best = v
+		}
+	case agg.Max:
+		if !s.seen || v.Compare(s.best) > 0 {
+			s.best = v
+		}
+	}
+	s.seen = true
+}
+
+func (s *aggState) result() tuple.Value {
+	switch s.fn {
+	case agg.Count:
+		return tuple.Int(s.count)
+	case agg.Sum:
+		if s.anyFloat {
+			return tuple.Float(s.sumF)
+		}
+		return tuple.Int(s.sumI)
+	case agg.Average:
+		if s.count == 0 {
+			return tuple.Null
+		}
+		return tuple.Float(s.sumF / float64(s.count))
+	case agg.Min, agg.Max:
+		if !s.seen {
+			return tuple.Null
+		}
+		return s.best
+	default:
+		return tuple.Null
+	}
+}
+
+// Canonical returns a canonical encoding of a result set: each row
+// tuple-encoded, the encodings sorted and concatenated. Two result sets
+// are equal as multisets iff their canonical encodings are byte-equal.
+func Canonical(rows []tuple.Tuple) []byte {
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		keys[i] = string(tuple.AppendTuple(nil, r))
+	}
+	sort.Strings(keys)
+	return []byte(strings.Join(keys, ""))
+}
+
+// Format renders a result set one row per line in canonical order, for
+// failure diagnostics.
+func Format(rows []tuple.Tuple) string {
+	type pair struct{ key, text string }
+	pairs := make([]pair, len(rows))
+	for i, r := range rows {
+		pairs[i] = pair{string(tuple.AppendTuple(nil, r)), r.String()}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].key < pairs[j].key })
+	if len(pairs) == 0 {
+		return "  (no rows)"
+	}
+	var b strings.Builder
+	for _, p := range pairs {
+		b.WriteString("  ")
+		b.WriteString(p.text)
+		b.WriteString("\n")
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,160 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/tracepoint"
+	"repro/internal/tuple"
+)
+
+// reg builds a registry with the test vocabulary.
+func reg() *tracepoint.Registry {
+	r := tracepoint.NewRegistry()
+	r.Define("A", "x")
+	r.Define("A2", "x")
+	r.Define("B", "y")
+	r.Define("C", "z")
+	return r
+}
+
+// ev builds one trace event with the default exports filled in.
+func ev(tp string, t int64, before []int, kv ...any) Event {
+	vals := map[string]tuple.Value{
+		"host":       tuple.String("h0"),
+		"time":       tuple.Int(t),
+		"procName":   tuple.String("p0"),
+		"procId":     tuple.Int(1),
+		"tracepoint": tuple.String(tp),
+	}
+	for i := 0; i+1 < len(kv); i += 2 {
+		vals[kv[i].(string)] = tuple.Of(kv[i+1])
+	}
+	b := map[int]bool{}
+	for _, i := range before {
+		b[i] = true
+	}
+	return Event{Tracepoint: tp, Values: vals, Before: b}
+}
+
+func mustEval(t *testing.T, text string, tr *Trace) []tuple.Tuple {
+	t.Helper()
+	q, err := query.Parse(text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	rows, err := Evaluate(q, reg(), tr)
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	return rows
+}
+
+func wantRows(t *testing.T, got []tuple.Tuple, want ...tuple.Tuple) {
+	t.Helper()
+	if string(Canonical(got)) != string(Canonical(want)) {
+		t.Fatalf("result mismatch\ngot:\n%s\nwant:\n%s", Format(got), Format(want))
+	}
+}
+
+func TestGroupedCountAndSum(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		ev("A", 1, nil, "x", 2),
+		ev("A", 2, []int{0}, "x", 3),
+		ev("B", 3, []int{0, 1}, "y", 7), // not a From source; ignored
+	}}
+	got := mustEval(t, "From a In A GroupBy a.host Select a.host, COUNT, SUM(a.x)", tr)
+	wantRows(t, got, tuple.Tuple{tuple.String("h0"), tuple.Int(2), tuple.Int(5)})
+}
+
+func TestHappenedBeforeJoinRespectsConcurrency(t *testing.T) {
+	// b0 precedes a2; b1 is concurrent with a2 (fired on a branch that
+	// never joined back), so only b0's tuple joins.
+	tr := &Trace{Events: []Event{
+		ev("B", 1, nil, "y", 10),        // 0: b0
+		ev("B", 2, nil, "y", 20),        // 1: b1, concurrent branch
+		ev("A", 3, []int{0}, "x", 1),    // 2: sees only b0
+		ev("A", 4, []int{0, 1}, "x", 1), // 3: after both
+	}}
+	got := mustEval(t, "From a In A Join b In B On b -> a Select SUM(b.y)", tr)
+	wantRows(t, got, tuple.Tuple{tuple.Int(10 + 10 + 20)})
+}
+
+func TestInnerJoinDropsEventsWithNoPredecessor(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		ev("A", 1, nil, "x", 5), // no B before it: dropped entirely
+		ev("B", 2, []int{0}, "y", 1),
+		ev("A", 3, []int{0, 1}, "x", 7),
+	}}
+	got := mustEval(t, "From a In A Join b In B On b -> a Select a.x, b.y", tr)
+	wantRows(t, got, tuple.Tuple{tuple.Int(7), tuple.Int(1)})
+}
+
+func TestTemporalFirstOnLinearTrace(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		ev("B", 1, nil, "y", 1),
+		ev("B", 2, []int{0}, "y", 2),
+		ev("B", 3, []int{0, 1}, "y", 3),
+		ev("A", 4, []int{0, 1, 2}, "x", 0),
+	}}
+	got := mustEval(t, "From a In A Join b In First(B) On b -> a Select b.y", tr)
+	wantRows(t, got, tuple.Tuple{tuple.Int(1)})
+
+	got = mustEval(t, "From a In A Join b In MostRecentN(2, B) On b -> a Select b.y", tr)
+	wantRows(t, got, tuple.Tuple{tuple.Int(2)}, tuple.Tuple{tuple.Int(3)})
+}
+
+func TestNestedJoinAndWhere(t *testing.T) {
+	// c -> b -> a chain; the Where predicate on c prunes one chain.
+	tr := &Trace{Events: []Event{
+		ev("C", 1, nil, "z", 1),            // 0
+		ev("C", 2, []int{0}, "z", 9),       // 1
+		ev("B", 3, []int{0, 1}, "y", 4),    // 2: sees both c
+		ev("A", 4, []int{0, 1, 2}, "x", 8), // 3
+	}}
+	got := mustEval(t,
+		"From a In A Join b In B On b -> a Join c In C On c -> b Where c.z < 5 Select a.x, b.y, c.z", tr)
+	wantRows(t, got, tuple.Tuple{tuple.Int(8), tuple.Int(4), tuple.Int(1)})
+}
+
+func TestUnionFromSources(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		ev("A", 1, nil, "x", 1),
+		ev("A2", 2, []int{0}, "x", 2),
+	}}
+	got := mustEval(t, "From a In A, A2 GroupBy a.tracepoint Select a.tracepoint, COUNT", tr)
+	wantRows(t, got,
+		tuple.Tuple{tuple.String("A"), tuple.Int(1)},
+		tuple.Tuple{tuple.String("A2"), tuple.Int(1)})
+}
+
+func TestAverageAndFloatPromotion(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		ev("A", 1, nil, "x", 1.5),
+		ev("A", 2, []int{0}, "x", 2),
+	}}
+	got := mustEval(t, "From a In A Select AVERAGE(a.x), SUM(a.x), MIN(a.x), MAX(a.x)", tr)
+	wantRows(t, got, tuple.Tuple{
+		tuple.Float(1.75), tuple.Float(3.5), tuple.Float(1.5), tuple.Int(2)})
+}
+
+func TestEmptyInputProducesNoRows(t *testing.T) {
+	got := mustEval(t, "From a In A Select COUNT", &Trace{})
+	if len(got) != 0 {
+		t.Fatalf("want no rows for an empty trace, got %v", got)
+	}
+}
+
+func TestRawProjectionKeepsMultiplicity(t *testing.T) {
+	// Two From events after the same b: b's tuple appears once per From
+	// event (raw mode preserves multiplicity, no dedup).
+	tr := &Trace{Events: []Event{
+		ev("B", 1, nil, "y", 6),
+		ev("A", 2, []int{0}, "x", 1),
+		ev("A", 3, []int{0, 1}, "x", 2),
+	}}
+	got := mustEval(t, "From a In A Join b In B On b -> a Select a.x, b.y", tr)
+	wantRows(t, got,
+		tuple.Tuple{tuple.Int(1), tuple.Int(6)},
+		tuple.Tuple{tuple.Int(2), tuple.Int(6)})
+}

@@ -298,6 +298,26 @@ func (qc *queryCompiler) decidePushdown() {
 		}
 		qc.pushed[i] = f.Alias
 	}
+	// Pushing an aggregate replaces the alias's packed tuples with merged
+	// partials, collapsing the alias's tuple multiplicity at the emit
+	// point. That is only sound if the whole aggregation moves together:
+	// any aggregate left behind (bare COUNT, AVERAGE, computed arguments,
+	// From-alias arguments) would see the collapsed multiplicity, and two
+	// aggregates pushed onto different aliases would each collapse the
+	// other's cartesian multiplier. Unless every aggregated output pushes
+	// onto one and the same alias, push nothing.
+	alias := ""
+	for i, si := range qc.q.Select {
+		if !si.HasAgg {
+			continue
+		}
+		a, ok := qc.pushed[i]
+		if !ok || (alias != "" && a != alias) {
+			clear(qc.pushed)
+			return
+		}
+		alias = a
+	}
 }
 
 // canon canonicalizes a bare subquery reference to its single output column.

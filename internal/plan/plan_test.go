@@ -333,6 +333,114 @@ func TestCountPushdownUsesSumCombiner(t *testing.T) {
 	}
 }
 
+// pushedPackKinds returns the pack set kinds of the plan's non-emitting
+// programs, to observe whether aggregation push-down happened.
+func pushedPackKinds(p *Plan) []baggage.SetKind {
+	var out []baggage.SetKind
+	for _, prog := range p.Programs {
+		if prog.Pack != nil {
+			out = append(out, prog.Pack.Spec.Kind)
+		}
+	}
+	return out
+}
+
+func TestMixedAggregationBlocksPushdown(t *testing.T) {
+	// A pushed aggregate collapses the alias's tuple multiplicity, which
+	// corrupts any aggregate that stays behind — here the bare COUNT
+	// counts joined rows, so d must keep packing raw tuples.
+	reg := tracepoint.NewRegistry()
+	reg.Define("Final")
+	reg.Define("Disk", "bytes")
+	h := install(t, reg, nil,
+		`From f In Final
+		 Join d In Disk On d -> f
+		 GroupBy f.host
+		 Select f.host, SUM(d.bytes), COUNT`, Optimized)
+	for _, k := range pushedPackKinds(h.plan) {
+		if k == baggage.Agg {
+			t.Fatalf("mixed aggregation must not push down; got AGG pack")
+		}
+	}
+
+	ctx := newRequest("h1", "p")
+	disk := reg.Lookup("Disk")
+	final := reg.Lookup("Final")
+	disk.Here(ctx, 10)
+	disk.Here(ctx, 5)
+	final.Here(ctx)
+	rows := h.acc.Rows()
+	if len(rows) != 1 || rows[0][1].Int() != 15 || rows[0][2].Int() != 2 {
+		t.Fatalf("rows = %v, want [h1 15 2]", rows)
+	}
+}
+
+func TestPushdownOntoTwoAliasesDisabled(t *testing.T) {
+	// Two aggregates over two different joined aliases: pushing either
+	// collapses the other's cartesian multiplier, so neither may push.
+	reg := tracepoint.NewRegistry()
+	reg.Define("Final")
+	reg.Define("Disk", "bytes")
+	reg.Define("Net", "pkts")
+	h := install(t, reg, nil,
+		`From f In Final
+		 Join d In Disk On d -> f
+		 Join n In Net On n -> f
+		 Select SUM(d.bytes), SUM(n.pkts)`, Optimized)
+	for _, k := range pushedPackKinds(h.plan) {
+		if k == baggage.Agg {
+			t.Fatalf("cross-alias aggregation must not push down; got AGG pack")
+		}
+	}
+
+	// Two disk and three net events: the cartesian product means each
+	// disk tuple is counted 3 times and each net tuple twice.
+	ctx := newRequest("h1", "p")
+	disk, net, final := reg.Lookup("Disk"), reg.Lookup("Net"), reg.Lookup("Final")
+	disk.Here(ctx, 10)
+	disk.Here(ctx, 1)
+	net.Here(ctx, 100)
+	net.Here(ctx, 20)
+	net.Here(ctx, 3)
+	final.Here(ctx)
+	rows := h.acc.Rows()
+	if len(rows) != 1 || rows[0][0].Int() != 3*11 || rows[0][1].Int() != 2*123 {
+		t.Fatalf("rows = %v, want [33 246]", rows)
+	}
+}
+
+func TestAllAggregatesOnOneAliasStillPush(t *testing.T) {
+	// The guard must not cost the common case: every aggregate on the
+	// same directly-joined alias still packs partial aggregates.
+	reg := tracepoint.NewRegistry()
+	reg.Define("Final")
+	reg.Define("Disk", "bytes")
+	h := install(t, reg, nil,
+		`From f In Final
+		 Join d In Disk On d -> f
+		 GroupBy f.host
+		 Select f.host, SUM(d.bytes), MAX(d.bytes)`, Optimized)
+	pushed := false
+	for _, k := range pushedPackKinds(h.plan) {
+		if k == baggage.Agg {
+			pushed = true
+		}
+	}
+	if !pushed {
+		t.Fatalf("same-alias aggregates should still push down")
+	}
+
+	ctx := newRequest("h1", "p")
+	disk, final := reg.Lookup("Disk"), reg.Lookup("Final")
+	disk.Here(ctx, 10)
+	disk.Here(ctx, 5)
+	final.Here(ctx)
+	rows := h.acc.Rows()
+	if len(rows) != 1 || rows[0][1].Int() != 15 || rows[0][2].Int() != 10 {
+		t.Fatalf("rows = %v, want [h1 15 10]", rows)
+	}
+}
+
 func TestQ8MostRecentAndComputedLatency(t *testing.T) {
 	reg := tracepoint.NewRegistry()
 	reg.Define("SendResponse")

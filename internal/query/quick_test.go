@@ -5,24 +5,28 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
-	"testing/quick"
+
+	"repro/internal/randtest"
 )
 
 // TestQuickParserNeverPanics throws random byte soup at the parser: it may
 // reject the input, but it must never panic.
 func TestQuickParserNeverPanics(t *testing.T) {
-	f := func(input string) (ok bool) {
+	randtest.Check(t, 500, 500, func(seed int64) (err error) {
+		rng := rand.New(rand.NewSource(seed))
+		raw := make([]byte, rng.Intn(64))
+		for i := range raw {
+			raw[i] = byte(rng.Intn(256))
+		}
+		input := string(raw)
 		defer func() {
-			if recover() != nil {
-				ok = false
+			if r := recover(); r != nil {
+				err = fmt.Errorf("parser panicked on %q: %v", input, r)
 			}
 		}()
 		Parse(input)
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
-		t.Fatal(err)
-	}
+		return nil
+	})
 }
 
 // TestQuickTokenSoupNeverPanics does the same with strings built from the
@@ -36,24 +40,22 @@ func TestQuickTokenSoupNeverPanics(t *testing.T) {
 		"<", "<=", ">", ">=", "+", "-", "*", "/", "&&", "||", "!",
 		"42", "3.5", `"str"`, "true", "false", ".",
 	}
-	f := func(seed int64) (ok bool) {
-		defer func() {
-			if recover() != nil {
-				ok = false
-			}
-		}()
+	randtest.Check(t, 1000, 600, func(seed int64) (err error) {
 		rng := rand.New(rand.NewSource(seed))
 		var b strings.Builder
 		for i := 0; i < rng.Intn(30); i++ {
 			b.WriteString(tokens[rng.Intn(len(tokens))])
 			b.WriteByte(' ')
 		}
-		Parse(b.String())
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
-		t.Fatal(err)
-	}
+		input := b.String()
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("parser panicked on %q: %v", input, r)
+			}
+		}()
+		Parse(input)
+		return nil
+	})
 }
 
 // randomQuery generates a random well-formed query AST as surface text.
@@ -89,23 +91,21 @@ func randomQuery(rng *rand.Rand) string {
 // TestQuickPrintParseFixpoint: parse(print(parse(q))) == parse(q) for
 // random well-formed queries.
 func TestQuickPrintParseFixpoint(t *testing.T) {
-	f := func(seed int64) bool {
+	randtest.Check(t, 300, 700, func(seed int64) error {
 		rng := rand.New(rand.NewSource(seed))
 		text := randomQuery(rng)
 		q1, err := Parse(text)
 		if err != nil {
-			t.Logf("generator produced invalid query %q: %v", text, err)
-			return false
+			return fmt.Errorf("generator produced invalid query %q: %w", text, err)
 		}
 		printed := q1.String()
 		q2, err := Parse(printed)
 		if err != nil {
-			t.Logf("reparse of %q failed: %v", printed, err)
-			return false
+			return fmt.Errorf("reparse of %q failed: %w", printed, err)
 		}
-		return q2.String() == printed
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
-		t.Fatal(err)
-	}
+		if q2.String() != printed {
+			return fmt.Errorf("print/parse fixpoint broken:\nfirst:  %s\nsecond: %s", printed, q2.String())
+		}
+		return nil
+	})
 }

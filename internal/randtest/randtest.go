@@ -1,0 +1,87 @@
+// Package randtest centralizes seed handling for the repo's randomized
+// tests. Every randomized test derives its cases from explicit int64
+// seeds so that a failure is always reproducible: the failing seed is
+// printed with a ready-to-run replay command, and an explicit seed can be
+// supplied with -seed (or the PT_SEED environment variable) to run just
+// that one case deterministically.
+package randtest
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+var seedFlag = flag.Int64("seed", 0, "replay a single randomized test case by seed (0 = run the full deterministic sweep); PT_SEED is equivalent")
+
+// Explicit returns the explicitly requested seed, if one was given via
+// -seed or PT_SEED. Seed 0 means "no explicit seed".
+func Explicit() (int64, bool) {
+	if *seedFlag != 0 {
+		return *seedFlag, true
+	}
+	if env := os.Getenv("PT_SEED"); env != "" {
+		if v, err := strconv.ParseInt(env, 10, 64); err == nil && v != 0 {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Seeds returns the seeds a randomized test should iterate: the single
+// explicit seed when one was given, or [base, base+n) for a full sweep.
+// The sweep is deterministic — CI and local runs see the same cases.
+func Seeds(n int, base int64) []int64 {
+	if s, ok := Explicit(); ok {
+		return []int64{s}
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)
+	}
+	return out
+}
+
+// Check runs prop once per seed from Seeds(n, base). A returned error
+// fails the test with the seed and a replay command; the sweep continues
+// so one run reports every failing seed.
+func Check(t *testing.T, n int, base int64, prop func(seed int64) error) {
+	t.Helper()
+	for _, seed := range Seeds(n, base) {
+		if err := prop(seed); err != nil {
+			t.Errorf("seed %d: %v\n%s", seed, err, Replay(t, seed))
+		}
+	}
+}
+
+// Replay formats the one-command reproduction line for a failing seed.
+func Replay(t testing.TB, seed int64) string {
+	return fmt.Sprintf("replay: go test ./... -run '^%s$' -seed=%d", t.Name(), seed)
+}
+
+// RegenCorpus rewrites the checked-in seed corpus for a fuzz target in
+// the native "go test fuzz v1" format, under testdata/fuzz/<target>/ in
+// the calling package's directory. It is a no-op unless PT_REGEN_CORPUS
+// is set, so the corpus stays stable in normal runs and can be rebuilt
+// with:
+//
+//	PT_REGEN_CORPUS=1 go test <pkg> -run TestRegen
+func RegenCorpus(t *testing.T, target string, entries map[string][]byte) {
+	t.Helper()
+	if os.Getenv("PT_REGEN_CORPUS") == "" {
+		t.Skip("set PT_REGEN_CORPUS=1 to rewrite the checked-in fuzz corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", target)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range entries {
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

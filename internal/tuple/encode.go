@@ -86,7 +86,14 @@ func DecodeTuple(buf []byte) (Tuple, []byte, error) {
 		return nil, nil, errTruncated
 	}
 	rest := buf[k:]
-	t := make(Tuple, 0, n)
+	// Each value takes at least one byte, so a corrupt count larger than
+	// the remaining buffer must not drive the preallocation. Compare in
+	// uint64: a count above MaxInt64 would go negative through int(n).
+	capHint := len(rest)
+	if n < uint64(capHint) {
+		capHint = int(n)
+	}
+	t := make(Tuple, 0, capHint)
 	for i := uint64(0); i < n; i++ {
 		var v Value
 		var err error

@@ -1,0 +1,132 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/advice"
+	"repro/internal/agent"
+	"repro/internal/agg"
+	"repro/internal/query"
+	"repro/internal/randtest"
+	"repro/internal/tuple"
+)
+
+// messageSeeds marshals one instance of every bus message type, plus
+// malformed shapes the decoder must reject without panicking or
+// preallocating for absurd claimed counts.
+func messageSeeds(t testing.TB) map[string][]byte {
+	mustMarshal := func(msg any) []byte {
+		buf, err := Marshal(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	st := agg.New(agg.Sum)
+	st.Add(tuple.Int(42))
+	return map[string][]byte{
+		"install": mustMarshal(agent.Install{
+			QueryID: "Q1",
+			Programs: []*advice.Program{{
+				QueryID: "Q1", Tracepoint: "Tp",
+				Observe: []int{0}, ObserveFields: tuple.Schema{"e.host"},
+				Emit: &advice.EmitOp{
+					Cols:    []advice.EmitCol{{Pos: 0}, {IsAgg: true, Pos: -1, Fn: agg.Count}},
+					GroupBy: []int{0}, Schema: tuple.Schema{"host", "COUNT"},
+				},
+			}},
+		}),
+		"uninstall": mustMarshal(agent.Uninstall{QueryID: "Q9"}),
+		"heartbeat": mustMarshal(agent.Heartbeat{
+			Host: "h", ProcName: "p", Time: time.Second, Interval: time.Second, Queries: 1,
+		}),
+		"status-request":  mustMarshal(agent.StatusRequest{ID: "s1"}),
+		"status-response": mustMarshal(agent.StatusResponse{ID: "s1", Text: "ok"}),
+		"report": mustMarshal(agent.Report{
+			QueryID: "Q1", Host: "h", ProcName: "p", Time: 5 * time.Second,
+			Groups: []*advice.Group{{
+				Key: "k", Rep: tuple.Tuple{tuple.String("h"), tuple.Int(1)},
+				States: []*agg.State{st},
+			}},
+			Raws: []tuple.Tuple{{tuple.Float(1.5)}},
+		}),
+		"bad-tag": {0x7f},
+		// Install claiming 2^28 programs in a one-byte body.
+		"huge-count": {TagInstall, 0x01, 'q', 0xff, 0xff, 0xff, 0x7f, 0x00},
+	}
+}
+
+// exprSeeds encodes a deeply nested expression plus malformed shapes.
+func exprSeeds(t testing.TB) map[string][]byte {
+	q, err := query.Parse(`From e In Tp Where (e.a + 2) * e.b >= 10 && !(e.s = "x") || e.t - 1.5 < 0 Select COUNT`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string][]byte{
+		"nested":  AppendExpr(nil, q.Where[0]),
+		"bad-tag": {0x7f},
+		"empty":   {},
+	}
+}
+
+// FuzzUnmarshal: decoding arbitrary bytes must never panic, and any
+// successfully decoded message must re-marshal to a stable canonical
+// encoding (Marshal ∘ Unmarshal is a fixpoint).
+func FuzzUnmarshal(f *testing.F) {
+	for _, s := range messageSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		enc, err := Marshal(msg)
+		if err != nil {
+			t.Fatalf("re-marshal of decoded %T: %v", msg, err)
+		}
+		msg2, err := Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("re-unmarshal of re-marshaled %T: %v", msg, err)
+		}
+		enc2, err := Marshal(msg2)
+		if err != nil {
+			t.Fatalf("second re-marshal of %T: %v", msg2, err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("%T encoding is not a fixpoint:\n%x\n%x", msg, enc, enc2)
+		}
+	})
+}
+
+// FuzzDecodeExpr: same contract for the expression codec used inside
+// advice programs.
+func FuzzDecodeExpr(f *testing.F) {
+	for _, s := range exprSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, rest, err := DecodeExpr(data)
+		if err != nil {
+			return
+		}
+		if len(rest) > len(data) {
+			t.Fatalf("decode returned more bytes than it was given")
+		}
+		enc := AppendExpr(nil, e)
+		e2, tail, err := DecodeExpr(enc)
+		if err != nil || len(tail) != 0 {
+			t.Fatalf("re-decode of re-encoded expr %s: err=%v trailing=%d", e, err, len(tail))
+		}
+		if enc2 := AppendExpr(nil, e2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("expr encoding is not a fixpoint:\n%x\n%x", enc, enc2)
+		}
+	})
+}
+
+func TestRegenWireFuzzCorpus(t *testing.T) {
+	randtest.RegenCorpus(t, "FuzzUnmarshal", messageSeeds(t))
+	randtest.RegenCorpus(t, "FuzzDecodeExpr", exprSeeds(t))
+}

@@ -49,13 +49,24 @@ func appendInts(buf []byte, xs []int) []byte {
 	return buf
 }
 
+// capHint bounds a decoded element count by what the remaining buffer
+// could possibly hold (one byte per element minimum), so a corrupt count
+// can't balloon a preallocation. Compared in uint64: a count above
+// MaxInt64 would go negative through a plain int conversion.
+func capHint(n uint64, buf []byte) int {
+	if n < uint64(len(buf)) {
+		return int(n)
+	}
+	return len(buf)
+}
+
 func decodeInts(buf []byte) ([]int, []byte, error) {
 	n, k := binary.Uvarint(buf)
 	if k <= 0 {
 		return nil, nil, errTruncated
 	}
 	buf = buf[k:]
-	out := make([]int, 0, n)
+	out := make([]int, 0, capHint(n, buf))
 	for i := uint64(0); i < n; i++ {
 		v, k := binary.Varint(buf)
 		if k <= 0 {
@@ -81,7 +92,7 @@ func decodeStrings(buf []byte) ([]string, []byte, error) {
 		return nil, nil, errTruncated
 	}
 	buf = buf[k:]
-	out := make([]string, 0, n)
+	out := make([]string, 0, capHint(n, buf))
 	for i := uint64(0); i < n; i++ {
 		var s string
 		var err error
@@ -201,7 +212,7 @@ func decodeBindings(buf []byte) (map[query.FieldRef]int, []byte, error) {
 		return nil, nil, errTruncated
 	}
 	buf = buf[k:]
-	m := make(map[query.FieldRef]int, n)
+	m := make(map[query.FieldRef]int, capHint(n, buf))
 	for i := uint64(0); i < n; i++ {
 		alias, rest, err := decodeString(buf)
 		if err != nil {
