@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check fmt vet build test race bench fuzz-smoke coverage differential
+.PHONY: check fmt vet build test race bench fuzz-smoke coverage differential safety
 
 check: fmt vet build race fuzz-smoke
 
@@ -27,11 +27,13 @@ bench:
 # Replay the checked-in fuzz corpora, then give each target a short live
 # fuzzing burst. FUZZTIME=2m fuzz-smoke for a deeper local run.
 fuzz-smoke:
-	$(GO) test ./internal/tuple ./internal/wire -run '^Fuzz'
+	$(GO) test ./internal/tuple ./internal/wire ./internal/baggage -run '^Fuzz'
 	@set -e; for t in FuzzDecodeValue FuzzDecodeTuple FuzzValueRoundTrip; do \
 		$(GO) test ./internal/tuple -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME); done
 	@set -e; for t in FuzzUnmarshal FuzzDecodeExpr; do \
 		$(GO) test ./internal/wire -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME); done
+	@set -e; for t in FuzzDecodeBaggage; do \
+		$(GO) test ./internal/baggage -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME); done
 
 # Full-suite statement coverage, failing if the total drops below the
 # floor recorded in coverage.baseline.
@@ -43,6 +45,14 @@ coverage:
 	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
 		{ echo "coverage dropped below the recorded baseline"; exit 1; }
 
-# The differential query-correctness sweep under the race detector.
+# The differential query-correctness sweeps (plain and budgeted) under
+# the race detector.
 differential:
-	PT_DIFF_CASES=500 $(GO) test ./pivot -race -run TestDifferentialPipelineMatchesOracle
+	PT_DIFF_CASES=500 $(GO) test ./pivot -race -run 'TestDifferentialPipelineMatchesOracle|TestBudgetedDifferentialTruncationAccounted'
+
+# The safety-valve chaos suite: advice quarantine, frontend-kill lease
+# expiry, budget exhaustion accounting, and the governance unit tests —
+# repeated under the race detector to shake out ordering assumptions.
+safety:
+	$(GO) test ./pivot -race -count=2 -run 'TestPanickingAdviceIsQuarantined|TestQuarantineNoticeCrossesBus|TestKilledFrontendLeaseExpiry|TestBudgetExhaustionAccounted|TestLeaseRenewalKeepsInProcessQueryAlive'
+	$(GO) test ./internal/agent ./internal/advice ./internal/baggage ./internal/tracepoint -race -count=2

@@ -142,6 +142,50 @@ func BenchmarkBaggageLazyForwarding(b *testing.B) {
 	})
 }
 
+// BenchmarkBudgetPressure measures the safety-valve tax on one request
+// that packs 32 AGG groups: plain Pack, PackBudgeted with the (ample)
+// default budget — the pure accounting cost — and PackBudgeted under a
+// 4-tuple budget, where 28 of the packs churn through whole-group
+// eviction, tombstone writes, and refusal of re-packs.
+func BenchmarkBudgetPressure(b *testing.B) {
+	spec := baggage.SetSpec{
+		Kind: baggage.Agg, Fields: tuple.Schema{"k", "v"},
+		GroupBy: []int{0}, Aggs: []baggage.AggField{{Pos: 1, Fn: agg.Sum}},
+	}
+	rows := make([]tuple.Tuple, 32)
+	for i := range rows {
+		rows[i] = tuple.Tuple{tuple.String(fmt.Sprintf("k%02d", i)), tuple.Int(int64(i))}
+	}
+	b.Run("unbudgeted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bag := baggage.New()
+			for _, t := range rows {
+				bag.Pack("q.a", spec, t)
+			}
+		}
+	})
+	b.Run("default-budget", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bag := baggage.New()
+			for _, t := range rows {
+				bag.PackBudgeted("q.a", spec, baggage.Budget{}, t)
+			}
+		}
+	})
+	b.Run("budget=4", func(b *testing.B) {
+		budget := baggage.Budget{MaxTuples: 4}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bag := baggage.New()
+			for _, t := range rows {
+				bag.PackBudgeted("q.a", spec, budget, t)
+			}
+		}
+	})
+}
+
 // BenchmarkTracepoint measures the zero-overhead-when-disabled claim and
 // the per-crossing cost with advice woven.
 func BenchmarkTracepoint(b *testing.B) {

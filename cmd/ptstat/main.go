@@ -10,6 +10,15 @@
 // so bounded loss during bus outages is visible and attributable rather
 // than silent.
 //
+// The governance (safety-valve) columns make resource protection equally
+// attributable: per agent, leases shed after a frontend died ("expired"),
+// advice programs quarantined by the panic/cost breaker ("quarant"), and
+// baggage bytes evicted by per-request budgets ("bagdrop"); per query,
+// the lease TTL the frontend keeps renewing ("lease"), groups lost to
+// budget truncation ("dropped"), and quarantine notices ("quarant"). A
+// query with nonzero dropped/quarant is partial — exact on the groups it
+// reports, explicit about what it lost.
+//
 // Usage:
 //
 //	ptstat -addr 127.0.0.1:7000            one-shot cluster view
@@ -31,8 +40,11 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/advice"
 	"repro/internal/agent"
+	"repro/internal/baggage"
 	"repro/internal/bus"
+	"repro/internal/plan"
 	"repro/internal/wire"
 	"repro/pivot"
 )
@@ -147,11 +159,27 @@ func runDemo() {
 	if err != nil {
 		panic(err)
 	}
+	// A deliberately tiny baggage budget demonstrates the governance
+	// accounting: the happened-before join can keep only one route group
+	// per request, tombstones the rest, and the status tables attribute
+	// the loss ("dropped", "bagdrop") instead of hiding it.
+	reply := pt.Define("Server.Reply", "status")
+	budgeted, err := pt.Frontend.InstallNamed("budget-demo",
+		`From r In Server.Reply Join h In Server.Handle On h -> r
+		GroupBy h.route Select h.route, SUM(h.bytes)`,
+		plan.Options{Optimize: true, Safety: advice.Safety{
+			Budget: baggage.Budget{MaxTuples: 1},
+		}})
+	if err != nil {
+		panic(err)
+	}
 
 	routes := []string{"/api/users", "/api/orders", "/healthz"}
 	for i := 0; i < 300; i++ {
 		ctx := pt.NewRequest(context.Background())
 		handle.Here(ctx, routes[i%len(routes)], 128+i)
+		handle.Here(ctx, routes[(i+1)%len(routes)], 64+i)
+		reply.Here(ctx, 200)
 		pivot.Inject(ctx) // exercise the baggage.Serialize meta-tracepoint
 	}
 	pt.Flush() // report app results; crosses agent.Report
@@ -162,4 +190,6 @@ func runDemo() {
 	for _, row := range meta.Rows() {
 		fmt.Printf("  %v\n", row)
 	}
+	fmt.Printf("\nbudgeted join (MaxTuples=1): %d rows, %d groups dropped, partial=%v\n",
+		len(budgeted.Rows()), budgeted.DroppedGroups(), budgeted.Partial())
 }

@@ -24,19 +24,124 @@ func (g *Group) Clone() *Group {
 	return c
 }
 
+// Limits bounds an accumulator's memory: group-by cardinality and raw-row
+// count. Both default on — an unbounded GROUP BY over a high-cardinality
+// key (or a raw query that never drains) must not grow agent memory
+// without bound. Zero fields select the defaults; negative fields disable
+// that cap. Every capped row is counted, never silently lost.
+type Limits struct {
+	MaxGroups int
+	MaxRaws   int
+}
+
+// Accumulator limit defaults.
+const (
+	DefaultMaxGroups = 16384
+	DefaultMaxRaws   = 65536
+)
+
+// OverflowKey identifies the overflow group that absorbs aggregate rows
+// beyond the group cap. The NUL prefix keeps it out of every real group's
+// key space (keys are encoded tuple values, which never start with NUL).
+const OverflowKey = "\x00overflow"
+
+func (l Limits) maxGroups() int {
+	switch {
+	case l.MaxGroups < 0:
+		return -1
+	case l.MaxGroups == 0:
+		return DefaultMaxGroups
+	default:
+		return l.MaxGroups
+	}
+}
+
+func (l Limits) maxRaws() int {
+	switch {
+	case l.MaxRaws < 0:
+		return -1
+	case l.MaxRaws == 0:
+		return DefaultMaxRaws
+	default:
+		return l.MaxRaws
+	}
+}
+
 // Accumulator aggregates emitted working tuples for one EmitOp. The same
 // type serves process-local aggregation in agents (fed by Add) and global
 // aggregation at the frontend (fed by MergeGroup/MergeRaw).
 type Accumulator struct {
 	Op     *EmitOp
+	limits Limits
 	groups map[string]*Group
 	order  []string
 	raws   []tuple.Tuple
+
+	// Cumulative eviction accounting; survives Reset so heartbeats can
+	// report exact totals for the query's lifetime.
+	rawsDropped      int64
+	groupsOverflowed int64
 }
 
-// NewAccumulator returns an empty accumulator for op.
+// NewAccumulator returns an empty accumulator for op with default limits.
 func NewAccumulator(op *EmitOp) *Accumulator {
 	return &Accumulator{Op: op, groups: make(map[string]*Group)}
+}
+
+// SetLimits replaces the accumulator's limits (zero value = defaults).
+func (a *Accumulator) SetLimits(l Limits) { a.limits = l }
+
+// RawsDropped returns how many raw rows FIFO eviction has discarded.
+func (a *Accumulator) RawsDropped() int64 { return a.rawsDropped }
+
+// GroupsOverflowed returns how many rows were folded into the overflow
+// group instead of their own group.
+func (a *Accumulator) GroupsOverflowed() int64 { return a.groupsOverflowed }
+
+// capRaws FIFO-evicts the oldest raw rows beyond the cap, counting each.
+func (a *Accumulator) capRaws() {
+	max := a.limits.maxRaws()
+	if max < 0 {
+		return
+	}
+	if excess := len(a.raws) - max; excess > 0 {
+		a.raws = append(a.raws[:0:0], a.raws[excess:]...)
+		a.rawsDropped += int64(excess)
+	}
+}
+
+// atGroupCap reports whether creating another real group would exceed the
+// cap (the overflow group itself rides above the cap).
+func (a *Accumulator) atGroupCap() bool {
+	max := a.limits.maxGroups()
+	if max < 0 {
+		return false
+	}
+	n := len(a.groups)
+	if _, ok := a.groups[OverflowKey]; ok {
+		n--
+	}
+	return n >= max
+}
+
+// overflowGroup returns the overflow group, creating it from a template
+// tuple on first use: aggregate states start empty, and non-aggregate
+// columns read "(overflow)" so the catch-all row is self-describing.
+func (a *Accumulator) overflowGroup(rep tuple.Tuple) *Group {
+	if g, ok := a.groups[OverflowKey]; ok {
+		return g
+	}
+	g := &Group{Key: OverflowKey, Rep: rep.Clone()}
+	for _, col := range a.Op.Cols {
+		if col.IsAgg {
+			g.States = append(g.States, agg.New(col.Fn))
+		} else if col.Pos >= 0 && col.Pos < len(g.Rep) {
+			g.Rep[col.Pos] = tuple.String("(overflow)")
+		}
+	}
+	a.groups[OverflowKey] = g
+	a.order = append(a.order, OverflowKey)
+	return g
 }
 
 // Add folds one emitted working tuple.
@@ -47,19 +152,25 @@ func (a *Accumulator) Add(w tuple.Tuple) {
 			row[i] = w[col.Pos]
 		}
 		a.raws = append(a.raws, row)
+		a.capRaws()
 		return
 	}
 	key := w.Key(a.Op.GroupBy)
 	g, ok := a.groups[key]
 	if !ok {
-		g = &Group{Key: key, Rep: w.Clone()}
-		for _, col := range a.Op.Cols {
-			if col.IsAgg {
-				g.States = append(g.States, agg.New(col.Fn))
+		if a.atGroupCap() {
+			a.groupsOverflowed++
+			g = a.overflowGroup(w)
+		} else {
+			g = &Group{Key: key, Rep: w.Clone()}
+			for _, col := range a.Op.Cols {
+				if col.IsAgg {
+					g.States = append(g.States, agg.New(col.Fn))
+				}
 			}
+			a.groups[key] = g
+			a.order = append(a.order, key)
 		}
-		a.groups[key] = g
-		a.order = append(a.order, key)
 	}
 	k := 0
 	for _, col := range a.Op.Cols {
@@ -76,13 +187,22 @@ func (a *Accumulator) Add(w tuple.Tuple) {
 }
 
 // MergeGroup folds a partial group from another accumulator (e.g. an
-// agent's report) into this one.
+// agent's report) into this one. Groups beyond the cap — including
+// overflow groups arriving from agents — merge into the local overflow
+// group, so "overflowed" stays exact end-to-end.
 func (a *Accumulator) MergeGroup(g *Group) {
 	mine, ok := a.groups[g.Key]
 	if !ok {
-		a.groups[g.Key] = g.Clone()
-		a.order = append(a.order, g.Key)
-		return
+		if g.Key == OverflowKey {
+			mine = a.overflowGroup(g.Rep)
+		} else if a.atGroupCap() {
+			a.groupsOverflowed++
+			mine = a.overflowGroup(g.Rep)
+		} else {
+			a.groups[g.Key] = g.Clone()
+			a.order = append(a.order, g.Key)
+			return
+		}
 	}
 	for i, s := range g.States {
 		mine.States[i].Merge(s)
@@ -92,6 +212,7 @@ func (a *Accumulator) MergeGroup(g *Group) {
 // MergeRaw folds a raw row from another accumulator.
 func (a *Accumulator) MergeRaw(row tuple.Tuple) {
 	a.raws = append(a.raws, row.Clone())
+	a.capRaws()
 }
 
 // Groups snapshots the current partial groups, in first-seen order.

@@ -39,6 +39,9 @@ type Cost struct {
 	TuplesPacked atomic.Int64
 	// TuplesEmitted counts tuples sent to the process-local aggregator.
 	TuplesEmitted atomic.Int64
+	// Panics counts panics recovered from this advice at the tracepoint
+	// boundary.
+	Panics atomic.Int64
 }
 
 // UnpackOp retrieves tuples packed under Slot by advice earlier in the
@@ -137,8 +140,20 @@ type Program struct {
 	// estimates; COUNT and SUM results must be multiplied by SampleEvery.
 	SampleEvery int64
 
+	// Safety bounds the program's runtime behavior (see Safety). The
+	// zero value enables every default limit.
+	Safety Safety
+
 	// Cost holds the program's live execution counters.
 	Cost Cost
+
+	// Circuit-breaker state, shared by every woven copy of the program
+	// (like Cost), so a fault seen at any tracepoint of a process
+	// quarantines the program everywhere it is woven in that process.
+	faults           atomic.Int64
+	quarantined      atomic.Bool
+	notified         atomic.Bool
+	quarantineReason atomic.Pointer[string]
 }
 
 // WorkingSchema returns the field names of the working tuple: observed
@@ -229,6 +244,12 @@ type Advice struct {
 // Invoke runs the advice pipeline for one tracepoint crossing.
 func (a *Advice) Invoke(ctx context.Context, vals tuple.Tuple) {
 	p := a.Prog
+	if p.Quarantined() {
+		return
+	}
+	if fp := failpoint.Load(); fp != nil {
+		(*fp)(p, vals)
+	}
 	if n := p.SampleEvery; n > 1 {
 		if p.Cost.Invocations.Add(1)%n != 0 {
 			p.Cost.Sampled.Add(1)
@@ -246,6 +267,17 @@ func (a *Advice) Invoke(ctx context.Context, vals tuple.Tuple) {
 	if len(p.Unpacks) > 0 || p.Pack != nil {
 		bag = baggage.FromContext(ctx)
 	}
+	// Deliver eviction tombstones before the unpack loop: a fully-evicted
+	// slot makes the join below drop this fire entirely, and the drop
+	// accounting must survive exactly that case.
+	if bag != nil && len(p.Unpacks) > 0 {
+		if ds, ok := a.Emitter.(DropSink); ok && bag.HasDrops() {
+			if recs := bag.DropRecords(p.QueryID); len(recs) > 0 {
+				ds.NoteBaggageDrops(p, recs)
+			}
+		}
+	}
+	ceiling := p.Safety.costCeiling()
 	for _, u := range p.Unpacks {
 		if bag == nil {
 			p.Cost.DroppedByJoin.Add(1)
@@ -254,6 +286,13 @@ func (a *Advice) Invoke(ctx context.Context, vals tuple.Tuple) {
 		unpacked := bag.Unpack(u.Slot)
 		if len(unpacked) == 0 {
 			p.Cost.DroppedByJoin.Add(1)
+			return
+		}
+		// Cartesian joins are where a single fire's cost can explode;
+		// check the ceiling before materializing the product.
+		if ceiling >= 0 && int64(len(working))*int64(len(unpacked)) > ceiling {
+			a.quarantine(fmt.Sprintf("fire cost %d×%d tuples exceeds ceiling %d at unpack %s",
+				len(working), len(unpacked), ceiling, u.Slot))
 			return
 		}
 		next := make([]tuple.Tuple, 0, len(working)*len(unpacked))
@@ -286,12 +325,19 @@ func (a *Advice) Invoke(ctx context.Context, vals tuple.Tuple) {
 		}
 	}
 
-	// PACK
+	// PACK: budgeted — tombstoned slots refuse the pack and over-budget
+	// queries evict whole groups with tombstone accounting.
 	if p.Pack != nil && bag != nil {
+		var st baggage.PackStats
 		for _, w := range working {
-			bag.Pack(p.Pack.Slot, p.Pack.Spec, w.Project(p.Pack.Source))
+			st.Add(bag.PackBudgeted(p.Pack.Slot, p.Pack.Spec, p.Safety.Budget, w.Project(p.Pack.Source)))
 		}
-		p.Cost.TuplesPacked.Add(int64(len(working)))
+		p.Cost.TuplesPacked.Add(st.Packed)
+		if st.EvictedGroups > 0 {
+			if ps, ok := a.Emitter.(PackStatsSink); ok {
+				ps.NotePackStats(p, st)
+			}
+		}
 	}
 
 	// EMIT

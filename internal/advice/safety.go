@@ -1,0 +1,135 @@
+package advice
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/baggage"
+	"repro/internal/tuple"
+)
+
+// Safety bounds one program's runtime behavior — the enforcement half of
+// the paper's §3.3 safety argument. The pipeline structure already rules
+// out loops and recursion; Safety additionally caps the damage of a
+// pathological (or buggy) query: its baggage footprint, its per-fire
+// working-set growth, and how many panics it gets before the circuit
+// breaker quarantines it. Zero fields select the defaults; negative
+// fields disable that limit.
+type Safety struct {
+	// Budget caps the query's baggage footprint (enforced at pack time
+	// with accounted truncation; see baggage.PackBudgeted).
+	Budget baggage.Budget
+	// FaultLimit is how many recovered panics quarantine the advice.
+	FaultLimit int64
+	// CostCeiling caps the working-tuple count of a single fire: an
+	// unpack whose cartesian join exceeds it quarantines the advice
+	// (runaway join fan-out is a per-fire latency hazard for the traced
+	// request, not just a memory one).
+	CostCeiling int64
+}
+
+// Safety defaults.
+const (
+	DefaultFaultLimit  = 3
+	DefaultCostCeiling = 1 << 16
+)
+
+func (s Safety) faultLimit() int64 {
+	switch {
+	case s.FaultLimit < 0:
+		return -1
+	case s.FaultLimit == 0:
+		return DefaultFaultLimit
+	default:
+		return s.FaultLimit
+	}
+}
+
+func (s Safety) costCeiling() int64 {
+	switch {
+	case s.CostCeiling < 0:
+		return -1
+	case s.CostCeiling == 0:
+		return DefaultCostCeiling
+	default:
+		return s.CostCeiling
+	}
+}
+
+// QuarantineNotifier is optionally implemented by an Emitter that wants to
+// hear when a program trips its circuit breaker; the agent implements it
+// to unweave the advice and publish a pt.quarantine notice. The notifier
+// fires exactly once per program.
+type QuarantineNotifier interface {
+	NoteQuarantine(p *Program, reason string)
+}
+
+// DropSink is optionally implemented by an Emitter that wants the baggage
+// eviction tombstones observed by advice, so truncated results can be
+// flagged partial end-to-end; the agent implements it.
+type DropSink interface {
+	NoteBaggageDrops(p *Program, recs []baggage.DropRecord)
+}
+
+// PackStatsSink is optionally implemented by an Emitter that wants the
+// budget-eviction statistics of this process's pack sites. Each eviction
+// is reported at exactly one pack site, so per-process sums are exact.
+type PackStatsSink interface {
+	NotePackStats(p *Program, st baggage.PackStats)
+}
+
+// failpoint, when set, runs at the top of every non-quarantined advice
+// invocation. The declarative pipeline cannot naturally panic or run
+// away, so chaos tests use this hook to inject exactly those faults.
+var failpoint atomic.Pointer[func(p *Program, vals tuple.Tuple)]
+
+// SetFailpoint installs a test-only hook run at the top of every advice
+// invocation; pass nil to clear. Not for production use.
+func SetFailpoint(fn func(p *Program, vals tuple.Tuple)) {
+	if fn == nil {
+		failpoint.Store(nil)
+		return
+	}
+	failpoint.Store(&fn)
+}
+
+// Quarantined reports whether the circuit breaker has tripped. A
+// quarantined program's advice is inert: every Invoke returns immediately
+// until the program is unwoven.
+func (p *Program) Quarantined() bool { return p.quarantined.Load() }
+
+// QuarantineReason returns why the breaker tripped ("" if it has not).
+func (p *Program) QuarantineReason() string {
+	if r := p.quarantineReason.Load(); r != nil {
+		return *r
+	}
+	return ""
+}
+
+// Faults returns how many panics the program's advice has survived.
+func (p *Program) Faults() int64 { return p.faults.Load() }
+
+// AdvicePanicked implements tracepoint.PanicSink: the Here boundary calls
+// it after recovering a panic from this advice. Once the fault count
+// reaches the program's limit the breaker trips.
+func (a *Advice) AdvicePanicked(tpName string, recovered any) {
+	p := a.Prog
+	p.Cost.Panics.Add(1)
+	n := p.faults.Add(1)
+	if limit := p.Safety.faultLimit(); limit >= 0 && n >= limit {
+		a.quarantine(fmt.Sprintf("%d advice panics at %s (last: %v)", n, tpName, recovered))
+	}
+}
+
+// quarantine trips the breaker and notifies the emitter exactly once.
+func (a *Advice) quarantine(reason string) {
+	p := a.Prog
+	p.quarantined.Store(true)
+	if !p.notified.CompareAndSwap(false, true) {
+		return
+	}
+	p.quarantineReason.Store(&reason)
+	if qn, ok := a.Emitter.(QuarantineNotifier); ok {
+		qn.NoteQuarantine(p, reason)
+	}
+}

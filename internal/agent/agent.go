@@ -34,6 +34,9 @@ const (
 	// queries (see core.PivotTracing.Status and cmd/ptstat).
 	StatusRequestTopic  = "pt.status.req"
 	StatusResponseTopic = "pt.status.resp"
+	// QuarantineTopic carries Quarantine notices: an agent tripped a
+	// query's circuit breaker and unwove its advice.
+	QuarantineTopic = "pt.quarantine"
 )
 
 // MetaReportTracepoint is the meta-tracepoint crossed once per report the
@@ -75,12 +78,44 @@ type StatusResponse struct {
 type Install struct {
 	QueryID  string
 	Programs []*advice.Program
+	// TTL is the query's lease duration: if the frontend stops renewing
+	// (see Renew), agents auto-uninstall the query TTL after the last
+	// renewal, so a crashed frontend never leaves instrumentation
+	// resident. Zero means no lease (immortal), preserving direct
+	// installs by tests and embedders that manage lifecycle themselves.
+	TTL time.Duration
+	// Limits bounds the agent-side accumulator for this query.
+	Limits advice.Limits
 }
 
 // Uninstall instructs agents to remove a query's advice.
 type Uninstall struct {
 	QueryID string
 }
+
+// Renew extends the lease of the listed queries. The frontend publishes
+// these periodically on the control topic; TTL == 0 keeps each query's
+// current lease duration.
+type Renew struct {
+	QueryIDs []string
+	TTL      time.Duration
+}
+
+// Quarantine is published on QuarantineTopic when an agent trips a
+// query's circuit breaker: the offending program is unwoven in that
+// process while the rest of the query keeps running.
+type Quarantine struct {
+	QueryID    string
+	Tracepoint string
+	Host       string
+	ProcName   string
+	Reason     string
+	Time       time.Duration
+}
+
+// DefaultLease is the lease TTL the frontend attaches to installs unless
+// the query specifies its own (plan.Options.Lease).
+const DefaultLease = 30 * time.Second
 
 // Report is one interval's partial results from one process for one query.
 type Report struct {
@@ -90,6 +125,11 @@ type Report struct {
 	Time     time.Duration
 	Groups   []*advice.Group
 	Raws     []tuple.Tuple
+	// Drops are baggage eviction tombstones observed by this query's
+	// advice since the last report: results the budget truncated. The
+	// frontend unions them (tombstones are globally unique per evicted
+	// group) so reported + dropped reconciles against the true total.
+	Drops []baggage.DropRecord
 }
 
 // DefaultInterval is the agent reporting interval (the paper's default).
@@ -114,6 +154,17 @@ type Stats struct {
 	ReportsReplayed int64 // buffered reports replayed after reconnect
 	ReportsDropped  int64 // reports lost to ring-buffer overflow
 	Reconnects      int64 // bus link reconnections observed
+
+	// Governance counters (this PR's safety valves). Like the resilience
+	// counters, every limit hit is accounted: a row, group, or byte the
+	// tracer gave up is counted here, never silently lost.
+	LeasesExpired        int64 // queries auto-uninstalled on lease expiry
+	Quarantines          int64 // programs unwoven by the circuit breaker
+	RawsDropped          int64 // raw rows FIFO-evicted by accumulator caps
+	GroupsOverflowed     int64 // rows folded into accumulator overflow groups
+	BaggageGroupsDropped int64 // baggage groups evicted by budgets (pack side)
+	BaggageTuplesDropped int64 // baggage tuples evicted by budgets (pack side)
+	BaggageBytesDropped  int64 // baggage bytes evicted by budgets (pack side)
 }
 
 // Agent is the per-process Pivot Tracing runtime.
@@ -140,6 +191,16 @@ type Agent struct {
 	reportsDropped  atomic.Int64
 	reconnects      atomic.Int64
 
+	leasesExpired        atomic.Int64
+	quarantines          atomic.Int64
+	baggageGroupsDropped atomic.Int64
+	baggageTuplesDropped atomic.Int64
+	baggageBytesDropped  atomic.Int64
+	// Accumulator drop counters folded in when a query is uninstalled,
+	// so Stats stays cumulative across a query's whole lifetime.
+	rawsDroppedRetired      atomic.Int64
+	groupsOverflowedRetired atomic.Int64
+
 	meters atomic.Pointer[agentMeters]
 	metaTP atomic.Pointer[tracepoint.Tracepoint]
 
@@ -157,6 +218,9 @@ type agentMeters struct {
 	droppedC   *telemetry.Counter
 	reconnects *telemetry.Counter
 	buffered   *telemetry.Gauge
+	expiredC   *telemetry.Counter
+	quarantC   *telemetry.Counter
+	bagBytesC  *telemetry.Counter
 }
 
 // SetTelemetry attaches self-telemetry to the agent: "agent.reports",
@@ -174,6 +238,9 @@ func (a *Agent) SetTelemetry(t *telemetry.Registry) {
 		droppedC:   t.Counter("agent.reports.dropped"),
 		reconnects: t.Counter("agent.reconnects"),
 		buffered:   t.Gauge("agent.reports.buffered"),
+		expiredC:   t.Counter("agent.leases.expired"),
+		quarantC:   t.Counter("agent.quarantines"),
+		bagBytesC:  t.Counter("agent.baggage.dropped.bytes"),
 	})
 }
 
@@ -193,6 +260,11 @@ type queryState struct {
 	woven    []weave
 	wovenTPs map[string]bool
 	tuples   int64 // tuples emitted since the last flush
+
+	limits advice.Limits
+	ttl    time.Duration // lease duration; 0 = immortal
+	expiry time.Duration // agent-clock deadline; 0 = immortal
+	drops  map[baggage.DropRecord]bool
 }
 
 type weave struct {
@@ -252,6 +324,33 @@ func (a *Agent) onControl(msg any) {
 		a.install(m)
 	case Uninstall:
 		a.uninstall(m.QueryID)
+	case Renew:
+		a.renew(m)
+	}
+}
+
+// renew extends the lease of the listed queries from the agent's own
+// clock. TTL == 0 keeps each query's current lease duration; a query
+// installed without a lease stays immortal unless the renewal carries an
+// explicit TTL.
+func (a *Agent) renew(m Renew) {
+	now := a.now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, id := range m.QueryIDs {
+		qs, ok := a.queries[id]
+		if !ok {
+			continue
+		}
+		ttl := m.TTL
+		if ttl <= 0 {
+			ttl = qs.ttl
+		}
+		if ttl <= 0 {
+			continue
+		}
+		qs.ttl = ttl
+		qs.expiry = now + ttl
 	}
 }
 
@@ -261,7 +360,10 @@ func (a *Agent) install(m Install) {
 	if _, ok := a.queries[m.QueryID]; ok {
 		return // already installed
 	}
-	qs := &queryState{programs: m.Programs, wovenTPs: make(map[string]bool)}
+	qs := &queryState{programs: m.Programs, wovenTPs: make(map[string]bool), limits: m.Limits, ttl: m.TTL}
+	if m.TTL > 0 {
+		qs.expiry = a.now() + m.TTL
+	}
 	a.queries[m.QueryID] = qs
 	if m := a.meters.Load(); m != nil {
 		m.queries.Set(int64(len(a.queries)))
@@ -276,11 +378,15 @@ func (a *Agent) weaveLocked(qs *queryState) {
 		if qs.wovenTPs[prog.Tracepoint] {
 			continue
 		}
+		if prog.Quarantined() {
+			continue // the breaker tripped; never re-weave
+		}
 		if a.reg.Lookup(prog.Tracepoint) == nil {
 			continue // tracepoint not (yet) present in this process
 		}
 		if prog.Emit != nil && qs.acc == nil {
 			qs.acc = advice.NewAccumulator(prog.Emit)
+			qs.acc.SetLimits(qs.limits)
 		}
 		adv := &advice.Advice{Prog: prog, Emitter: a}
 		if err := a.reg.Weave(prog.Tracepoint, adv); err != nil {
@@ -300,6 +406,10 @@ func (a *Agent) uninstall(queryID string) {
 	}
 	for _, w := range qs.woven {
 		a.reg.Unweave(w.tp, w.a)
+	}
+	if qs.acc != nil {
+		a.rawsDroppedRetired.Add(qs.acc.RawsDropped())
+		a.groupsOverflowedRetired.Add(qs.acc.GroupsOverflowed())
 	}
 	delete(a.queries, queryID)
 	if m := a.meters.Load(); m != nil {
@@ -321,9 +431,75 @@ func (a *Agent) EmitTuple(p *advice.Program, w tuple.Tuple) {
 	}
 	if qs.acc == nil {
 		qs.acc = advice.NewAccumulator(p.Emit)
+		qs.acc.SetLimits(qs.limits)
 	}
 	qs.acc.Add(w)
 	qs.tuples++
+}
+
+// NoteQuarantine implements advice.QuarantineNotifier: the program's
+// circuit breaker tripped in this process. The agent unweaves just that
+// program (the query's advice at other tracepoints keeps running),
+// records the event, and publishes a pt.quarantine notice — all outside
+// its locks, since the breaker fires from inside a tracepoint crossing.
+func (a *Agent) NoteQuarantine(p *advice.Program, reason string) {
+	var adv tracepoint.Advice
+	a.mu.Lock()
+	if qs, ok := a.queries[p.QueryID]; ok {
+		for _, w := range qs.woven {
+			if wa, ok := w.a.(*advice.Advice); ok && wa.Prog == p {
+				adv = w.a
+				break
+			}
+		}
+	}
+	a.mu.Unlock()
+	if adv != nil {
+		a.reg.Unweave(p.Tracepoint, adv)
+	}
+	a.quarantines.Add(1)
+	if m := a.meters.Load(); m != nil {
+		m.quarantC.Inc()
+	}
+	a.bus.Publish(QuarantineTopic, Quarantine{
+		QueryID:    p.QueryID,
+		Tracepoint: p.Tracepoint,
+		Host:       a.proc.Host,
+		ProcName:   a.proc.ProcName,
+		Reason:     reason,
+		Time:       a.now(),
+	})
+}
+
+// NoteBaggageDrops implements advice.DropSink: advice observed baggage
+// eviction tombstones for its query. Tombstones are globally unique per
+// evicted group, so a dedup set per query makes the next report's Drops
+// exact even when many fires see the same tombstones.
+func (a *Agent) NoteBaggageDrops(p *advice.Program, recs []baggage.DropRecord) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	qs, ok := a.queries[p.QueryID]
+	if !ok {
+		return
+	}
+	if qs.drops == nil {
+		qs.drops = make(map[baggage.DropRecord]bool)
+	}
+	for _, r := range recs {
+		qs.drops[r] = true
+	}
+}
+
+// NotePackStats implements advice.PackStatsSink: budget evictions
+// performed at this process's pack sites. Each eviction happens at
+// exactly one pack site, so summing across agents is exact.
+func (a *Agent) NotePackStats(p *advice.Program, st baggage.PackStats) {
+	a.baggageGroupsDropped.Add(st.EvictedGroups)
+	a.baggageTuplesDropped.Add(st.EvictedTuples)
+	a.baggageBytesDropped.Add(st.EvictedBytes)
+	if m := a.meters.Load(); m != nil {
+		m.bagBytesC.Add(st.EvictedBytes)
+	}
 }
 
 // reportLoop publishes partial results every interval until the simulation
@@ -339,25 +515,41 @@ func (a *Agent) reportLoop() {
 // tests and by experiment harnesses at shutdown to avoid losing the last
 // interval).
 func (a *Agent) Flush() {
+	a.expireLeases()
 	a.mu.Lock()
 	type pending struct {
 		id     string
 		groups []*advice.Group
 		raws   []tuple.Tuple
+		drops  []baggage.DropRecord
 		tuples int64
 	}
 	var out []pending
 	for id, qs := range a.queries {
-		if qs.acc == nil || qs.acc.Empty() {
+		if (qs.acc == nil || qs.acc.Empty()) && len(qs.drops) == 0 {
 			continue
 		}
 		p := pending{id: id, tuples: qs.tuples}
 		qs.tuples = 0
-		for _, g := range qs.acc.Groups() {
-			p.groups = append(p.groups, g.Clone())
+		if qs.acc != nil {
+			for _, g := range qs.acc.Groups() {
+				p.groups = append(p.groups, g.Clone())
+			}
+			p.raws = append(p.raws, qs.acc.Raws()...)
+			qs.acc.Reset()
 		}
-		p.raws = append(p.raws, qs.acc.Raws()...)
-		qs.acc.Reset()
+		if len(qs.drops) > 0 {
+			for r := range qs.drops {
+				p.drops = append(p.drops, r)
+			}
+			sort.Slice(p.drops, func(i, j int) bool {
+				if p.drops[i].Slot != p.drops[j].Slot {
+					return p.drops[i].Slot < p.drops[j].Slot
+				}
+				return p.drops[i].Key < p.drops[j].Key
+			})
+			qs.drops = nil
+		}
 		out = append(out, p)
 	}
 	nQueries := len(a.queries)
@@ -384,6 +576,7 @@ func (a *Agent) Flush() {
 			Time:     a.now(),
 			Groups:   p.groups,
 			Raws:     p.raws,
+			Drops:    p.drops,
 		})
 	}
 	a.bus.Publish(HealthTopic, Heartbeat{
@@ -403,6 +596,48 @@ func (a *Agent) Flush() {
 			tp.Here(ctx, p.id, int64(len(p.groups)+len(p.raws)), p.tuples)
 		}
 	}
+}
+
+// expireLeases uninstalls every query whose lease has lapsed. Called from
+// Flush, so orphaned queries disappear within one reporting interval of
+// their deadline.
+func (a *Agent) expireLeases() {
+	now := a.now()
+	a.mu.Lock()
+	var expired []string
+	for id, qs := range a.queries {
+		if qs.expiry > 0 && now >= qs.expiry {
+			expired = append(expired, id)
+		}
+	}
+	a.mu.Unlock()
+	sort.Strings(expired)
+	for _, id := range expired {
+		a.uninstall(id)
+		a.leasesExpired.Add(1)
+		if m := a.meters.Load(); m != nil {
+			m.expiredC.Inc()
+		}
+	}
+}
+
+// LeaseDeadline returns the query's lease expiry on the agent's clock, or
+// 0 if the query is not installed or has no lease.
+func (a *Agent) LeaseDeadline(queryID string) time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if qs, ok := a.queries[queryID]; ok {
+		return qs.expiry
+	}
+	return 0
+}
+
+// Installed reports whether the query is currently installed.
+func (a *Agent) Installed(queryID string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, ok := a.queries[queryID]
+	return ok
 }
 
 // CostReport renders the live per-tracepoint cost counters of every query
@@ -532,14 +767,31 @@ func (a *Agent) NoteReconnect() {
 
 // Stats returns the agent's activity counters.
 func (a *Agent) Stats() Stats {
+	rawsDropped := a.rawsDroppedRetired.Load()
+	groupsOverflowed := a.groupsOverflowedRetired.Load()
+	a.mu.Lock()
+	for _, qs := range a.queries {
+		if qs.acc != nil {
+			rawsDropped += qs.acc.RawsDropped()
+			groupsOverflowed += qs.acc.GroupsOverflowed()
+		}
+	}
+	a.mu.Unlock()
 	return Stats{
-		TuplesEmitted:   a.tuplesEmitted.Load(),
-		RowsReported:    a.rowsReported.Load(),
-		Reports:         a.reports.Load(),
-		ReportsRetained: a.reportsRetained.Load(),
-		ReportsReplayed: a.reportsReplayed.Load(),
-		ReportsDropped:  a.reportsDropped.Load(),
-		Reconnects:      a.reconnects.Load(),
+		TuplesEmitted:        a.tuplesEmitted.Load(),
+		RowsReported:         a.rowsReported.Load(),
+		Reports:              a.reports.Load(),
+		ReportsRetained:      a.reportsRetained.Load(),
+		ReportsReplayed:      a.reportsReplayed.Load(),
+		ReportsDropped:       a.reportsDropped.Load(),
+		Reconnects:           a.reconnects.Load(),
+		LeasesExpired:        a.leasesExpired.Load(),
+		Quarantines:          a.quarantines.Load(),
+		RawsDropped:          rawsDropped,
+		GroupsOverflowed:     groupsOverflowed,
+		BaggageGroupsDropped: a.baggageGroupsDropped.Load(),
+		BaggageTuplesDropped: a.baggageTuplesDropped.Load(),
+		BaggageBytesDropped:  a.baggageBytesDropped.Load(),
 	}
 }
 

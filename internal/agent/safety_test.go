@@ -1,0 +1,198 @@
+package agent
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/advice"
+	"repro/internal/baggage"
+	"repro/internal/bus"
+	"repro/internal/simtime"
+	"repro/internal/tracepoint"
+	"repro/internal/tuple"
+)
+
+func TestLeaseExpiresWithoutRenewal(t *testing.T) {
+	env := simtime.NewEnv()
+	env.Run(func() {
+		b := bus.New()
+		reg := tracepoint.NewRegistry()
+		tp := reg.Define("Tp", "v")
+		a := New(env, info("h1"), reg, b, time.Second)
+
+		b.Publish(ControlTopic, Install{
+			QueryID: "Q", Programs: []*advice.Program{q1Program()}, TTL: 3 * time.Second,
+		})
+		if !a.Installed("Q") || !tp.Enabled() {
+			t.Fatal("query not installed")
+		}
+		if dl := a.LeaseDeadline("Q"); dl != 3*time.Second {
+			t.Fatalf("LeaseDeadline = %v, want 3s", dl)
+		}
+		// The report loop flushes each second; the third flush lands at
+		// the lease deadline and sheds the query.
+		env.Sleep(3500 * time.Millisecond)
+		if a.Installed("Q") {
+			t.Fatal("query survived an expired lease")
+		}
+		if tp.Enabled() {
+			t.Fatal("expired query's advice still woven")
+		}
+		if got := a.Stats().LeasesExpired; got != 1 {
+			t.Fatalf("LeasesExpired = %d, want 1", got)
+		}
+	})
+}
+
+func TestRenewKeepsLeaseAlive(t *testing.T) {
+	env := simtime.NewEnv()
+	env.Run(func() {
+		b := bus.New()
+		reg := tracepoint.NewRegistry()
+		reg.Define("Tp", "v")
+		a := New(env, info("h1"), reg, b, time.Second)
+
+		b.Publish(ControlTopic, Install{
+			QueryID: "Q", Programs: []*advice.Program{q1Program()}, TTL: 3 * time.Second,
+		})
+		// Renew (TTL 0 keeps the installed duration) every 2 virtual
+		// seconds: the query outlives several would-be expiries.
+		for i := 0; i < 4; i++ {
+			env.Sleep(2 * time.Second)
+			b.Publish(ControlTopic, Renew{QueryIDs: []string{"Q"}})
+		}
+		env.Sleep(2 * time.Second)
+		if !a.Installed("Q") {
+			t.Fatal("renewed query expired")
+		}
+		// Expected deadline: last renewal at t=8s + the installed 3s TTL.
+		if dl := a.LeaseDeadline("Q"); dl != 11*time.Second {
+			t.Fatalf("LeaseDeadline = %v, want 11s", dl)
+		}
+		// Stop renewing; the lease lapses.
+		env.Sleep(4 * time.Second)
+		if a.Installed("Q") {
+			t.Fatal("query survived after renewals stopped")
+		}
+	})
+}
+
+func TestRenewWithExplicitTTLRetimes(t *testing.T) {
+	env := simtime.NewEnv()
+	env.Run(func() {
+		b := bus.New()
+		reg := tracepoint.NewRegistry()
+		reg.Define("Tp", "v")
+		a := New(env, info("h1"), reg, b, time.Hour) // no flushes during the test
+
+		// Installed immortal: no expiry until a renewal assigns a TTL.
+		b.Publish(ControlTopic, Install{QueryID: "Q", Programs: []*advice.Program{q1Program()}})
+		b.Publish(ControlTopic, Renew{QueryIDs: []string{"Q"}})
+		if dl := a.LeaseDeadline("Q"); dl != 0 {
+			t.Fatalf("immortal query gained a deadline: %v", dl)
+		}
+		b.Publish(ControlTopic, Renew{QueryIDs: []string{"Q"}, TTL: 5 * time.Second})
+		if dl := a.LeaseDeadline("Q"); dl != 5*time.Second {
+			t.Fatalf("LeaseDeadline = %v, want 5s", dl)
+		}
+		// Unknown query IDs in a renewal are ignored.
+		b.Publish(ControlTopic, Renew{QueryIDs: []string{"nope"}, TTL: time.Second})
+	})
+}
+
+func TestImmortalInstallNeverExpires(t *testing.T) {
+	env := simtime.NewEnv()
+	env.Run(func() {
+		b := bus.New()
+		reg := tracepoint.NewRegistry()
+		reg.Define("Tp", "v")
+		a := New(env, info("h1"), reg, b, time.Second)
+		b.Publish(ControlTopic, Install{QueryID: "Q", Programs: []*advice.Program{q1Program()}})
+		env.Sleep(time.Hour)
+		if !a.Installed("Q") {
+			t.Fatal("immortal query expired")
+		}
+	})
+}
+
+func TestQuarantinePublishesNoticeAndUnweaves(t *testing.T) {
+	env := simtime.NewEnv()
+	var notices []Quarantine
+	env.Run(func() {
+		b := bus.New()
+		reg := tracepoint.NewRegistry()
+		tp := reg.Define("Tp", "v")
+		a := New(env, info("h1"), reg, b, time.Hour)
+		b.Subscribe(QuarantineTopic, func(msg any) {
+			notices = append(notices, msg.(Quarantine))
+		})
+
+		prog := q1Program()
+		prog.Safety = advice.Safety{FaultLimit: 2}
+		b.Publish(ControlTopic, Install{QueryID: "Q", Programs: []*advice.Program{prog}})
+
+		// Make every fire of this program panic, as a buggy advice would.
+		advice.SetFailpoint(func(p *advice.Program, _ tuple.Tuple) {
+			if p == prog {
+				panic("injected advice bug")
+			}
+		})
+		defer advice.SetFailpoint(nil)
+
+		for i := 0; i < 5; i++ {
+			tp.Here(request("h1"), 1) // must not panic the caller
+		}
+		if !prog.Quarantined() {
+			t.Fatal("breaker did not trip")
+		}
+		if tp.Enabled() {
+			t.Fatal("quarantined advice still woven")
+		}
+		if got := a.Stats().Quarantines; got != 1 {
+			t.Fatalf("Stats.Quarantines = %d, want 1", got)
+		}
+		// Re-delivering the install (e.g. a frontend reconnect replay)
+		// must not re-weave the quarantined program.
+		b.Publish(ControlTopic, Uninstall{QueryID: "Q"})
+		b.Publish(ControlTopic, Install{QueryID: "Q", Programs: []*advice.Program{prog}})
+		if tp.Enabled() {
+			t.Fatal("quarantined program re-woven by install replay")
+		}
+	})
+	if len(notices) != 1 {
+		t.Fatalf("quarantine notices = %d, want 1", len(notices))
+	}
+	n := notices[0]
+	if n.QueryID != "Q" || n.Tracepoint != "Tp" || n.Host != "h1" || n.Reason == "" {
+		t.Fatalf("notice = %+v", n)
+	}
+}
+
+func TestReportCarriesDedupedDropRecords(t *testing.T) {
+	env := simtime.NewEnv()
+	var reports []Report
+	env.Run(func() {
+		b := bus.New()
+		reg := tracepoint.NewRegistry()
+		reg.Define("Tp", "v")
+		a := New(env, info("h1"), reg, b, time.Hour)
+		b.Subscribe(ResultsTopic, func(msg any) { reports = append(reports, msg.(Report)) })
+		b.Publish(ControlTopic, Install{QueryID: "Q", Programs: []*advice.Program{q1Program()}})
+
+		prog := q1Program()
+		// The same tombstone observed at several crossings reports once.
+		recs := []baggage.DropRecord{{Slot: "Q.a", Key: "k2"}, {Slot: "Q.a", Key: "k1"}}
+		a.NoteBaggageDrops(prog, recs)
+		a.NoteBaggageDrops(prog, recs[:1])
+		a.Flush()
+		// Drained with the interval: the next flush reports nothing.
+		a.Flush()
+	})
+	if len(reports) != 1 {
+		t.Fatalf("reports = %d, want 1 (drops alone must flush)", len(reports))
+	}
+	drops := reports[0].Drops
+	if len(drops) != 2 || drops[0].Key != "k1" || drops[1].Key != "k2" {
+		t.Fatalf("drops = %v, want deduped sorted [k1 k2]", drops)
+	}
+}

@@ -24,6 +24,11 @@ type Meters struct {
 	Splits          *telemetry.Counter   // Split calls
 	Joins           *telemetry.Counter   // Joins that actually merged two sides
 	Bytes           *telemetry.Histogram // per-Serialize size distribution
+	PackRefused     *telemetry.Counter   // tuples refused by tombstones (PackBudgeted)
+	EvictedGroups   *telemetry.Counter   // budget evictions (tombstones written)
+	EvictedTuples   *telemetry.Counter   // stored tuples removed by budget evictions
+	EvictedBytes    *telemetry.Counter   // content bytes removed by budget evictions
+	MergeConflicts  *telemetry.Counter   // same-slot merges dropped for mismatched specs
 }
 
 var meters atomic.Pointer[Meters]
@@ -43,6 +48,11 @@ func SetTelemetry(t *telemetry.Registry) {
 		Splits:          t.Counter("baggage.splits"),
 		Joins:           t.Counter("baggage.joins"),
 		Bytes:           t.Histogram("baggage.bytes"),
+		PackRefused:     t.Counter("baggage.budget.refused"),
+		EvictedGroups:   t.Counter("baggage.budget.evicted.groups"),
+		EvictedTuples:   t.Counter("baggage.budget.evicted.tuples"),
+		EvictedBytes:    t.Counter("baggage.budget.evicted.bytes"),
+		MergeConflicts:  t.Counter("baggage.merge.conflicts"),
 	})
 }
 
@@ -181,6 +191,20 @@ func (b *Baggage) Unpack(slot string) []tuple.Tuple {
 	acc := sets[0].Clone()
 	for _, s := range sets[1:] {
 		acc.Merge(s)
+	}
+	// Budget tombstones suppress evicted content from the merged view:
+	// without this, a group evicted on one branch would resurface from a
+	// pre-split frozen copy and be double-counted against its tombstone.
+	if slot != DropSlot {
+		whole, keys := b.evictions(slot)
+		if whole {
+			return nil
+		}
+		if len(keys) > 0 && acc.Spec.Kind == Agg {
+			for key := range keys {
+				acc.removeGroup(key)
+			}
+		}
 	}
 	out := acc.Unpack()
 	if m := meters.Load(); m != nil {

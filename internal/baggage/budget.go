@@ -1,0 +1,310 @@
+package baggage
+
+import (
+	"strings"
+
+	"repro/internal/tuple"
+)
+
+// This file implements per-request baggage budgets: a byte/tuple cap
+// enforced at pack time with merge-safe, accounted truncation.
+//
+// Eviction must commute with Split/Join to keep accounting exact: a group
+// evicted on one branch could otherwise re-enter the merged result from a
+// pre-split frozen instance, or be re-packed after the eviction, silently
+// undoing the drop (or worse, double-counting it). Both holes are closed
+// with tombstones: every eviction records a (slot, groupKey) tuple — or
+// (slot, "") for a whole-slot eviction — in a reserved UNION slot. Union
+// sets are monotonic (a tombstone survives every join), tombstoned keys
+// refuse re-packs, and Unpack suppresses tombstoned groups from the merged
+// view. The result is that each group key is exclusively either fully
+// reported (byte-exact) or tombstoned, so reported + dropped reconciles
+// exactly against an unbudgeted oracle.
+//
+// Evictions take whole groups, never partial state, and only from the
+// active (branch-private) instance; frozen instances are read-only by
+// construction. Budgets are scoped per query (slot-name prefix up to the
+// first '.'), so one query exhausting its budget cannot evict another
+// query's tuples.
+
+// DropSlot is the reserved slot carrying eviction tombstones. The leading
+// '!' keeps it outside every query's slot namespace (query slots are
+// "<queryID>.<alias>"), and it is excluded from budget accounting and
+// eviction so recording drops can never cascade into more drops.
+const DropSlot = "!pt.drops"
+
+// dropSpec stores tombstones as (slot, groupKey) string pairs in a UNION
+// set: Pack dedups, Join unions, and nothing ever evicts or replaces them.
+var dropSpec = SetSpec{Kind: Union, Fields: tuple.Schema{"slot", "key"}}
+
+// Default budget: generous enough that well-behaved queries (the paper's
+// fixed-size AGG rewrites) never hit it, small enough to bound the in-band
+// metadata overhead of a pathological one.
+const (
+	DefaultMaxBytes  = 64 << 10 // 64 KiB of encoded tuple content per query
+	DefaultMaxTuples = 1024     // stored tuples (groups for AGG) per query
+)
+
+// Budget caps one query's baggage footprint. Zero fields select the
+// defaults above; negative fields disable that cap.
+type Budget struct {
+	MaxBytes  int
+	MaxTuples int
+}
+
+// maxBytes resolves the byte cap: -1 means unlimited.
+func (b Budget) maxBytes() int {
+	switch {
+	case b.MaxBytes < 0:
+		return -1
+	case b.MaxBytes == 0:
+		return DefaultMaxBytes
+	default:
+		return b.MaxBytes
+	}
+}
+
+// maxTuples resolves the tuple cap: -1 means unlimited.
+func (b Budget) maxTuples() int {
+	switch {
+	case b.MaxTuples < 0:
+		return -1
+	case b.MaxTuples == 0:
+		return DefaultMaxTuples
+	default:
+		return b.MaxTuples
+	}
+}
+
+// DropRecord is one eviction tombstone: the slot it applies to and the
+// evicted group key ("" for a whole-slot eviction of a non-AGG set). Keys
+// are the set's internal encoded group identity — opaque, but stable
+// across processes, which is all exact accounting needs.
+type DropRecord struct {
+	Slot string
+	Key  string
+}
+
+// PackStats accounts one PackBudgeted call. Every tuple offered is either
+// packed or refused; every eviction is counted in groups, tuples, and
+// bytes. Nothing is dropped silently.
+type PackStats struct {
+	Packed        int64 // tuples stored
+	RefusedTuples int64 // tuples refused because their slot/group is tombstoned
+	EvictedGroups int64 // tombstones written (whole slots count as one)
+	EvictedTuples int64 // stored tuples removed by eviction
+	EvictedBytes  int64 // content bytes removed by eviction
+}
+
+// Add accumulates o into s.
+func (s *PackStats) Add(o PackStats) {
+	s.Packed += o.Packed
+	s.RefusedTuples += o.RefusedTuples
+	s.EvictedGroups += o.EvictedGroups
+	s.EvictedTuples += o.EvictedTuples
+	s.EvictedBytes += o.EvictedBytes
+}
+
+// PackBudgeted packs tuples like Pack but enforces the budget over the
+// slot's query (all slots sharing the slot-name prefix up to the first
+// '.'): tombstoned slots/groups refuse the pack, and after packing, whole
+// lowest-priority groups are evicted — largest slot first, oldest group
+// first — until the query is back under budget. All outcomes are counted
+// in the returned PackStats.
+func (b *Baggage) PackBudgeted(slot string, spec SetSpec, budget Budget, tuples ...tuple.Tuple) PackStats {
+	var st PackStats
+	set := b.active().set(slot, spec)
+	whole, keys := b.evictions(slot)
+	for _, t := range tuples {
+		key := ""
+		if spec.Kind == Agg {
+			key = t.Key(spec.GroupBy)
+		}
+		if whole || keys[key] {
+			st.RefusedTuples++
+			continue
+		}
+		set.Pack(t)
+		st.Packed++
+	}
+	b.raw = nil
+	st.EvictedGroups, st.EvictedTuples, st.EvictedBytes = b.enforce(budget, queryPrefix(slot))
+	if m := meters.Load(); m != nil {
+		m.TuplesPacked.Add(st.Packed)
+		m.PackRefused.Add(st.RefusedTuples)
+		m.EvictedGroups.Add(st.EvictedGroups)
+		m.EvictedTuples.Add(st.EvictedTuples)
+		m.EvictedBytes.Add(st.EvictedBytes)
+	}
+	return st
+}
+
+// enforce evicts whole groups from the active instance until the query's
+// usage fits the budget or no evictable content remains (frozen instances
+// are read-only; their contribution can only be suppressed by tombstones
+// already written on this branch).
+func (b *Baggage) enforce(budget Budget, prefix string) (groups, tuples, bytes int64) {
+	maxB, maxT := budget.maxBytes(), budget.maxTuples()
+	if maxB < 0 && maxT < 0 {
+		return
+	}
+	for {
+		ub, ut := b.usage(prefix)
+		if (maxB < 0 || ub <= maxB) && (maxT < 0 || ut <= maxT) {
+			return
+		}
+		slot, victim := b.victim(prefix)
+		if victim == nil {
+			return
+		}
+		if victim.Spec.Kind == Agg {
+			key := victim.order[0] // oldest group first
+			cost := victim.removeGroup(key)
+			b.recordDrop(slot, key)
+			groups++
+			tuples++
+			bytes += int64(cost)
+		} else {
+			by, tu := victim.clear()
+			b.recordDrop(slot, "")
+			groups++
+			tuples += int64(tu)
+			bytes += int64(by)
+		}
+	}
+}
+
+// usage sums the query's content cost and stored-tuple count across every
+// instance (active and frozen) — the same contents a serialize would ship.
+// The drop slot itself is excluded so accounting never triggers eviction.
+func (b *Baggage) usage(prefix string) (bytes, tuples int) {
+	b.ensureDecoded()
+	for _, in := range b.insts {
+		for _, slot := range in.order {
+			if slot == DropSlot || queryPrefix(slot) != prefix {
+				continue
+			}
+			s := in.slots[slot]
+			bytes += s.CostBytes()
+			tuples += s.Len()
+		}
+	}
+	return
+}
+
+// victim picks the next slot to evict from: an active-instance slot of the
+// query with the largest content cost (ties go to the earliest-created
+// slot). Only the active instance is eligible — frozen instances are
+// shared with sibling branches and must stay immutable.
+func (b *Baggage) victim(prefix string) (string, *Set) {
+	act := b.active()
+	var bestSlot string
+	var best *Set
+	for _, slot := range act.order {
+		if slot == DropSlot || queryPrefix(slot) != prefix {
+			continue
+		}
+		s := act.slots[slot]
+		if s.Len() == 0 {
+			continue
+		}
+		if best == nil || s.CostBytes() > best.CostBytes() {
+			best, bestSlot = s, slot
+		}
+	}
+	return bestSlot, best
+}
+
+// recordDrop writes one tombstone into the active instance's drop slot.
+func (b *Baggage) recordDrop(slot, key string) {
+	b.active().set(DropSlot, dropSpec).Pack(tuple.Tuple{tuple.String(slot), tuple.String(key)})
+}
+
+// evictions collects the tombstones targeting slot across every instance:
+// whether the whole slot is tombstoned, and the set of tombstoned group
+// keys.
+func (b *Baggage) evictions(slot string) (whole bool, keys map[string]bool) {
+	b.ensureDecoded()
+	for _, in := range b.insts {
+		ds, ok := in.slots[DropSlot]
+		if !ok {
+			continue
+		}
+		for _, t := range ds.tuples {
+			if len(t) != 2 || t[0].Str() != slot {
+				continue
+			}
+			k := t[1].Str()
+			if k == "" {
+				return true, nil
+			}
+			if keys == nil {
+				keys = make(map[string]bool)
+			}
+			keys[k] = true
+		}
+	}
+	return false, keys
+}
+
+// HasDrops reports whether any eviction tombstones are present.
+func (b *Baggage) HasDrops() bool {
+	if b == nil {
+		return false
+	}
+	b.ensureDecoded()
+	for _, in := range b.insts {
+		if s, ok := in.slots[DropSlot]; ok && s.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// DropRecords returns the deduplicated eviction tombstones for the given
+// query prefix ("" for all queries), in first-recorded order. Advice reads
+// these at the final tracepoint of a request so agents and the frontend
+// can reconcile reported groups + dropped groups against the true total.
+func (b *Baggage) DropRecords(prefix string) []DropRecord {
+	if b == nil {
+		return nil
+	}
+	b.ensureDecoded()
+	var acc *Set
+	for _, in := range b.insts {
+		s, ok := in.slots[DropSlot]
+		if !ok || s.Len() == 0 {
+			continue
+		}
+		if acc == nil {
+			acc = s.Clone()
+		} else {
+			acc.Merge(s)
+		}
+	}
+	if acc == nil {
+		return nil
+	}
+	var out []DropRecord
+	for _, t := range acc.tuples {
+		if len(t) != 2 {
+			continue
+		}
+		slot := t[0].Str()
+		if prefix != "" && queryPrefix(slot) != prefix {
+			continue
+		}
+		out = append(out, DropRecord{Slot: slot, Key: t[1].Str()})
+	}
+	return out
+}
+
+// queryPrefix is the query-scoping portion of a slot name: the text before
+// the first '.'. Compiled plans name slots "<queryID>.<alias>", so slots
+// of one query share a prefix and budgets never cross queries.
+func queryPrefix(slot string) string {
+	if i := strings.IndexByte(slot, '.'); i >= 0 {
+		return slot[:i]
+	}
+	return slot
+}

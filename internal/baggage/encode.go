@@ -113,6 +113,20 @@ func decodeSpec(buf []byte) (SetSpec, []byte, error) {
 		buf = buf[k+1:]
 		spec.Aggs = append(spec.Aggs, AggField{Pos: int(pos), Fn: fn})
 	}
+	// Baggage arrives from peer processes: reject specs whose positions
+	// fall outside the field layout, so every decoded set satisfies the
+	// invariants Pack would have established and Unpack never indexes out
+	// of range on hostile bytes.
+	for _, g := range spec.GroupBy {
+		if g < 0 || g >= len(spec.Fields) {
+			return spec, nil, fmt.Errorf("baggage: group-by position %d outside %d fields", g, len(spec.Fields))
+		}
+	}
+	for _, a := range spec.Aggs {
+		if a.Pos < 0 || a.Pos >= len(spec.Fields) {
+			return spec, nil, fmt.Errorf("baggage: agg position %d outside %d fields", a.Pos, len(spec.Fields))
+		}
+	}
 	return spec, buf, nil
 }
 
@@ -164,6 +178,10 @@ func decodeSet(buf []byte) (*Set, []byte, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		if len(keyVals) != len(spec.GroupBy) {
+			return nil, nil, fmt.Errorf("baggage: group key has %d values for %d group-by fields",
+				len(keyVals), len(spec.GroupBy))
+		}
 		g := &group{keyVals: keyVals}
 		for range spec.Aggs {
 			var st *agg.State
@@ -177,6 +195,7 @@ func decodeSet(buf []byte) (*Set, []byte, error) {
 		s.groups[key] = g
 		s.order = append(s.order, key)
 	}
+	s.recomputeBytes()
 	return s, buf, nil
 }
 
@@ -243,7 +262,15 @@ func decodeInstances(buf []byte) ([]*instance, error) {
 		return nil, errTruncated
 	}
 	buf = buf[k:]
-	insts := make([]*instance, 0, cnt)
+	// Bound the preallocation by what the buffer could possibly hold (one
+	// byte per instance minimum): baggage arrives from peer processes, and
+	// a corrupt count must not balloon an allocation before the per-
+	// instance decode loop hits errTruncated.
+	hint := cnt
+	if hint > uint64(len(buf)) {
+		hint = uint64(len(buf))
+	}
+	insts := make([]*instance, 0, hint)
 	for i := uint64(0); i < cnt; i++ {
 		in, rest, err := decodeInstance(buf)
 		if err != nil {

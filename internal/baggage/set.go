@@ -36,6 +36,13 @@ const (
 	// the tuples of both branches (deduplicated). Used by the baseline
 	// global-evaluation strategy to carry X-Trace-style event identifiers.
 	Frontier
+	// Union accumulates distinct tuples: Pack appends unless an equal
+	// tuple is already present, and merging at a branch join unions the
+	// two sides (deduplicated). Unlike Frontier, a later Pack never
+	// replaces earlier tuples, so facts recorded on any branch survive
+	// every join. The budget layer stores eviction tombstones in a Union
+	// set (see DropSlot) precisely because of this monotonicity.
+	Union
 )
 
 func (k SetKind) String() string {
@@ -54,6 +61,8 @@ func (k SetKind) String() string {
 		return "AGG"
 	case Frontier:
 		return "FRONTIER"
+	case Union:
+		return "UNION"
 	default:
 		return fmt.Sprintf("setkind(%d)", uint8(k))
 	}
@@ -101,7 +110,22 @@ func (s SetSpec) Equal(o SetSpec) bool {
 type group struct {
 	keyVals tuple.Tuple // values at GroupBy positions, in GroupBy order
 	states  []*agg.State
+	cost    int // cached encoded size (see Set.CostBytes)
 }
+
+// recomputeCost refreshes the group's cached encoded size.
+func (g *group) recomputeCost() {
+	c := len(tuple.AppendTuple(nil, g.keyVals))
+	for _, st := range g.states {
+		c += len(st.Append(nil))
+	}
+	g.cost = c
+}
+
+// encSize is the budget cost model for one stored tuple: its encoded wire
+// size. It upper-bounds the tuple's contribution to the serialized baggage
+// (slot names, specs, and stamps are bounded per-slot overhead on top).
+func encSize(t tuple.Tuple) int { return len(tuple.AppendTuple(nil, t)) }
 
 // Set is a tuple set stored in a baggage instance under one slot.
 type Set struct {
@@ -109,6 +133,62 @@ type Set struct {
 	tuples []tuple.Tuple     // non-AGG kinds
 	groups map[string]*group // AGG kind
 	order  []string          // deterministic group iteration order
+	bytes  int               // cached content cost, maintained by Pack/Merge
+}
+
+// CostBytes returns the set's content cost in encoded bytes — the budget
+// layer's O(1) usage model. It is maintained incrementally by Pack and
+// Merge and recomputed after decode, so budget decisions are identical
+// whether or not the baggage crossed a process boundary.
+func (s *Set) CostBytes() int { return s.bytes }
+
+// recomputeBytes rebuilds the cached cost from scratch (used after decode
+// and after internal evictions in bounded kinds).
+func (s *Set) recomputeBytes() {
+	total := 0
+	if s.Spec.Kind == Agg {
+		for _, key := range s.order {
+			g := s.groups[key]
+			g.recomputeCost()
+			total += g.cost
+		}
+	} else {
+		for _, t := range s.tuples {
+			total += encSize(t)
+		}
+	}
+	s.bytes = total
+}
+
+// removeGroup evicts one AGG group (a no-op for other kinds or unknown
+// keys) and returns its cached cost.
+func (s *Set) removeGroup(key string) int {
+	g, ok := s.groups[key]
+	if !ok {
+		return 0
+	}
+	delete(s.groups, key)
+	for i, k := range s.order {
+		if k == key {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.bytes -= g.cost
+	return g.cost
+}
+
+// clear empties the set, returning the evicted content cost and tuple
+// count.
+func (s *Set) clear() (bytes, tuples int) {
+	bytes, tuples = s.bytes, s.Len()
+	s.tuples = nil
+	if s.Spec.Kind == Agg {
+		s.groups = make(map[string]*group)
+		s.order = nil
+	}
+	s.bytes = 0
+	return bytes, tuples
 }
 
 // NewSet returns an empty set with the given spec.
@@ -125,21 +205,36 @@ func (s *Set) Pack(t tuple.Tuple) {
 	switch s.Spec.Kind {
 	case All:
 		s.tuples = append(s.tuples, t)
+		s.bytes += encSize(t)
 	case First:
 		if len(s.tuples) == 0 {
 			s.tuples = append(s.tuples, t)
+			s.bytes += encSize(t)
 		}
 	case FirstN:
 		if len(s.tuples) < s.Spec.N {
 			s.tuples = append(s.tuples, t)
+			s.bytes += encSize(t)
 		}
 	case Recent, Frontier:
 		s.tuples = append(s.tuples[:0], t)
+		s.bytes = encSize(t)
 	case RecentN:
 		s.tuples = append(s.tuples, t)
 		if excess := len(s.tuples) - s.Spec.N; excess > 0 {
 			s.tuples = append(s.tuples[:0:0], s.tuples[excess:]...)
+			s.recomputeBytes()
+		} else {
+			s.bytes += encSize(t)
 		}
+	case Union:
+		for _, mine := range s.tuples {
+			if mine.Equal(t) {
+				return
+			}
+		}
+		s.tuples = append(s.tuples, t)
+		s.bytes += encSize(t)
 	case Agg:
 		key := t.Key(s.Spec.GroupBy)
 		g, ok := s.groups[key]
@@ -154,21 +249,33 @@ func (s *Set) Pack(t tuple.Tuple) {
 		for i, af := range s.Spec.Aggs {
 			g.states[i].Add(t[af.Pos])
 		}
+		old := g.cost
+		g.recomputeCost()
+		s.bytes += g.cost - old
 	}
 }
 
 // Merge folds another set with the same spec into s. Used when rejoining
-// branched baggage and when combining instances at unpack.
+// branched baggage and when combining instances at unpack. A spec
+// mismatch drops o rather than panicking: merge sites are where
+// independently-produced baggage payloads meet, and bytes from a corrupt
+// or hostile peer must never panic the traced application. Dropped
+// merges are counted in the MergeConflicts meter.
 func (s *Set) Merge(o *Set) {
 	if !s.Spec.Equal(o.Spec) {
-		panic("baggage: merging sets with different specs")
+		if m := meters.Load(); m != nil {
+			m.MergeConflicts.Inc()
+		}
+		return
 	}
 	switch s.Spec.Kind {
 	case All:
 		s.tuples = append(s.tuples, o.tuples...)
+		s.bytes += o.bytes
 	case First:
 		if len(s.tuples) == 0 && len(o.tuples) > 0 {
 			s.tuples = append(s.tuples, o.tuples[0])
+			s.bytes += encSize(o.tuples[0])
 		}
 	case FirstN:
 		for _, t := range o.tuples {
@@ -176,20 +283,23 @@ func (s *Set) Merge(o *Set) {
 				break
 			}
 			s.tuples = append(s.tuples, t)
+			s.bytes += encSize(t)
 		}
 	case Recent:
 		// Deterministic tie-break across branches: the left (receiver)
 		// branch wins if it has a tuple.
 		if len(s.tuples) == 0 && len(o.tuples) > 0 {
 			s.tuples = append(s.tuples, o.tuples[0])
+			s.bytes += encSize(o.tuples[0])
 		}
 	case RecentN:
 		s.tuples = append(s.tuples, o.tuples...)
 		if excess := len(s.tuples) - s.Spec.N; excess > 0 {
 			s.tuples = append(s.tuples[:0:0], s.tuples[excess:]...)
 		}
-	case Frontier:
-		// Union the branch frontiers, dropping exact duplicates.
+		s.recomputeBytes()
+	case Frontier, Union:
+		// Union the branch contributions, dropping exact duplicates.
 		for _, t := range o.tuples {
 			dup := false
 			for _, mine := range s.tuples {
@@ -200,6 +310,7 @@ func (s *Set) Merge(o *Set) {
 			}
 			if !dup {
 				s.tuples = append(s.tuples, t)
+				s.bytes += encSize(t)
 			}
 		}
 	case Agg:
@@ -207,17 +318,24 @@ func (s *Set) Merge(o *Set) {
 			og := o.groups[key]
 			g, ok := s.groups[key]
 			if !ok {
-				g = &group{keyVals: og.keyVals.Clone()}
+				g = &group{keyVals: og.keyVals.Clone(), cost: og.cost}
 				for _, st := range og.states {
 					g.states = append(g.states, st.Clone())
 				}
+				if g.cost == 0 {
+					g.recomputeCost()
+				}
 				s.groups[key] = g
 				s.order = append(s.order, key)
+				s.bytes += g.cost
 				continue
 			}
 			for i, st := range og.states {
 				g.states[i].Merge(st)
 			}
+			old := g.cost
+			g.recomputeCost()
+			s.bytes += g.cost - old
 		}
 	}
 }
@@ -260,13 +378,14 @@ func (s *Set) Len() int {
 // Clone deep-copies the set.
 func (s *Set) Clone() *Set {
 	c := NewSet(s.Spec)
+	c.bytes = s.bytes
 	for _, t := range s.tuples {
 		c.tuples = append(c.tuples, t.Clone())
 	}
 	if s.Spec.Kind == Agg {
 		for _, key := range s.order {
 			g := s.groups[key]
-			ng := &group{keyVals: g.keyVals.Clone()}
+			ng := &group{keyVals: g.keyVals.Clone(), cost: g.cost}
 			for _, st := range g.states {
 				ng.states = append(ng.states, st.Clone())
 			}

@@ -77,6 +77,15 @@ func New(env *simtime.Env, cfg Config) *Cluster {
 		byName: make(map[string]*Process),
 	}
 	c.PT = core.New(c.Bus, tracepoint.NewRegistry())
+	// Renew query leases on the virtual clock, as a live frontend would;
+	// lease expiry (a dead frontend) is exercised by the chaos tests over
+	// the TCP bus, where the frontend really can disappear.
+	env.Go(func() {
+		for !env.Done() {
+			env.Sleep(agent.DefaultLease / 3)
+			c.PT.RenewLeases()
+		}
+	})
 	return c
 }
 

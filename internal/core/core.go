@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/advice"
 	"repro/internal/agent"
+	"repro/internal/baggage"
 	"repro/internal/bus"
 	"repro/internal/plan"
 	"repro/internal/query"
@@ -38,13 +39,16 @@ type PivotTracing struct {
 	reportsMerged *telemetry.Counter
 	groupsMerged  *telemetry.Counter
 	rawsMerged    *telemetry.Counter
+	dropsMerged   *telemetry.Counter
+	quarantinesC  *telemetry.Counter
 	firstResultNS *telemetry.Histogram
 
 	metaWeave *tracepoint.Tracepoint // "tracepoint.Weave", nil until enabled
 
-	resultsSub bus.Subscription
-	healthSub  bus.Subscription
-	statusSub  bus.Subscription
+	resultsSub    bus.Subscription
+	healthSub     bus.Subscription
+	statusSub     bus.Subscription
+	quarantineSub bus.Subscription
 }
 
 // New creates a frontend bound to the bus and the master tracepoint
@@ -61,11 +65,14 @@ func New(b *bus.Bus, reg *tracepoint.Registry) *PivotTracing {
 		reportsMerged: tel.Counter("core.reports.merged"),
 		groupsMerged:  tel.Counter("core.groups.merged"),
 		rawsMerged:    tel.Counter("core.raws.merged"),
+		dropsMerged:   tel.Counter("core.baggage.drops.merged"),
+		quarantinesC:  tel.Counter("core.quarantines"),
 		firstResultNS: tel.Histogram("core.install.to.first.ns"),
 	}
 	pt.resultsSub = b.Subscribe(agent.ResultsTopic, pt.onReport)
 	pt.healthSub = b.Subscribe(agent.HealthTopic, pt.onHeartbeat)
 	pt.statusSub = b.Subscribe(agent.StatusRequestTopic, pt.onStatusRequest)
+	pt.quarantineSub = b.Subscribe(agent.QuarantineTopic, pt.onQuarantine)
 	return pt
 }
 
@@ -101,6 +108,10 @@ type Installed struct {
 	installedAt time.Time
 	firstResult time.Duration // install→first-report latency; -1 until set
 	reports     int64         // reports merged
+	lease       time.Duration // install TTL agents enforce; 0 = immortal
+	limits      advice.Limits
+	drops       map[baggage.DropRecord]bool // union of reported eviction tombstones
+	quarantines []agent.Quarantine
 }
 
 // Install parses, compiles, and installs a query with the Table 3
@@ -138,6 +149,14 @@ func (pt *PivotTracing) InstallNamed(name, text string, opts plan.Options) (*Ins
 	if err != nil {
 		return nil, err
 	}
+	// Leases default on: a frontend that dies stops renewing, and agents
+	// shed its queries. Negative opts.Lease opts out (TTL 0 = immortal).
+	lease := opts.Lease
+	if lease == 0 {
+		lease = agent.DefaultLease
+	} else if lease < 0 {
+		lease = 0
+	}
 	h := &Installed{
 		pt:          pt,
 		Name:        name,
@@ -145,14 +164,23 @@ func (pt *PivotTracing) InstallNamed(name, text string, opts plan.Options) (*Ins
 		global:      advice.NewAccumulator(p.Emit.Emit),
 		installedAt: time.Now(),
 		firstResult: -1,
+		lease:       lease,
+		limits:      opts.Limits,
+		drops:       make(map[baggage.DropRecord]bool),
 	}
+	h.global.SetLimits(opts.Limits)
 	pt.mu.Lock()
 	pt.installed[name] = h
 	pt.named[name] = q
 	metaWeave := pt.metaWeave
 	pt.mu.Unlock()
 
-	pt.bus.Publish(agent.ControlTopic, agent.Install{QueryID: name, Programs: p.Programs})
+	pt.bus.Publish(agent.ControlTopic, agent.Install{
+		QueryID:  name,
+		Programs: p.Programs,
+		TTL:      lease,
+		Limits:   opts.Limits,
+	})
 	// Cross the tracepoint.Weave meta-tracepoint after the weave
 	// instructions are out and with no frontend locks held: woven advice
 	// re-enters an agent, which may call straight back into this frontend.
@@ -179,9 +207,54 @@ func (pt *PivotTracing) Installs() []agent.Install {
 	out := make([]agent.Install, 0, len(names))
 	for _, name := range names {
 		h := pt.installed[name]
-		out = append(out, agent.Install{QueryID: name, Programs: h.Plan.Programs})
+		out = append(out, agent.Install{
+			QueryID:  name,
+			Programs: h.Plan.Programs,
+			TTL:      h.lease,
+			Limits:   h.limits,
+		})
 	}
 	return out
+}
+
+// RenewLeases re-arms the lease of every installed query (TTL 0 on the
+// wire keeps each query's current duration). The frontend's host calls
+// this periodically — the cluster runtime and pivot.StartReporting do —
+// so that only a dead or partitioned frontend lets leases lapse.
+func (pt *PivotTracing) RenewLeases() {
+	pt.mu.Lock()
+	ids := make([]string, 0, len(pt.installed))
+	for name, h := range pt.installed {
+		if h.lease > 0 {
+			ids = append(ids, name)
+		}
+	}
+	pt.mu.Unlock()
+	if len(ids) == 0 {
+		return
+	}
+	sort.Strings(ids)
+	pt.bus.Publish(agent.ControlTopic, agent.Renew{QueryIDs: ids})
+}
+
+// SetLease changes an installed query's lease TTL and renews it
+// immediately. A TTL <= 0 is rejected (installs, not renewals, decide
+// immortality).
+func (pt *PivotTracing) SetLease(name string, ttl time.Duration) error {
+	if ttl <= 0 {
+		return fmt.Errorf("core: lease TTL must be positive, got %v", ttl)
+	}
+	pt.mu.Lock()
+	h := pt.installed[name]
+	if h != nil {
+		h.lease = ttl
+	}
+	pt.mu.Unlock()
+	if h == nil {
+		return fmt.Errorf("core: query %q not installed", name)
+	}
+	pt.bus.Publish(agent.ControlTopic, agent.Renew{QueryIDs: []string{name}, TTL: ttl})
+	return nil
 }
 
 // onReport merges an agent's partial results into the query's global
@@ -212,12 +285,109 @@ func (pt *PivotTracing) onReport(msg any) {
 	for _, raw := range r.Raws {
 		h.global.MergeRaw(raw)
 	}
+	for _, d := range r.Drops {
+		if !h.drops[d] {
+			h.drops[d] = true
+			pt.dropsMerged.Inc()
+		}
+	}
 	var listeners []func(agent.Report)
 	listeners = append(listeners, h.listeners...)
 	h.mu.Unlock()
 	for _, fn := range listeners {
 		fn(r)
 	}
+}
+
+// onQuarantine records a circuit-breaker notice against its query so
+// status output can flag results from a quarantined query.
+func (pt *PivotTracing) onQuarantine(msg any) {
+	qn, ok := msg.(agent.Quarantine)
+	if !ok {
+		return
+	}
+	pt.quarantinesC.Inc()
+	pt.mu.Lock()
+	h := pt.installed[qn.QueryID]
+	pt.mu.Unlock()
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.quarantines = append(h.quarantines, qn)
+	h.mu.Unlock()
+}
+
+// Lease returns the query's install TTL (0 = immortal).
+func (h *Installed) Lease() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lease
+}
+
+// DroppedGroups returns how many distinct baggage groups the query's
+// budget has evicted, as accounted by the in-baggage tombstones agents
+// report. Results are exact on the reported subset: every group is either
+// fully present in Rows or counted here, never partially merged.
+func (h *Installed) DroppedGroups() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for d := range h.drops {
+		if d.Key != "" || !h.wholeSlotShadowedLocked(d.Slot) {
+			n++
+		}
+	}
+	return n
+}
+
+// wholeSlotShadowedLocked reports whether a whole-slot tombstone for slot
+// coexists with per-group tombstones for the same slot; the per-group
+// records are then the precise count and the whole-slot record is not
+// counted again. (Whole-slot evictions only happen for non-aggregated
+// slots, where group records never appear, so this only suppresses
+// genuine double counting.)
+func (h *Installed) wholeSlotShadowedLocked(slot string) bool {
+	for d := range h.drops {
+		if d.Slot == slot && d.Key != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// Drops returns the query's baggage eviction tombstones, sorted.
+func (h *Installed) Drops() []baggage.DropRecord {
+	h.mu.Lock()
+	out := make([]baggage.DropRecord, 0, len(h.drops))
+	for d := range h.drops {
+		out = append(out, d)
+	}
+	h.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Slot != out[j].Slot {
+			return out[i].Slot < out[j].Slot
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Quarantines returns the circuit-breaker notices received for this
+// query, in arrival order. A non-empty result means some processes are no
+// longer evaluating the query's advice and results are partial.
+func (h *Installed) Quarantines() []agent.Quarantine {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]agent.Quarantine(nil), h.quarantines...)
+}
+
+// Partial reports whether the query's results are known-incomplete:
+// baggage budgets evicted groups or a circuit breaker quarantined advice.
+func (h *Installed) Partial() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.drops) > 0 || len(h.quarantines) > 0
 }
 
 // OnReport registers a callback invoked for every per-interval report the
@@ -296,4 +466,5 @@ func (pt *PivotTracing) Close() {
 	pt.bus.Unsubscribe(pt.resultsSub)
 	pt.bus.Unsubscribe(pt.healthSub)
 	pt.bus.Unsubscribe(pt.statusSub)
+	pt.bus.Unsubscribe(pt.quarantineSub)
 }

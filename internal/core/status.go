@@ -46,6 +46,9 @@ type QueryStatus struct {
 	FirstResult   time.Duration // install→first-report latency; -1 if none yet
 	Invocations   int64         // summed over the query's advice programs
 	TuplesEmitted int64
+	Lease         time.Duration // install TTL agents enforce; 0 = immortal
+	DroppedGroups int           // baggage groups evicted by the query's budget
+	Quarantines   int           // circuit-breaker notices received
 }
 
 // Status is a point-in-time view of the tracer's own health.
@@ -124,12 +127,16 @@ func (pt *PivotTracing) StatusAt(now time.Duration) Status {
 
 	queries := make([]QueryStatus, 0, len(handles))
 	for _, h := range handles {
+		dropped := h.DroppedGroups()
 		h.mu.Lock()
 		qs := QueryStatus{
-			Name:        h.Name,
-			Rows:        len(h.global.Rows()),
-			Reports:     h.reports,
-			FirstResult: h.firstResult,
+			Name:          h.Name,
+			Rows:          len(h.global.Rows()),
+			Reports:       h.reports,
+			FirstResult:   h.firstResult,
+			Lease:         h.lease,
+			DroppedGroups: dropped,
+			Quarantines:   len(h.quarantines),
 		}
 		h.mu.Unlock()
 		for _, prog := range h.Plan.Programs {
@@ -157,30 +164,37 @@ func (pt *PivotTracing) StatusText() string { return RenderStatus(pt.Status()) }
 func RenderStatus(s Status) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "agents (%d):\n", len(s.Agents))
-	fmt.Fprintf(&b, "  %-24s %-12s %10s %10s %-9s %7s %9s %9s %9s %7s %7s %7s\n",
+	fmt.Fprintf(&b, "  %-24s %-12s %10s %10s %-9s %7s %9s %9s %9s %7s %7s %7s %7s %7s %8s\n",
 		"host", "proc", "age", "interval", "health", "queries", "reports", "rows", "tuples",
-		"reconn", "replay", "drops")
+		"reconn", "replay", "drops", "expired", "quarant", "bagdrop")
 	for _, a := range s.Agents {
 		health := "ok"
 		if !a.Healthy {
 			health = "UNHEALTHY"
 		}
-		fmt.Fprintf(&b, "  %-24s %-12s %10s %10s %-9s %7d %9d %9d %9d %7d %7d %7d\n",
+		fmt.Fprintf(&b, "  %-24s %-12s %10s %10s %-9s %7d %9d %9d %9d %7d %7d %7d %7d %7d %8d\n",
 			a.Host, a.ProcName,
 			a.Age.Round(time.Millisecond), a.Interval, health, a.Queries,
 			a.Stats.Reports, a.Stats.RowsReported, a.Stats.TuplesEmitted,
-			a.Stats.Reconnects, a.Stats.ReportsReplayed, a.Stats.ReportsDropped)
+			a.Stats.Reconnects, a.Stats.ReportsReplayed, a.Stats.ReportsDropped,
+			a.Stats.LeasesExpired, a.Stats.Quarantines, a.Stats.BaggageBytesDropped)
 	}
 	fmt.Fprintf(&b, "\nqueries (%d):\n", len(s.Queries))
-	fmt.Fprintf(&b, "  %-16s %8s %9s %14s %12s %9s\n",
-		"query", "rows", "reports", "first-result", "invocations", "emitted")
+	fmt.Fprintf(&b, "  %-16s %8s %9s %14s %12s %9s %9s %8s %8s\n",
+		"query", "rows", "reports", "first-result", "invocations", "emitted",
+		"lease", "dropped", "quarant")
 	for _, q := range s.Queries {
 		first := "-"
 		if q.FirstResult >= 0 {
 			first = q.FirstResult.Round(time.Microsecond).String()
 		}
-		fmt.Fprintf(&b, "  %-16s %8d %9d %14s %12d %9d\n",
-			q.Name, q.Rows, q.Reports, first, q.Invocations, q.TuplesEmitted)
+		lease := "-"
+		if q.Lease > 0 {
+			lease = q.Lease.String()
+		}
+		fmt.Fprintf(&b, "  %-16s %8d %9d %14s %12d %9d %9s %8d %8d\n",
+			q.Name, q.Rows, q.Reports, first, q.Invocations, q.TuplesEmitted,
+			lease, q.DroppedGroups, q.Quarantines)
 	}
 	if !s.Telemetry.Empty() {
 		b.WriteString("\ntelemetry:\n")

@@ -163,6 +163,7 @@ func (qc *queryCompiler) newProgram(node *aliasNode, tpName string, l *layout) (
 	prog := &advice.Program{
 		QueryID:    qc.c.rootID,
 		Tracepoint: tpName,
+		Safety:     qc.c.opts.Safety,
 	}
 	for _, r := range l.observed {
 		pos := tp.Schema().Index(r.Field)

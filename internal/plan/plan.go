@@ -16,6 +16,7 @@ package plan
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/advice"
 	"repro/internal/agg"
@@ -37,6 +38,18 @@ type Options struct {
 	// crossing so the happened-before join stays exact for the sampled
 	// observations; COUNT/SUM results are 1/SampleEvery-scaled estimates.
 	SampleEvery int64
+	// Safety bounds the compiled programs' runtime behavior: baggage
+	// budget, panic circuit breaker, and per-fire cost ceiling. The zero
+	// value enables every default limit (see advice.Safety).
+	Safety advice.Safety
+	// Limits bounds agent-side accumulator memory for the query (group
+	// cardinality and raw-row count; zero value = defaults, see
+	// advice.Limits).
+	Limits advice.Limits
+	// Lease is the query's install TTL: agents uninstall the query if the
+	// frontend stops renewing for this long. Zero selects the default
+	// lease; negative installs the query without a lease (immortal).
+	Lease time.Duration
 }
 
 // Optimized is the default compilation mode.

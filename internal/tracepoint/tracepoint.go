@@ -36,6 +36,14 @@ type Advice interface {
 	Invoke(ctx context.Context, vals tuple.Tuple)
 }
 
+// PanicSink is optionally implemented by advice that wants to observe its
+// own panics recovered at the Here boundary — the advice circuit breaker
+// uses it to count faults toward quarantine. The sink runs inside the
+// recover path and must not panic itself.
+type PanicSink interface {
+	AdvicePanicked(tpName string, recovered any)
+}
+
 // Tracepoint identifies one or more locations in the system code and the
 // variables exported there. Tracepoint definitions are not part of system
 // code; they are named entry points that queries refer to.
@@ -53,6 +61,7 @@ type Tracepoint struct {
 	schema      tuple.Schema // DefaultExports + Exports
 	woven       atomic.Pointer[[]Advice]
 	invocations atomic.Int64
+	panics      atomic.Int64
 	meters      atomic.Pointer[Meters]
 }
 
@@ -62,6 +71,7 @@ type Tracepoint struct {
 type Meters struct {
 	Hits   *telemetry.Counter // Here crossings, whether or not advice ran
 	Weaves *telemetry.Counter // advice installations at this tracepoint
+	Panics *telemetry.Counter // advice panics recovered at the Here boundary
 }
 
 // Schema returns the full exported schema: default exports then declared.
@@ -75,6 +85,9 @@ func (tp *Tracepoint) Enabled() bool {
 
 // Invocations returns how many times Here has executed advice.
 func (tp *Tracepoint) Invocations() int64 { return tp.invocations.Load() }
+
+// Panics returns how many advice panics this tracepoint has recovered.
+func (tp *Tracepoint) Panics() int64 { return tp.panics.Load() }
 
 // Here is the hook the instrumented system calls when execution reaches the
 // tracepoint. vals are the declared exports, in Exports order; missing
@@ -105,8 +118,30 @@ func (tp *Tracepoint) Here(ctx context.Context, vals ...any) {
 		}
 	}
 	for _, a := range *list {
-		a.Invoke(ctx, full)
+		tp.invoke(ctx, a, full)
 	}
+}
+
+// invoke runs one advice behind a recover boundary: advice is the only
+// untrusted code the tracer injects into the application's request path,
+// and a panic there must never take the application down (the paper's
+// §3.3 safety promise). Recovered panics are counted and handed to the
+// advice's PanicSink, which is how the circuit breaker learns of faults.
+func (tp *Tracepoint) invoke(ctx context.Context, a Advice, full tuple.Tuple) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		tp.panics.Add(1)
+		if m := tp.meters.Load(); m != nil {
+			m.Panics.Inc()
+		}
+		if s, ok := a.(PanicSink); ok {
+			s.AdvicePanicked(tp.Name, r)
+		}
+	}()
+	a.Invoke(ctx, full)
 }
 
 // Registry holds the tracepoints of one monitored deployment. Tracepoints
@@ -142,6 +177,7 @@ func metersFor(t *telemetry.Registry, name string) *Meters {
 	return &Meters{
 		Hits:   t.Counter("tracepoint.hits." + name),
 		Weaves: t.Counter("tracepoint.weaves." + name),
+		Panics: t.Counter("tracepoint.panics." + name),
 	}
 }
 

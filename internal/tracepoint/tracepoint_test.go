@@ -233,3 +233,54 @@ func BenchmarkTracepointWovenNoopAdvice(b *testing.B) {
 type noopAdvice struct{}
 
 func (noopAdvice) Invoke(context.Context, tuple.Tuple) {}
+
+// panicker is test advice that always panics; it optionally records the
+// PanicSink callbacks the Here boundary delivers.
+type panicker struct {
+	mu       sync.Mutex
+	sank     []any
+	sankFrom []string
+}
+
+func (p *panicker) Invoke(context.Context, tuple.Tuple) { panic("advice bug") }
+
+func (p *panicker) AdvicePanicked(tpName string, recovered any) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sank = append(p.sank, recovered)
+	p.sankFrom = append(p.sankFrom, tpName)
+}
+
+// A panicking advice must never unwind into the traced application: the
+// Here boundary recovers, counts, and reports to the advice's PanicSink,
+// and other advice at the same tracepoint still runs.
+func TestAdvicePanicIsRecoveredAtHereBoundary(t *testing.T) {
+	reg := NewRegistry()
+	tp := reg.Define("tp", "v")
+	bad := &panicker{}
+	good := &recorder{}
+	if err := reg.Weave("tp", bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Weave("tp", good); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("panic escaped the tracepoint boundary: %v", r)
+		}
+	}()
+	tp.Here(context.Background(), 1)
+	tp.Here(context.Background(), 2)
+	if good.count() != 2 {
+		t.Fatalf("well-behaved advice invoked %d times, want 2", good.count())
+	}
+	if tp.Panics() != 2 {
+		t.Fatalf("Panics = %d, want 2", tp.Panics())
+	}
+	bad.mu.Lock()
+	defer bad.mu.Unlock()
+	if len(bad.sank) != 2 || bad.sank[0] != "advice bug" || bad.sankFrom[0] != "tp" {
+		t.Fatalf("PanicSink got %v from %v", bad.sank, bad.sankFrom)
+	}
+}

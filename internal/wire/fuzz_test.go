@@ -39,6 +39,13 @@ func messageSeeds(t testing.TB) map[string][]byte {
 			}},
 		}),
 		"uninstall": mustMarshal(agent.Uninstall{QueryID: "Q9"}),
+		"renew": mustMarshal(agent.Renew{
+			QueryIDs: []string{"Q1", "Q2"}, TTL: 30 * time.Second,
+		}),
+		"quarantine": mustMarshal(agent.Quarantine{
+			QueryID: "Q1", Tracepoint: "Tp", Host: "h", ProcName: "p",
+			Reason: "3 advice panics", Time: 7 * time.Second,
+		}),
 		"heartbeat": mustMarshal(agent.Heartbeat{
 			Host: "h", ProcName: "p", Time: time.Second, Interval: time.Second, Queries: 1,
 		}),

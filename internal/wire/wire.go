@@ -294,6 +294,10 @@ func AppendProgram(buf []byte, p *advice.Program) []byte {
 	buf = appendInts(buf, p.Observe)
 	buf = appendStrings(buf, p.ObserveFields)
 	buf = binary.AppendVarint(buf, p.SampleEvery)
+	buf = binary.AppendVarint(buf, int64(p.Safety.Budget.MaxBytes))
+	buf = binary.AppendVarint(buf, int64(p.Safety.Budget.MaxTuples))
+	buf = binary.AppendVarint(buf, p.Safety.FaultLimit)
+	buf = binary.AppendVarint(buf, p.Safety.CostCeiling)
 
 	buf = binary.AppendUvarint(buf, uint64(len(p.Unpacks)))
 	for _, u := range p.Unpacks {
@@ -366,6 +370,20 @@ func DecodeProgram(buf []byte) (*advice.Program, []byte, error) {
 	}
 	p.SampleEvery = se
 	buf = buf[k:]
+	var safety [4]int64
+	for i := range safety {
+		v, k := binary.Varint(buf)
+		if k <= 0 {
+			return nil, nil, errTruncated
+		}
+		safety[i] = v
+		buf = buf[k:]
+	}
+	p.Safety = advice.Safety{
+		Budget:      baggage.Budget{MaxBytes: int(safety[0]), MaxTuples: int(safety[1])},
+		FaultLimit:  safety[2],
+		CostCeiling: safety[3],
+	}
 
 	n, k := binary.Uvarint(buf)
 	if k <= 0 {
@@ -489,7 +507,13 @@ const (
 	TagHeartbeat      = 4
 	TagStatusRequest  = 5
 	TagStatusResponse = 6
+	TagRenew          = 7
+	TagQuarantine     = 8
 )
+
+// heartbeatInts is how many varints a Heartbeat carries after its two
+// strings: Time, Interval, Queries, then every Stats field in order.
+const heartbeatInts = 17
 
 // Marshal encodes a bus message (agent.Install, agent.Uninstall, or
 // agent.Report). Unknown message types return an error.
@@ -498,10 +522,27 @@ func Marshal(msg any) ([]byte, error) {
 	case agent.Install:
 		buf := []byte{TagInstall}
 		buf = appendString(buf, m.QueryID)
+		buf = binary.AppendVarint(buf, int64(m.TTL))
+		buf = binary.AppendVarint(buf, int64(m.Limits.MaxGroups))
+		buf = binary.AppendVarint(buf, int64(m.Limits.MaxRaws))
 		buf = binary.AppendUvarint(buf, uint64(len(m.Programs)))
 		for _, p := range m.Programs {
 			buf = AppendProgram(buf, p)
 		}
+		return buf, nil
+	case agent.Renew:
+		buf := []byte{TagRenew}
+		buf = binary.AppendVarint(buf, int64(m.TTL))
+		buf = appendStrings(buf, m.QueryIDs)
+		return buf, nil
+	case agent.Quarantine:
+		buf := []byte{TagQuarantine}
+		buf = appendString(buf, m.QueryID)
+		buf = appendString(buf, m.Tracepoint)
+		buf = appendString(buf, m.Host)
+		buf = appendString(buf, m.ProcName)
+		buf = appendString(buf, m.Reason)
+		buf = binary.AppendVarint(buf, int64(m.Time))
 		return buf, nil
 	case agent.Uninstall:
 		buf := []byte{TagUninstall}
@@ -520,6 +561,13 @@ func Marshal(msg any) ([]byte, error) {
 		buf = binary.AppendVarint(buf, m.Stats.ReportsReplayed)
 		buf = binary.AppendVarint(buf, m.Stats.ReportsDropped)
 		buf = binary.AppendVarint(buf, m.Stats.Reconnects)
+		buf = binary.AppendVarint(buf, m.Stats.LeasesExpired)
+		buf = binary.AppendVarint(buf, m.Stats.Quarantines)
+		buf = binary.AppendVarint(buf, m.Stats.RawsDropped)
+		buf = binary.AppendVarint(buf, m.Stats.GroupsOverflowed)
+		buf = binary.AppendVarint(buf, m.Stats.BaggageGroupsDropped)
+		buf = binary.AppendVarint(buf, m.Stats.BaggageTuplesDropped)
+		buf = binary.AppendVarint(buf, m.Stats.BaggageBytesDropped)
 		return buf, nil
 	case agent.StatusRequest:
 		buf := []byte{TagStatusRequest}
@@ -547,6 +595,11 @@ func Marshal(msg any) ([]byte, error) {
 		for _, r := range m.Raws {
 			buf = tuple.AppendTuple(buf, r)
 		}
+		buf = binary.AppendUvarint(buf, uint64(len(m.Drops)))
+		for _, d := range m.Drops {
+			buf = appendString(buf, d.Slot)
+			buf = appendString(buf, d.Key)
+		}
 		return buf, nil
 	default:
 		return nil, fmt.Errorf("wire: cannot marshal %T", msg)
@@ -566,6 +619,17 @@ func Unmarshal(buf []byte) (any, error) {
 		if m.QueryID, buf, err = decodeString(buf); err != nil {
 			return nil, err
 		}
+		var hdr [3]int64
+		for i := range hdr {
+			v, k := binary.Varint(buf)
+			if k <= 0 {
+				return nil, errTruncated
+			}
+			hdr[i] = v
+			buf = buf[k:]
+		}
+		m.TTL = time.Duration(hdr[0])
+		m.Limits = advice.Limits{MaxGroups: int(hdr[1]), MaxRaws: int(hdr[2])}
 		n, k := binary.Uvarint(buf)
 		if k <= 0 {
 			return nil, errTruncated
@@ -587,6 +651,34 @@ func Unmarshal(buf []byte) (any, error) {
 			return nil, err
 		}
 		return m, nil
+	case TagRenew:
+		var m agent.Renew
+		ttl, k := binary.Varint(buf)
+		if k <= 0 {
+			return nil, errTruncated
+		}
+		m.TTL = time.Duration(ttl)
+		buf = buf[k:]
+		ids, _, err := decodeStrings(buf)
+		if err != nil {
+			return nil, err
+		}
+		m.QueryIDs = ids
+		return m, nil
+	case TagQuarantine:
+		var m agent.Quarantine
+		var err error
+		for _, dst := range []*string{&m.QueryID, &m.Tracepoint, &m.Host, &m.ProcName, &m.Reason} {
+			if *dst, buf, err = decodeString(buf); err != nil {
+				return nil, err
+			}
+		}
+		tns, k := binary.Varint(buf)
+		if k <= 0 {
+			return nil, errTruncated
+		}
+		m.Time = time.Duration(tns)
+		return m, nil
 	case TagHeartbeat:
 		var m agent.Heartbeat
 		var err error
@@ -596,7 +688,7 @@ func Unmarshal(buf []byte) (any, error) {
 		if m.ProcName, buf, err = decodeString(buf); err != nil {
 			return nil, err
 		}
-		ints := [10]int64{}
+		ints := [heartbeatInts]int64{}
 		for i := range ints {
 			v, k := binary.Varint(buf)
 			if k <= 0 {
@@ -612,6 +704,10 @@ func Unmarshal(buf []byte) (any, error) {
 			TuplesEmitted: ints[3], RowsReported: ints[4], Reports: ints[5],
 			ReportsRetained: ints[6], ReportsReplayed: ints[7],
 			ReportsDropped: ints[8], Reconnects: ints[9],
+			LeasesExpired: ints[10], Quarantines: ints[11],
+			RawsDropped: ints[12], GroupsOverflowed: ints[13],
+			BaggageGroupsDropped: ints[14], BaggageTuplesDropped: ints[15],
+			BaggageBytesDropped: ints[16],
 		}
 		return m, nil
 	case TagStatusRequest:
@@ -688,6 +784,21 @@ func Unmarshal(buf []byte) (any, error) {
 				return nil, err
 			}
 			m.Raws = append(m.Raws, r)
+		}
+		n, k = binary.Uvarint(buf)
+		if k <= 0 {
+			return nil, errTruncated
+		}
+		buf = buf[k:]
+		for i := uint64(0); i < n; i++ {
+			var d baggage.DropRecord
+			if d.Slot, buf, err = decodeString(buf); err != nil {
+				return nil, err
+			}
+			if d.Key, buf, err = decodeString(buf); err != nil {
+				return nil, err
+			}
+			m.Drops = append(m.Drops, d)
 		}
 		return m, nil
 	default:

@@ -181,6 +181,90 @@ func TestMessageCodecRoundtrip(t *testing.T) {
 	}
 }
 
+// TestGovernanceCodecRoundtrip covers the safety-valve additions to the
+// wire format: install leases and accumulator limits, per-program safety
+// bounds, lease renewals, quarantine notices, report drop records, and
+// the governance counters in heartbeat stats.
+func TestGovernanceCodecRoundtrip(t *testing.T) {
+	roundtrip := func(msg any) any {
+		t.Helper()
+		buf, err := Marshal(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	prog := &advice.Program{
+		QueryID: "Q1", Tracepoint: "Tp",
+		Observe: []int{0}, ObserveFields: tuple.Schema{"e.host"},
+		Safety: advice.Safety{
+			Budget:      baggage.Budget{MaxBytes: 4096, MaxTuples: -1},
+			FaultLimit:  5,
+			CostCeiling: -1,
+		},
+		Emit: &advice.EmitOp{
+			Cols:    []advice.EmitCol{{Pos: 0}, {IsAgg: true, Pos: -1, Fn: agg.Count}},
+			GroupBy: []int{0}, Schema: tuple.Schema{"host", "COUNT"},
+		},
+	}
+	in := agent.Install{
+		QueryID:  "Q1",
+		Programs: []*advice.Program{prog},
+		TTL:      45 * time.Second,
+		Limits:   advice.Limits{MaxGroups: 128, MaxRaws: -1},
+	}
+	gi := roundtrip(in).(agent.Install)
+	if gi.TTL != in.TTL || gi.Limits != in.Limits {
+		t.Fatalf("install lease/limits roundtrip = %+v", gi)
+	}
+	if got := gi.Programs[0].Safety; got != prog.Safety {
+		t.Fatalf("program safety roundtrip = %+v, want %+v", got, prog.Safety)
+	}
+
+	rn := agent.Renew{QueryIDs: []string{"Q1", "Q2"}, TTL: 9 * time.Second}
+	gr := roundtrip(rn).(agent.Renew)
+	if gr.TTL != rn.TTL || len(gr.QueryIDs) != 2 || gr.QueryIDs[0] != "Q1" || gr.QueryIDs[1] != "Q2" {
+		t.Fatalf("renew roundtrip = %+v", gr)
+	}
+
+	qn := agent.Quarantine{
+		QueryID: "Q1", Tracepoint: "Tp", Host: "h3", ProcName: "dn",
+		Reason: "3 advice panics at Tp (last: boom)", Time: 11 * time.Second,
+	}
+	if gq := roundtrip(qn).(agent.Quarantine); gq != qn {
+		t.Fatalf("quarantine roundtrip = %+v, want %+v", gq, qn)
+	}
+
+	rep := agent.Report{
+		QueryID: "Q1", Host: "h", ProcName: "p", Time: time.Second,
+		Drops: []baggage.DropRecord{
+			{Slot: "Q1.a", Key: "\x02k1"},
+			{Slot: "Q1.b"}, // whole-slot tombstone
+		},
+	}
+	grep := roundtrip(rep).(agent.Report)
+	if len(grep.Drops) != 2 || grep.Drops[0] != rep.Drops[0] || grep.Drops[1] != rep.Drops[1] {
+		t.Fatalf("report drops roundtrip = %+v", grep.Drops)
+	}
+
+	hb := agent.Heartbeat{
+		Host: "h", ProcName: "p", Time: time.Second, Interval: time.Second, Queries: 2,
+		Stats: agent.Stats{
+			TuplesEmitted: 1, RowsReported: 2, Reports: 3,
+			LeasesExpired: 4, Quarantines: 5, RawsDropped: 6, GroupsOverflowed: 7,
+			BaggageGroupsDropped: 8, BaggageTuplesDropped: 9, BaggageBytesDropped: 10,
+		},
+	}
+	if ghb := roundtrip(hb).(agent.Heartbeat); ghb.Stats != hb.Stats {
+		t.Fatalf("heartbeat stats roundtrip = %+v, want %+v", ghb.Stats, hb.Stats)
+	}
+}
+
 // TestDistributedDeployment is the full multi-process flow over real TCP:
 // a frontend process and a monitored "worker" process, each with its own
 // local bus, connected through the central pub/sub server. A query

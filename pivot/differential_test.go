@@ -21,6 +21,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/advice"
 	"repro/internal/baggage"
 	"repro/internal/cluster"
 	"repro/internal/oracle"
@@ -34,8 +35,11 @@ import (
 )
 
 // diffBaseSeed fixes the deterministic sweep; CI and local runs see the
-// same cases.
-const diffBaseSeed = 1_000_000
+// same cases. The budgeted sweep uses a disjoint seed range.
+const (
+	diffBaseSeed   = 1_000_000
+	diffBudgetSeed = 2_000_000
+)
 
 func TestDifferentialPipelineMatchesOracle(t *testing.T) {
 	n := 500
@@ -131,19 +135,7 @@ func runDifferentialCase(seed int64) error {
 		// rounds, exercising the frontend's multi-report merge.
 		cfg.ReportInterval = 5 * time.Millisecond
 		cl := cluster.New(env, cfg)
-		procs := make([]*cluster.Process, c.NumProcs)
-		tps := make([][]*tracepoint.Tracepoint, c.NumProcs)
-		for p := range procs {
-			procs[p] = cl.Start(c.Hosts[p], c.ProcNames[p])
-			tps[p] = make([]*tracepoint.Tracepoint, len(c.TPs))
-			for ti, tp := range c.TPs {
-				names := make([]string, len(tp.Fields))
-				for i, f := range tp.Fields {
-					names[i] = f.Name
-				}
-				tps[p][ti] = procs[p].Define(tp.Name, names...)
-			}
-		}
+		procs, tps := startCaseProcs(cl, c)
 		hOpt, err := cl.PT.Install(c.QueryText)
 		if err != nil {
 			runErr = fmt.Errorf("install optimized: %w", err)
@@ -171,19 +163,9 @@ func runDifferentialCase(seed int64) error {
 		return fmt.Errorf("query %q: %w", c.QueryText, runErr)
 	}
 
-	q, err := query.Parse(c.QueryText)
-	if err != nil {
-		return fmt.Errorf("reparse %q: %w", c.QueryText, err)
-	}
-	reg := tracepoint.NewRegistry()
-	c.Define(reg)
-	tr, err := c.OracleTrace()
+	want, err := oracleRows(c)
 	if err != nil {
 		return err
-	}
-	want, err := oracle.Evaluate(q, reg, tr)
-	if err != nil {
-		return fmt.Errorf("oracle %q: %w", c.QueryText, err)
 	}
 
 	wantC := oracle.Canonical(want)
@@ -192,6 +174,138 @@ func runDifferentialCase(seed int64) error {
 	}
 	if !bytes.Equal(wantC, oracle.Canonical(gotUnopt)) {
 		return diffError(c, "unoptimized plan", want, gotUnopt)
+	}
+	return nil
+}
+
+// startCaseProcs starts one cluster process per case process and defines
+// the case's tracepoints in each.
+func startCaseProcs(cl *cluster.Cluster, c *querygen.Case) ([]*cluster.Process, [][]*tracepoint.Tracepoint) {
+	procs := make([]*cluster.Process, c.NumProcs)
+	tps := make([][]*tracepoint.Tracepoint, c.NumProcs)
+	for p := range procs {
+		procs[p] = cl.Start(c.Hosts[p], c.ProcNames[p])
+		tps[p] = make([]*tracepoint.Tracepoint, len(c.TPs))
+		for ti, tp := range c.TPs {
+			names := make([]string, len(tp.Fields))
+			for i, f := range tp.Fields {
+				names[i] = f.Name
+			}
+			tps[p][ti] = procs[p].Define(tp.Name, names...)
+		}
+	}
+	return procs, tps
+}
+
+// oracleRows evaluates the case's query with the reference evaluator
+// against the materialized (stamped) trace.
+func oracleRows(c *querygen.Case) ([]tuple.Tuple, error) {
+	q, err := query.Parse(c.QueryText)
+	if err != nil {
+		return nil, fmt.Errorf("reparse %q: %w", c.QueryText, err)
+	}
+	reg := tracepoint.NewRegistry()
+	c.Define(reg)
+	tr, err := c.OracleTrace()
+	if err != nil {
+		return nil, err
+	}
+	want, err := oracle.Evaluate(q, reg, tr)
+	if err != nil {
+		return nil, fmt.Errorf("oracle %q: %w", c.QueryText, err)
+	}
+	return want, nil
+}
+
+// The budgeted differential mode: the same trace-script interpreter, but
+// the query runs under a deliberately tiny baggage budget. Truncation
+// must be *accounted*: every reported group is byte-exact against the
+// oracle (a surviving group carries its full aggregate, never a
+// truncated portion), and reported + dropped reconciles exactly with the
+// oracle's group count.
+func TestBudgetedDifferentialTruncationAccounted(t *testing.T) {
+	n := 150
+	if s := os.Getenv("PT_DIFF_CASES"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			t.Fatalf("bad PT_DIFF_CASES=%q", s)
+		}
+		n = v
+	} else if testing.Short() {
+		n = 50
+	}
+	randtest.Check(t, n, diffBudgetSeed, runBudgetedDifferentialCase)
+}
+
+func runBudgetedDifferentialCase(seed int64) error {
+	c := querygen.GenerateBudgeted(seed)
+	// Small enough to usually truncate a 4–12 key pool, varied enough to
+	// also hit the everything-fits path.
+	budget := 2 + int(seed%5)
+
+	var got []tuple.Tuple
+	var dropped int
+	var partial bool
+	var runErr error
+	env := simtime.NewEnv()
+	env.Run(func() {
+		cfg := cluster.DefaultConfig()
+		cfg.ReportInterval = 5 * time.Millisecond
+		cl := cluster.New(env, cfg)
+		procs, tps := startCaseProcs(cl, c)
+		h, err := cl.PT.InstallNamed("QB", c.QueryText, plan.Options{
+			Optimize: true,
+			Safety:   advice.Safety{Budget: baggage.Budget{MaxTuples: budget}},
+		})
+		if err != nil {
+			runErr = fmt.Errorf("install budgeted: %w", err)
+			return
+		}
+		x := &clusterExec{
+			c: c, cl: cl, procs: procs, tps: tps,
+			branches: map[int]*branchState{0: {bag: baggage.New(), proc: 0}},
+		}
+		c.Execute(x)
+		if x.err != nil {
+			runErr = x.err
+			return
+		}
+		env.Sleep(3 * cfg.ReportInterval)
+		cl.FlushAgents()
+		got, dropped, partial = h.Rows(), h.DroppedGroups(), h.Partial()
+	})
+	if runErr != nil {
+		return fmt.Errorf("budget %d, query %q: %w", budget, c.QueryText, runErr)
+	}
+
+	want, err := oracleRows(c)
+	if err != nil {
+		return err
+	}
+
+	// Reported ⊆ oracle, byte-exact per row: truncation may lose whole
+	// groups but never corrupts a survivor.
+	wantRow := map[string]bool{}
+	for _, r := range want {
+		wantRow[string(oracle.Canonical([]tuple.Tuple{r}))] = true
+	}
+	for _, r := range got {
+		if !wantRow[string(oracle.Canonical([]tuple.Tuple{r}))] {
+			return fmt.Errorf("budget %d: reported row %v is not an oracle row\nquery: %s\noracle:\n%s\npipeline:\n%s",
+				budget, r, c.QueryText, oracle.Format(want), oracle.Format(got))
+		}
+	}
+	// Exact reconciliation: nothing vanishes unaccounted, nothing is
+	// counted twice.
+	if len(got)+dropped != len(want) {
+		return fmt.Errorf("budget %d: reported %d + dropped %d != oracle %d groups\nquery: %s\noracle:\n%s\npipeline:\n%s",
+			budget, len(got), dropped, len(want), c.QueryText, oracle.Format(want), oracle.Format(got))
+	}
+	if dropped > 0 && !partial {
+		return fmt.Errorf("budget %d: %d groups dropped but the query is not flagged partial", budget, dropped)
+	}
+	if dropped == 0 && !bytes.Equal(oracle.Canonical(want), oracle.Canonical(got)) {
+		return diffError(c, "budgeted (nothing dropped)", want, got)
 	}
 	return nil
 }

@@ -168,8 +168,15 @@ func (pt *PT) Status() core.Status { return pt.Frontend.Status() }
 // StatusText renders Status as aligned text tables.
 func (pt *PT) StatusText() string { return pt.Frontend.StatusText() }
 
+// RenewLeases re-arms every installed query's lease. StartReporting does
+// this on each tick; frontends with their own schedulers call it directly
+// (at least a few times per agent.DefaultLease).
+func (pt *PT) RenewLeases() { pt.Frontend.RenewLeases() }
+
 // StartReporting flushes on a wall-clock interval until the returned stop
-// function is called.
+// function is called. Each tick also renews the frontend's query leases,
+// so a process that stops ticking (or is partitioned from the bus) lets
+// its queries lapse from every agent.
 func (pt *PT) StartReporting(interval time.Duration) (stop func()) {
 	if interval <= 0 {
 		interval = time.Second
@@ -181,6 +188,7 @@ func (pt *PT) StartReporting(interval time.Duration) (stop func()) {
 		for {
 			select {
 			case <-t.C:
+				pt.RenewLeases()
 				pt.Flush()
 			case <-done:
 				return
@@ -306,7 +314,8 @@ func (pt *PT) ConnectFrontend(busAddr string, opts BusOptions) (disconnect func(
 	}
 	link, err = bus.ConnectOptions(pt.Bus, busAddr, wire.BusCodec{},
 		[]string{agent.ControlTopic, agent.StatusResponseTopic},
-		[]string{agent.ResultsTopic, agent.HealthTopic, agent.StatusRequestTopic},
+		[]string{agent.ResultsTopic, agent.HealthTopic, agent.QuarantineTopic,
+			agent.StatusRequestTopic},
 		lopts)
 	if err != nil {
 		return nil, err
@@ -346,7 +355,8 @@ func (pt *PT) ConnectBusWith(busAddr string, opts BusOptions) (disconnect func()
 		})
 	}
 	link, err = bus.ConnectOptions(pt.Bus, busAddr, wire.BusCodec{},
-		[]string{agent.ResultsTopic, agent.HealthTopic}, []string{agent.ControlTopic},
+		[]string{agent.ResultsTopic, agent.HealthTopic, agent.QuarantineTopic},
+		[]string{agent.ControlTopic},
 		lopts)
 	if err != nil {
 		return nil, err
