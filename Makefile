@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check fmt vet build test race bench fuzz-smoke coverage differential safety
+.PHONY: check fmt vet build test race bench bench-gate stress fuzz-smoke coverage differential safety
 
 check: fmt vet build race fuzz-smoke
 
@@ -23,6 +23,21 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 0.5s -run xxx .
+
+# Benchmark-regression gate: run the key hot-path benchmarks (count=4
+# best-of, pinned -cpu 1,4,8) and compare against the committed
+# BENCH_5.json — fail on >20% ns/op or any allocs/op regression. Seeds
+# the baseline when it is absent; re-record intentional changes with
+#   go run ./cmd/benchgate -write
+bench-gate:
+	$(GO) run ./cmd/benchgate
+
+# Concurrency-stress suite: N emitting goroutines racing install/
+# uninstall/flush with exact tuple accounting, plus the sharded
+# accumulator's exactness/ordering/drop-accounting suite — under the
+# race detector, twice, to shake out interleavings.
+stress:
+	$(GO) test ./internal/agent ./internal/advice -race -count=2 -run 'TestStress|TestSharded'
 
 # Replay the checked-in fuzz corpora, then give each target a short live
 # fuzzing burst. FUZZTIME=2m fuzz-smoke for a deeper local run.

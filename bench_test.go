@@ -23,8 +23,10 @@ import (
 	"time"
 
 	"repro/internal/advice"
+	"repro/internal/agent"
 	"repro/internal/agg"
 	"repro/internal/baggage"
+	"repro/internal/bus"
 	"repro/internal/experiments"
 	"repro/internal/plan"
 	"repro/internal/query"
@@ -250,6 +252,111 @@ func BenchmarkTracepointTelemetry(b *testing.B) {
 type emitterFunc func(*advice.Program, tuple.Tuple)
 
 func (f emitterFunc) EmitTuple(p *advice.Program, w tuple.Tuple) { f(p, w) }
+
+// benchInstall stands up a real agent with n woven Q1-style queries on one
+// tracepoint and returns the pieces the hot-path benchmarks drive.
+func benchInstall(b *testing.B, n int) (*agent.Agent, *bus.Bus, *tracepoint.Tracepoint) {
+	b.Helper()
+	bb := bus.New()
+	reg := tracepoint.NewRegistry()
+	tp := reg.Define("Bench.Tracepoint", "v")
+	a := agent.New(nil, tracepoint.ProcInfo{Host: "h", ProcName: "p"}, reg, bb, 0)
+	for i := 0; i < n; i++ {
+		q, err := query.Parse(`From e In Bench.Tracepoint GroupBy e.host Select e.host, SUM(e.v)`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q.Name = fmt.Sprintf("q%02d", i)
+		p, err := plan.Compile(q, reg, nil, plan.Optimized)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a.Deliver(agent.Install{QueryID: q.Name, Programs: p.Programs})
+	}
+	return a, bb, tp
+}
+
+// BenchmarkHereParallel measures the multicore hot path end to end —
+// tracepoint fire, advice, agent EmitTuple, accumulator fold — under
+// RunParallel at the -cpu list (the bench gate pins 1, 4, and 8).
+// "sharded" is the shipped configuration (per-P accumulator stripes);
+// "unsharded" forces one shard, the Table 5-era single-mutex baseline, so
+// the scaling claim is an in-tree ablation rather than a git archaeology
+// exercise.
+func BenchmarkHereParallel(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		shards int
+	}{
+		{"sharded", 0},
+		{"unsharded", 1},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			bb := bus.New()
+			reg := tracepoint.NewRegistry()
+			tp := reg.Define("Bench.Tracepoint", "v")
+			a := agent.New(nil, tracepoint.ProcInfo{Host: "h", ProcName: "p"}, reg, bb, 0)
+			defer a.Close()
+			a.SetAccumulatorShards(mode.shards)
+			q, err := query.Parse(`From e In Bench.Tracepoint GroupBy e.host Select e.host, SUM(e.v)`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			q.Name = "bench"
+			p, err := plan.Compile(q, reg, nil, plan.Optimized)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a.Deliver(agent.Install{QueryID: "bench", Programs: p.Programs})
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				ctx := tracepoint.WithProc(context.Background(),
+					tracepoint.ProcInfo{Host: "h", ProcName: "p"})
+				ctx = baggage.NewContext(ctx, baggage.New())
+				for pb.Next() {
+					tp.Here(ctx, 1)
+				}
+			})
+			b.StopTimer()
+			a.Flush()
+		})
+	}
+}
+
+// BenchmarkReportBatch measures one flush interval of a 64-query agent:
+// drain, snapshot-encode, and publication. "batched" ships the interval as
+// one size-capped ReportBatch frame (the default); "frame-per-report"
+// forces the cap to one byte so every report pays its own frame, the
+// pre-batching behavior.
+func BenchmarkReportBatch(b *testing.B) {
+	const queries = 64
+	for _, mode := range []struct {
+		name       string
+		batchBytes int
+	}{
+		{"batched", 0},
+		{"frame-per-report", 1},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			a, bb, tp := benchInstall(b, queries)
+			defer a.Close()
+			a.SetBatchBytes(mode.batchBytes)
+			frames := 0
+			bb.Subscribe(agent.ResultsTopic, func(any) { frames++ })
+			ctx := tracepoint.WithProc(context.Background(),
+				tracepoint.ProcInfo{Host: "h", ProcName: "p"})
+			ctx = baggage.NewContext(ctx, baggage.New())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tp.Here(ctx, 1) // one crossing feeds all 64 queries
+				a.Flush()
+			}
+			b.ReportMetric(float64(frames)/float64(b.N), "frames/flush")
+		})
+	}
+}
 
 // BenchmarkWeave measures dynamic weave + unweave of a compiled query —
 // the analog of the paper's ~100 ms JVM class reload (§6.3). The Go

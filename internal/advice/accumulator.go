@@ -1,6 +1,8 @@
 package advice
 
 import (
+	"sync/atomic"
+
 	"repro/internal/agg"
 	"repro/internal/tuple"
 )
@@ -13,11 +15,17 @@ type Group struct {
 	Key    string
 	Rep    tuple.Tuple // representative working tuple for non-agg columns
 	States []*agg.State
+
+	// seq is the group's creation stamp from a shared sequence source (see
+	// Accumulator.SetSeqSource): sharded accumulators use it to restore
+	// global first-seen order when merging shard drains. Zero when no
+	// sequence source is attached.
+	seq int64
 }
 
 // Clone deep-copies the group.
 func (g *Group) Clone() *Group {
-	c := &Group{Key: g.Key, Rep: g.Rep.Clone()}
+	c := &Group{Key: g.Key, Rep: g.Rep.Clone(), seq: g.seq}
 	for _, s := range g.States {
 		c.States = append(c.States, s.Clone())
 	}
@@ -77,6 +85,16 @@ type Accumulator struct {
 	order  []string
 	raws   []tuple.Tuple
 
+	// keyScratch is the reused buffer Add builds group keys in; the map
+	// lookup via string(keyScratch) does not allocate, so folding into an
+	// existing group is allocation-free. Accumulator is not safe for
+	// concurrent use, so a single scratch suffices.
+	keyScratch []byte
+
+	// seqSrc, when set, stamps each new group with a creation sequence
+	// shared across sibling shard accumulators (see ShardedAccumulator).
+	seqSrc *atomic.Int64
+
 	// Cumulative eviction accounting; survives Reset so heartbeats can
 	// report exact totals for the query's lifetime.
 	rawsDropped      int64
@@ -90,6 +108,11 @@ func NewAccumulator(op *EmitOp) *Accumulator {
 
 // SetLimits replaces the accumulator's limits (zero value = defaults).
 func (a *Accumulator) SetLimits(l Limits) { a.limits = l }
+
+// SetSeqSource attaches a shared group-creation sequence: every group this
+// accumulator creates is stamped from src, so drains of sibling shard
+// accumulators can be merged back into global first-seen order.
+func (a *Accumulator) SetSeqSource(src *atomic.Int64) { a.seqSrc = src }
 
 // RawsDropped returns how many raw rows FIFO eviction has discarded.
 func (a *Accumulator) RawsDropped() int64 { return a.rawsDropped }
@@ -132,6 +155,9 @@ func (a *Accumulator) overflowGroup(rep tuple.Tuple) *Group {
 		return g
 	}
 	g := &Group{Key: OverflowKey, Rep: rep.Clone()}
+	if a.seqSrc != nil {
+		g.seq = a.seqSrc.Add(1)
+	}
 	for _, col := range a.Op.Cols {
 		if col.IsAgg {
 			g.States = append(g.States, agg.New(col.Fn))
@@ -155,14 +181,18 @@ func (a *Accumulator) Add(w tuple.Tuple) {
 		a.capRaws()
 		return
 	}
-	key := w.Key(a.Op.GroupBy)
-	g, ok := a.groups[key]
+	a.keyScratch = w.AppendKey(a.keyScratch[:0], a.Op.GroupBy)
+	g, ok := a.groups[string(a.keyScratch)]
 	if !ok {
 		if a.atGroupCap() {
 			a.groupsOverflowed++
 			g = a.overflowGroup(w)
 		} else {
+			key := string(a.keyScratch)
 			g = &Group{Key: key, Rep: w.Clone()}
+			if a.seqSrc != nil {
+				g.seq = a.seqSrc.Add(1)
+			}
 			for _, col := range a.Op.Cols {
 				if col.IsAgg {
 					g.States = append(g.States, agg.New(col.Fn))
@@ -262,4 +292,30 @@ func (a *Accumulator) Reset() {
 	a.groups = make(map[string]*Group)
 	a.order = nil
 	a.raws = nil
+}
+
+// absorb moves src's contents into a without cloning: groups and raw rows
+// are stolen wholesale, same-key groups merge their partial states (keeping
+// the earliest creation stamp), and eviction counters transfer. src must be
+// exclusively owned by the caller and must not be used afterwards. This is
+// the merge half of the sharded accumulator's steal-and-merge Drain.
+func (a *Accumulator) absorb(src *Accumulator) {
+	for _, key := range src.order {
+		g := src.groups[key]
+		mine, ok := a.groups[key]
+		if !ok {
+			a.groups[key] = g
+			a.order = append(a.order, key)
+			continue
+		}
+		if g.seq < mine.seq {
+			mine.seq = g.seq
+		}
+		for i, st := range g.States {
+			mine.States[i].Merge(st)
+		}
+	}
+	a.raws = append(a.raws, src.raws...)
+	a.rawsDropped += src.rawsDropped
+	a.groupsOverflowed += src.groupsOverflowed
 }

@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/agg"
@@ -21,6 +22,18 @@ import (
 	"repro/internal/query"
 	"repro/internal/tuple"
 )
+
+// fireScratch recycles the per-fire working set. Safe because nothing
+// downstream of Invoke retains the working tuples: the accumulator clones
+// group representatives and raw rows, and baggage packs through a
+// projection copy. The scratch is cleared before pooling so pooled slots
+// don't pin observed values across fires.
+type fireScratch struct {
+	proj    tuple.Tuple
+	working []tuple.Tuple
+}
+
+var firePool = sync.Pool{New: func() any { return new(fireScratch) }}
 
 // Cost counts what a program's advice actually does at runtime — the
 // paper's §4 "explain"-style live cost analysis (count tuples rather than
@@ -230,7 +243,9 @@ func join(s tuple.Schema) string {
 // the Pivot Tracing agent implements it.
 type Emitter interface {
 	// EmitTuple delivers one working tuple to the aggregator for the
-	// given program's Emit operation.
+	// given program's Emit operation. w is backed by a pooled per-fire
+	// buffer and is only valid for the duration of the call: implementations
+	// must fold or Clone it, never retain it.
 	EmitTuple(p *Program, w tuple.Tuple)
 }
 
@@ -258,7 +273,21 @@ func (a *Advice) Invoke(ctx context.Context, vals tuple.Tuple) {
 	} else {
 		p.Cost.Invocations.Add(1)
 	}
-	working := []tuple.Tuple{vals.Project(p.Observe)}
+	fs := firePool.Get().(*fireScratch)
+	defer func() {
+		for i := range fs.proj {
+			fs.proj[i] = tuple.Value{}
+		}
+		fs.proj = fs.proj[:0]
+		for i := range fs.working {
+			fs.working[i] = nil
+		}
+		fs.working = fs.working[:0]
+		firePool.Put(fs)
+	}()
+	fs.proj = vals.AppendProject(fs.proj[:0], p.Observe)
+	working := append(fs.working[:0], fs.proj)
+	fs.working = working
 
 	// UNPACK: join tuples from causally-preceding advice. Missing baggage
 	// or an empty slot means no causal predecessor: inner-join semantics

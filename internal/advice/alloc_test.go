@@ -1,0 +1,37 @@
+//go:build !race
+
+package advice
+
+// Allocation-regression tests. Excluded under -race: the race detector's
+// instrumentation adds bookkeeping allocations that would fail these
+// assertions for reasons unrelated to the code under test.
+
+import (
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func TestAllocAccumulatorAddSteadyStateIsAllocationFree(t *testing.T) {
+	acc := NewAccumulator(aggOp())
+	w := tuple.Tuple{tuple.String("host-1"), tuple.Int(1)}
+	acc.Add(w) // create the group (cold)
+	if n := testing.AllocsPerRun(1000, func() {
+		acc.Add(w)
+	}); n != 0 {
+		t.Errorf("steady-state Accumulator.Add into an existing group allocates "+
+			"%.1f objects/op, want 0 (regression in the scratch-key lookup path)", n)
+	}
+}
+
+func TestAllocShardedAddSteadyStateIsAllocationFree(t *testing.T) {
+	s := NewShardedAccumulator(aggOp(), 0)
+	w := tuple.Tuple{tuple.String("host-1"), tuple.Int(1)}
+	s.Add(w) // create this shard's group and hint (cold)
+	if n := testing.AllocsPerRun(1000, func() {
+		s.Add(w)
+	}); n != 0 {
+		t.Errorf("steady-state ShardedAccumulator.Add allocates %.1f objects/op, "+
+			"want 0 (regression in the shard-affinity or scratch-key path)", n)
+	}
+}

@@ -117,6 +117,22 @@ type Quarantine struct {
 // the query specifies its own (plan.Options.Lease).
 const DefaultLease = 30 * time.Second
 
+// ReportBatch coalesces one flush interval's Reports from one process into
+// a single bus frame, cutting frames and syscalls when many queries are
+// installed. Batches are split so each frame's approximate payload stays
+// under the agent's batch-size cap (SetBatchBytes). Consumers treat a
+// batch exactly as its constituent Reports in order.
+type ReportBatch struct {
+	Host     string
+	ProcName string
+	Time     time.Duration
+	Reports  []Report
+}
+
+// DefaultBatchBytes is the default approximate size cap of one ReportBatch
+// frame's payload.
+const DefaultBatchBytes = 256 << 10
+
 // Report is one interval's partial results from one process for one query.
 type Report struct {
 	QueryID  string
@@ -148,7 +164,8 @@ const DefaultRetention = 64
 type Stats struct {
 	TuplesEmitted int64 // advice EMIT operations executed
 	RowsReported  int64 // aggregated rows published to the bus
-	Reports       int64 // report messages published
+	Reports       int64 // per-query reports published
+	Batches       int64 // ReportBatch frames published (coalesced reports)
 
 	ReportsRetained int64 // reports buffered during bus outages
 	ReportsReplayed int64 // buffered reports replayed after reconnect
@@ -177,10 +194,21 @@ type Agent struct {
 
 	mu      sync.Mutex
 	queries map[string]*queryState
+	// queriesView is a copy-on-write snapshot of a.queries, rebuilt under
+	// a.mu on every install/uninstall. EmitTuple — the hot path, invoked
+	// from every advice fire — resolves its query through this pointer with
+	// a single atomic load, so concurrent fires never contend on a.mu.
+	queriesView atomic.Pointer[map[string]*queryState]
+	// accShards fixes the shard count of accumulators created after the
+	// call; <= 0 means GOMAXPROCS at creation time. Benchmarks use 1 to
+	// ablate sharding.
+	accShards  atomic.Int64
+	batchBytes atomic.Int64 // ReportBatch size cap; <= 0 = DefaultBatchBytes
 
 	tuplesEmitted atomic.Int64
 	rowsReported  atomic.Int64
 	reports       atomic.Int64
+	batches       atomic.Int64
 
 	retainMu  sync.Mutex
 	retained  []Report // FIFO ring of reports awaiting replay
@@ -221,6 +249,8 @@ type agentMeters struct {
 	expiredC   *telemetry.Counter
 	quarantC   *telemetry.Counter
 	bagBytesC  *telemetry.Counter
+	batchesC   *telemetry.Counter
+	shardsG    *telemetry.Gauge
 }
 
 // SetTelemetry attaches self-telemetry to the agent: "agent.reports",
@@ -241,6 +271,8 @@ func (a *Agent) SetTelemetry(t *telemetry.Registry) {
 		expiredC:   t.Counter("agent.leases.expired"),
 		quarantC:   t.Counter("agent.quarantines"),
 		bagBytesC:  t.Counter("agent.baggage.dropped.bytes"),
+		batchesC:   t.Counter("agent.batches"),
+		shardsG:    t.Gauge("agent.acc.shards"),
 	})
 }
 
@@ -256,10 +288,13 @@ func (a *Agent) EnableMetaTracepoint() *tracepoint.Tracepoint {
 
 type queryState struct {
 	programs []*advice.Program
-	acc      *advice.Accumulator
+	// acc is created lazily on the first emitting weave or fire and then
+	// never replaced (Drain steals its contents without swapping the
+	// pointer), so hot-path readers load it once without locks.
+	acc      atomic.Pointer[advice.ShardedAccumulator]
 	woven    []weave
 	wovenTPs map[string]bool
-	tuples   int64 // tuples emitted since the last flush
+	tuples   atomic.Int64 // tuples emitted since the last flush
 
 	limits advice.Limits
 	ttl    time.Duration // lease duration; 0 = immortal
@@ -285,6 +320,7 @@ func New(env *simtime.Env, proc tracepoint.ProcInfo, reg *tracepoint.Registry, b
 		env: env, proc: proc, reg: reg, bus: b, interval: interval,
 		queries: make(map[string]*queryState),
 	}
+	a.rebuildViewLocked()
 	a.controlSub = b.Subscribe(ControlTopic, a.onControl)
 	// Weave standing queries into tracepoints defined after installation.
 	reg.OnDefine(func(*tracepoint.Tracepoint) { a.reweave() })
@@ -365,10 +401,56 @@ func (a *Agent) install(m Install) {
 		qs.expiry = a.now() + m.TTL
 	}
 	a.queries[m.QueryID] = qs
+	a.weaveLocked(qs)
+	a.rebuildViewLocked()
 	if m := a.meters.Load(); m != nil {
 		m.queries.Set(int64(len(a.queries)))
 	}
-	a.weaveLocked(qs)
+}
+
+// rebuildViewLocked republishes the copy-on-write query snapshot after a
+// membership change. Caller holds a.mu (New calls it before the agent is
+// shared, which is equivalent).
+func (a *Agent) rebuildViewLocked() {
+	view := make(map[string]*queryState, len(a.queries))
+	for id, qs := range a.queries {
+		view[id] = qs
+	}
+	a.queriesView.Store(&view)
+}
+
+// SetAccumulatorShards fixes the shard count of per-query accumulators
+// created after the call; n <= 0 restores the default (GOMAXPROCS at
+// creation time). Existing accumulators keep their shard count. Benchmarks
+// use n = 1 to ablate sharding; embedders can use it to bound per-query
+// memory (each shard carries the full accumulator Limits).
+func (a *Agent) SetAccumulatorShards(n int) {
+	a.accShards.Store(int64(n))
+}
+
+// SetBatchBytes sets the approximate payload cap of one ReportBatch frame;
+// n <= 0 restores DefaultBatchBytes. A single oversized report still ships
+// (alone in its own batch) — the cap splits, it never drops.
+func (a *Agent) SetBatchBytes(n int) {
+	a.batchBytes.Store(int64(n))
+}
+
+// ensureAcc returns the query's accumulator, creating and publishing it on
+// first need. The CAS makes concurrent first fires safe: the loser's empty
+// accumulator is discarded before any tuple lands in it.
+func (a *Agent) ensureAcc(qs *queryState, op *advice.EmitOp) *advice.ShardedAccumulator {
+	if acc := qs.acc.Load(); acc != nil {
+		return acc
+	}
+	acc := advice.NewShardedAccumulator(op, int(a.accShards.Load()))
+	acc.SetLimits(qs.limits)
+	if !qs.acc.CompareAndSwap(nil, acc) {
+		return qs.acc.Load()
+	}
+	if m := a.meters.Load(); m != nil {
+		m.shardsG.Set(int64(acc.Shards()))
+	}
+	return acc
 }
 
 // weaveLocked weaves the query's programs into every tracepoint currently
@@ -384,9 +466,8 @@ func (a *Agent) weaveLocked(qs *queryState) {
 		if a.reg.Lookup(prog.Tracepoint) == nil {
 			continue // tracepoint not (yet) present in this process
 		}
-		if prog.Emit != nil && qs.acc == nil {
-			qs.acc = advice.NewAccumulator(prog.Emit)
-			qs.acc.SetLimits(qs.limits)
+		if prog.Emit != nil {
+			a.ensureAcc(qs, prog.Emit)
 		}
 		adv := &advice.Advice{Prog: prog, Emitter: a}
 		if err := a.reg.Weave(prog.Tracepoint, adv); err != nil {
@@ -407,34 +488,36 @@ func (a *Agent) uninstall(queryID string) {
 	for _, w := range qs.woven {
 		a.reg.Unweave(w.tp, w.a)
 	}
-	if qs.acc != nil {
-		a.rawsDroppedRetired.Add(qs.acc.RawsDropped())
-		a.groupsOverflowedRetired.Add(qs.acc.GroupsOverflowed())
+	if acc := qs.acc.Load(); acc != nil {
+		a.rawsDroppedRetired.Add(acc.RawsDropped())
+		a.groupsOverflowedRetired.Add(acc.GroupsOverflowed())
 	}
 	delete(a.queries, queryID)
+	a.rebuildViewLocked()
 	if m := a.meters.Load(); m != nil {
 		m.queries.Set(int64(len(a.queries)))
 	}
 }
 
-// EmitTuple implements advice.Emitter: process-local aggregation.
+// EmitTuple implements advice.Emitter: process-local aggregation. This is
+// the hot path — every advice fire that reaches EMIT lands here — so it
+// takes no locks: the query resolves through the copy-on-write view and
+// the tuple lands in a sharded accumulator striped across Ps.
 func (a *Agent) EmitTuple(p *advice.Program, w tuple.Tuple) {
 	a.tuplesEmitted.Add(1)
 	if m := a.meters.Load(); m != nil {
 		m.tuples.Inc()
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	qs, ok := a.queries[p.QueryID]
+	view := a.queriesView.Load()
+	if view == nil {
+		return
+	}
+	qs, ok := (*view)[p.QueryID]
 	if !ok {
 		return
 	}
-	if qs.acc == nil {
-		qs.acc = advice.NewAccumulator(p.Emit)
-		qs.acc.SetLimits(qs.limits)
-	}
-	qs.acc.Add(w)
-	qs.tuples++
+	a.ensureAcc(qs, p.Emit).Add(w)
+	qs.tuples.Add(1)
 }
 
 // NoteQuarantine implements advice.QuarantineNotifier: the program's
@@ -519,24 +602,23 @@ func (a *Agent) Flush() {
 	a.mu.Lock()
 	type pending struct {
 		id     string
-		groups []*advice.Group
-		raws   []tuple.Tuple
+		acc    *advice.Accumulator // drained snapshot, exclusively owned
 		drops  []baggage.DropRecord
 		tuples int64
 	}
 	var out []pending
 	for id, qs := range a.queries {
-		if (qs.acc == nil || qs.acc.Empty()) && len(qs.drops) == 0 {
+		acc := qs.acc.Load()
+		if (acc == nil || acc.Empty()) && len(qs.drops) == 0 {
 			continue
 		}
-		p := pending{id: id, tuples: qs.tuples}
-		qs.tuples = 0
-		if qs.acc != nil {
-			for _, g := range qs.acc.Groups() {
-				p.groups = append(p.groups, g.Clone())
-			}
-			p.raws = append(p.raws, qs.acc.Raws()...)
-			qs.acc.Reset()
+		p := pending{id: id, tuples: qs.tuples.Swap(0)}
+		if acc != nil {
+			// Drain steals the shard contents under short per-shard locks
+			// and merges outside them; the result is exclusively ours, so
+			// everything below — including bus publication — happens with
+			// no agent lock held and no cloning (snapshot-then-encode).
+			p.acc = acc.Drain()
 		}
 		if len(qs.drops) > 0 {
 			for r := range qs.drops {
@@ -550,6 +632,13 @@ func (a *Agent) Flush() {
 			})
 			qs.drops = nil
 		}
+		if (p.acc == nil || p.acc.Empty()) && len(p.drops) == 0 {
+			// The accumulator's emptiness hint raced with an in-flight Add
+			// and nothing actually drained; the tuples (if any) belong to
+			// the next interval.
+			qs.tuples.Add(p.tuples)
+			continue
+		}
 		out = append(out, p)
 	}
 	nQueries := len(a.queries)
@@ -561,24 +650,30 @@ func (a *Agent) Flush() {
 			out[k], out[k-1] = out[k-1], out[k]
 		}
 	}
+	now := a.now()
+	reports := make([]Report, 0, len(out))
 	for _, p := range out {
-		rows := int64(len(p.groups) + len(p.raws))
+		r := Report{
+			QueryID:  p.id,
+			Host:     a.proc.Host,
+			ProcName: a.proc.ProcName,
+			Time:     now,
+			Drops:    p.drops,
+		}
+		if p.acc != nil {
+			r.Groups = p.acc.Groups()
+			r.Raws = p.acc.Raws()
+		}
+		rows := int64(len(r.Groups) + len(r.Raws))
 		a.rowsReported.Add(rows)
 		a.reports.Add(1)
 		if m := a.meters.Load(); m != nil {
 			m.reports.Inc()
 			m.rows.Add(rows)
 		}
-		a.bus.Publish(ResultsTopic, Report{
-			QueryID:  p.id,
-			Host:     a.proc.Host,
-			ProcName: a.proc.ProcName,
-			Time:     a.now(),
-			Groups:   p.groups,
-			Raws:     p.raws,
-			Drops:    p.drops,
-		})
+		reports = append(reports, r)
 	}
+	a.publishBatches(reports)
 	a.bus.Publish(HealthTopic, Heartbeat{
 		Host:     a.proc.Host,
 		ProcName: a.proc.ProcName,
@@ -592,10 +687,73 @@ func (a *Agent) Flush() {
 	// tuples it emits belong to the next interval.
 	if tp := a.metaTP.Load(); tp != nil {
 		ctx := tracepoint.WithProc(baggage.NewContext(context.Background(), baggage.New()), a.proc)
-		for _, p := range out {
-			tp.Here(ctx, p.id, int64(len(p.groups)+len(p.raws)), p.tuples)
+		for i, p := range out {
+			r := &reports[i]
+			tp.Here(ctx, p.id, int64(len(r.Groups)+len(r.Raws)), p.tuples)
 		}
 	}
+}
+
+// publishBatches coalesces this interval's reports into ReportBatch frames
+// on ResultsTopic, starting a new frame whenever adding the next report
+// would push the approximate payload past the batch-size cap. A single
+// report larger than the cap still ships, alone in its own frame.
+func (a *Agent) publishBatches(reports []Report) {
+	if len(reports) == 0 {
+		return
+	}
+	limit := int(a.batchBytes.Load())
+	if limit <= 0 {
+		limit = DefaultBatchBytes
+	}
+	batch := reports[:0:0]
+	size := 0
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		a.batches.Add(1)
+		if m := a.meters.Load(); m != nil {
+			m.batchesC.Inc()
+		}
+		a.bus.Publish(ResultsTopic, ReportBatch{
+			Host:     a.proc.Host,
+			ProcName: a.proc.ProcName,
+			Time:     a.now(),
+			Reports:  batch,
+		})
+		batch, size = nil, 0
+	}
+	for i := range reports {
+		sz := reportSize(&reports[i])
+		if len(batch) > 0 && size+sz > limit {
+			flush()
+		}
+		batch = append(batch, reports[i])
+		size += sz
+	}
+	flush()
+}
+
+// reportSize approximates the report's encoded payload size using the
+// arithmetic size model (tuple.SizeTuple, agg.State.EncodedSize) — no
+// scratch encodings. It deliberately undercounts small framing varints;
+// the batch cap is approximate by contract.
+func reportSize(r *Report) int {
+	n := len(r.QueryID) + len(r.Host) + len(r.ProcName) + 16
+	for _, g := range r.Groups {
+		n += len(g.Key) + tuple.SizeTuple(g.Rep)
+		for _, st := range g.States {
+			n += st.EncodedSize()
+		}
+	}
+	for _, t := range r.Raws {
+		n += tuple.SizeTuple(t)
+	}
+	for _, d := range r.Drops {
+		n += len(d.Slot) + len(d.Key) + 4
+	}
+	return n
 }
 
 // expireLeases uninstalls every query whose lease has lapsed. Called from
@@ -771,9 +929,9 @@ func (a *Agent) Stats() Stats {
 	groupsOverflowed := a.groupsOverflowedRetired.Load()
 	a.mu.Lock()
 	for _, qs := range a.queries {
-		if qs.acc != nil {
-			rawsDropped += qs.acc.RawsDropped()
-			groupsOverflowed += qs.acc.GroupsOverflowed()
+		if acc := qs.acc.Load(); acc != nil {
+			rawsDropped += acc.RawsDropped()
+			groupsOverflowed += acc.GroupsOverflowed()
 		}
 	}
 	a.mu.Unlock()
@@ -781,6 +939,7 @@ func (a *Agent) Stats() Stats {
 		TuplesEmitted:        a.tuplesEmitted.Load(),
 		RowsReported:         a.rowsReported.Load(),
 		Reports:              a.reports.Load(),
+		Batches:              a.batches.Load(),
 		ReportsRetained:      a.reportsRetained.Load(),
 		ReportsReplayed:      a.reportsReplayed.Load(),
 		ReportsDropped:       a.reportsDropped.Load(),

@@ -38,6 +38,18 @@ func request(host string) context.Context {
 	return baggage.NewContext(ctx, baggage.New())
 }
 
+// resultReports flattens a ResultsTopic message — a bare Report or a
+// ReportBatch — into its constituent reports.
+func resultReports(msg any) []Report {
+	switch m := msg.(type) {
+	case Report:
+		return []Report{m}
+	case ReportBatch:
+		return m.Reports
+	}
+	return nil
+}
+
 func TestAgentWeavesOnInstallAndReports(t *testing.T) {
 	env := simtime.NewEnv()
 	var reports []Report
@@ -46,7 +58,7 @@ func TestAgentWeavesOnInstallAndReports(t *testing.T) {
 		reg := tracepoint.NewRegistry()
 		tp := reg.Define("Tp", "v")
 		New(env, info("h1"), reg, b, time.Second)
-		b.Subscribe(ResultsTopic, func(msg any) { reports = append(reports, msg.(Report)) })
+		b.Subscribe(ResultsTopic, func(msg any) { reports = append(reports, resultReports(msg)...) })
 
 		b.Publish(ControlTopic, Install{QueryID: "Q", Programs: []*advice.Program{q1Program()}})
 		if !tp.Enabled() {
@@ -194,7 +206,7 @@ func TestNilEnvAgentManualFlush(t *testing.T) {
 	tp := reg.Define("Tp", "v")
 	a := New(nil, info("h1"), reg, b, 0)
 	var reports []Report
-	b.Subscribe(ResultsTopic, func(msg any) { reports = append(reports, msg.(Report)) })
+	b.Subscribe(ResultsTopic, func(msg any) { reports = append(reports, resultReports(msg)...) })
 	b.Publish(ControlTopic, Install{QueryID: "Q", Programs: []*advice.Program{q1Program()}})
 	tp.Here(request("h1"), 3)
 	a.Flush()

@@ -1,0 +1,41 @@
+//go:build !race
+
+package agent
+
+// Allocation-regression tests for the woven end-to-end hot path. Excluded
+// under -race: the race detector's instrumentation adds bookkeeping
+// allocations that would fail these assertions for reasons unrelated to
+// the code under test.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/advice"
+	"repro/internal/baggage"
+	"repro/internal/bus"
+	"repro/internal/tracepoint"
+)
+
+// TestAllocWovenEmitPathIsAllocationFree drives the full production path —
+// tracepoint fire, advice projection, agent EmitTuple, sharded accumulator
+// fold — and requires it to be allocation-free once the group exists.
+func TestAllocWovenEmitPathIsAllocationFree(t *testing.T) {
+	b := bus.New()
+	reg := tracepoint.NewRegistry()
+	tp := reg.Define("Stress.Tracepoint", "v")
+	a := New(nil, info("h1"), reg, b, 0)
+	defer a.Close()
+	b.Publish(ControlTopic, Install{QueryID: "Q", Programs: []*advice.Program{stressProgram("Q")}})
+
+	ctx := tracepoint.WithProc(context.Background(), info("h1"))
+	ctx = baggage.NewContext(ctx, baggage.New())
+	tp.Here(ctx, 1) // create the group and warm every pool (cold)
+	if n := testing.AllocsPerRun(1000, func() {
+		tp.Here(ctx, 1)
+	}); n != 0 {
+		t.Errorf("steady-state woven Here through agent EmitTuple allocates "+
+			"%.1f objects/op, want 0 (regression in the fire-scratch, emit, "+
+			"or sharded accumulator path)", n)
+	}
+}

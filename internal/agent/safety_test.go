@@ -176,7 +176,7 @@ func TestReportCarriesDedupedDropRecords(t *testing.T) {
 		reg := tracepoint.NewRegistry()
 		reg.Define("Tp", "v")
 		a := New(env, info("h1"), reg, b, time.Hour)
-		b.Subscribe(ResultsTopic, func(msg any) { reports = append(reports, msg.(Report)) })
+		b.Subscribe(ResultsTopic, func(msg any) { reports = append(reports, resultReports(msg)...) })
 		b.Publish(ControlTopic, Install{QueryID: "Q", Programs: []*advice.Program{q1Program()}})
 
 		prog := q1Program()

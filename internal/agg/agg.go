@@ -196,6 +196,15 @@ func (s *State) Append(buf []byte) []byte {
 	return tuple.AppendValue(buf, s.minmax)
 }
 
+// EncodedSize returns the number of bytes Append would write, computed
+// arithmetically so budget cost models never allocate a scratch encoding.
+func (s *State) EncodedSize() int {
+	return 2 + // fn + flags
+		tuple.VarintLen(s.count) + tuple.VarintLen(s.sumI) +
+		8 + // sumF fixed64
+		tuple.EncodedSize(s.minmax)
+}
+
 // Decode deserializes one state from the front of buf.
 func Decode(buf []byte) (*State, []byte, error) {
 	if len(buf) < 2 {

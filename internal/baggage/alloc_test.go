@@ -1,0 +1,56 @@
+//go:build !race
+
+package baggage
+
+// Allocation-regression tests. Excluded under -race: the race detector's
+// instrumentation adds bookkeeping allocations that would fail these
+// assertions for reasons unrelated to the code under test.
+
+import (
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+// aggSpec (GroupBy key, SUM) is shared with budget_test.go.
+
+func TestAllocSteadyStatePackBudgetedIsAllocationFree(t *testing.T) {
+	spec := aggSpec()
+	bag := New()
+	row := tuple.Tuple{tuple.String("host-1"), tuple.Int(1)}
+	bag.PackBudgeted("q.a", spec, Budget{}, row) // create the group (cold)
+	if n := testing.AllocsPerRun(1000, func() {
+		bag.PackBudgeted("q.a", spec, Budget{}, row)
+	}); n != 0 {
+		t.Errorf("steady-state PackBudgeted into an existing AGG group allocates "+
+			"%.1f objects/op, want 0 (regression in the pooled pack path)", n)
+	}
+}
+
+func TestAllocSteadyStatePackIsAllocationFree(t *testing.T) {
+	spec := aggSpec()
+	bag := New()
+	row := tuple.Tuple{tuple.String("host-1"), tuple.Int(1)}
+	bag.Pack("q.a", spec, row) // create the group (cold)
+	if n := testing.AllocsPerRun(1000, func() {
+		bag.Pack("q.a", spec, row)
+	}); n != 0 {
+		t.Errorf("steady-state Pack into an existing AGG group allocates "+
+			"%.1f objects/op, want 0 (regression in the pooled pack path)", n)
+	}
+}
+
+func TestAllocByteSizeIsSingleBufferFree(t *testing.T) {
+	bag := New()
+	spec := aggSpec()
+	for i := 0; i < 8; i++ {
+		bag.Pack("q.a", spec, tuple.Tuple{tuple.String("h"), tuple.Int(int64(i))})
+	}
+	bag.ByteSize() // warm the scratch pool
+	if n := testing.AllocsPerRun(200, func() {
+		bag.ByteSize()
+	}); n != 0 {
+		t.Errorf("ByteSize on decoded baggage allocates %.1f objects/op, want 0 "+
+			"(regression in the pooled sizing path)", n)
+	}
+}

@@ -29,6 +29,7 @@ type Meters struct {
 	EvictedTuples   *telemetry.Counter   // stored tuples removed by budget evictions
 	EvictedBytes    *telemetry.Counter   // content bytes removed by budget evictions
 	MergeConflicts  *telemetry.Counter   // same-slot merges dropped for mismatched specs
+	PoolReuses      *telemetry.Counter   // pack/serialize scratch buffers served from the pool
 }
 
 var meters atomic.Pointer[Meters]
@@ -53,6 +54,7 @@ func SetTelemetry(t *telemetry.Registry) {
 		EvictedTuples:   t.Counter("baggage.budget.evicted.tuples"),
 		EvictedBytes:    t.Counter("baggage.budget.evicted.bytes"),
 		MergeConflicts:  t.Counter("baggage.merge.conflicts"),
+		PoolReuses:      t.Counter("baggage.pool.reuses"),
 	})
 }
 

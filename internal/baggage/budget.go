@@ -115,17 +115,30 @@ func (b *Baggage) PackBudgeted(slot string, spec SetSpec, budget Budget, tuples 
 	var st PackStats
 	set := b.active().set(slot, spec)
 	whole, keys := b.evictions(slot)
+	// Group keys are only needed to honor per-group tombstones; the common
+	// case — no eviction has ever hit this slot — skips key construction
+	// entirely, keeping the steady-state budgeted pack allocation-free.
+	var ks *scratch
+	if len(keys) > 0 && spec.Kind == Agg {
+		ks = getScratch()
+	}
 	for _, t := range tuples {
-		key := ""
-		if spec.Kind == Agg {
-			key = t.Key(spec.GroupBy)
-		}
-		if whole || keys[key] {
+		if whole {
 			st.RefusedTuples++
 			continue
 		}
+		if ks != nil {
+			ks.buf = t.AppendKey(ks.buf[:0], spec.GroupBy)
+			if keys[string(ks.buf)] {
+				st.RefusedTuples++
+				continue
+			}
+		}
 		set.Pack(t)
 		st.Packed++
+	}
+	if ks != nil {
+		putScratch(ks)
 	}
 	b.raw = nil
 	st.EvictedGroups, st.EvictedTuples, st.EvictedBytes = b.enforce(budget, queryPrefix(slot))

@@ -299,10 +299,19 @@ func (b *Baggage) Serialize() []byte {
 		copy(out, b.raw)
 	case len(b.insts) == 0:
 	default:
-		out = binary.AppendUvarint(nil, uint64(len(b.insts)))
+		// Encode into a pooled staging buffer, then copy to an exact-size
+		// result: one allocation per call (the escaping result itself)
+		// instead of the log-many growth reallocations of a cold append.
+		s := getScratch()
+		buf := s.buf[:0]
+		buf = binary.AppendUvarint(buf, uint64(len(b.insts)))
 		for _, in := range b.insts {
-			out = encodeInstance(out, in)
+			buf = encodeInstance(buf, in)
 		}
+		out = make([]byte, len(buf))
+		copy(out, buf)
+		s.buf = buf
+		putScratch(s)
 	}
 	if m := meters.Load(); m != nil {
 		m.Serializations.Inc()
@@ -324,7 +333,10 @@ func Deserialize(buf []byte) *Baggage {
 	return &Baggage{raw: raw}
 }
 
-// ByteSize returns the serialized size of the baggage in bytes.
+// ByteSize returns the serialized size of the baggage in bytes. Decoded
+// baggage is measured by encoding into a pooled scratch buffer — the
+// length is read and the bytes discarded — so sizing does not allocate a
+// serialization and does not count as one in the telemetry.
 func (b *Baggage) ByteSize() int {
 	if b == nil {
 		return 0
@@ -332,5 +344,17 @@ func (b *Baggage) ByteSize() int {
 	if !b.decoded {
 		return len(b.raw)
 	}
-	return len(b.Serialize())
+	if len(b.insts) == 0 {
+		return 0
+	}
+	s := getScratch()
+	buf := s.buf[:0]
+	buf = binary.AppendUvarint(buf, uint64(len(b.insts)))
+	for _, in := range b.insts {
+		buf = encodeInstance(buf, in)
+	}
+	n := len(buf)
+	s.buf = buf
+	putScratch(s)
+	return n
 }

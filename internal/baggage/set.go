@@ -113,11 +113,13 @@ type group struct {
 	cost    int // cached encoded size (see Set.CostBytes)
 }
 
-// recomputeCost refreshes the group's cached encoded size.
+// recomputeCost refreshes the group's cached encoded size. The sizes are
+// computed arithmetically (no scratch encoding), so cost maintenance on
+// the pack hot path never allocates.
 func (g *group) recomputeCost() {
-	c := len(tuple.AppendTuple(nil, g.keyVals))
+	c := tuple.SizeTuple(g.keyVals)
 	for _, st := range g.states {
-		c += len(st.Append(nil))
+		c += st.EncodedSize()
 	}
 	g.cost = c
 }
@@ -125,7 +127,7 @@ func (g *group) recomputeCost() {
 // encSize is the budget cost model for one stored tuple: its encoded wire
 // size. It upper-bounds the tuple's contribution to the serialized baggage
 // (slot names, specs, and stamps are bounded per-slot overhead on top).
-func encSize(t tuple.Tuple) int { return len(tuple.AppendTuple(nil, t)) }
+func encSize(t tuple.Tuple) int { return tuple.SizeTuple(t) }
 
 // Set is a tuple set stored in a baggage instance under one slot.
 type Set struct {
@@ -236,9 +238,15 @@ func (s *Set) Pack(t tuple.Tuple) {
 		s.tuples = append(s.tuples, t)
 		s.bytes += encSize(t)
 	case Agg:
-		key := t.Key(s.Spec.GroupBy)
-		g, ok := s.groups[key]
+		// Build the group key in a pooled scratch buffer; the map lookup
+		// via string(ks.buf) does not allocate, so folding into an
+		// existing group — the steady state of the paper's fixed-size AGG
+		// rewrites — is allocation-free.
+		ks := getScratch()
+		ks.buf = t.AppendKey(ks.buf[:0], s.Spec.GroupBy)
+		g, ok := s.groups[string(ks.buf)]
 		if !ok {
+			key := string(ks.buf)
 			g = &group{keyVals: t.Project(s.Spec.GroupBy)}
 			for _, af := range s.Spec.Aggs {
 				g.states = append(g.states, agg.New(af.Fn))
@@ -246,6 +254,7 @@ func (s *Set) Pack(t tuple.Tuple) {
 			s.groups[key] = g
 			s.order = append(s.order, key)
 		}
+		putScratch(ks)
 		for i, af := range s.Spec.Aggs {
 			g.states[i].Add(t[af.Pos])
 		}

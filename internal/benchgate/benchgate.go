@@ -1,0 +1,207 @@
+// Package benchgate locks in the hot-path overhaul with a benchmark
+// regression gate. It parses `go test -bench` output, folds repeated
+// counts into a best-of summary (min ns/op — the least-noisy estimator of
+// a benchmark's true cost on a busy machine), and compares a fresh run
+// against a committed baseline (BENCH_5.json, named for the paper's
+// Table 5 overhead study). Time regressions beyond a tolerance fail the
+// gate; allocation-count regressions fail at any size, because allocs/op
+// is deterministic and every new steady-state allocation is a hot-path
+// bug, not noise.
+package benchgate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's summarized cost.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Baseline maps a full benchmark name (including the -cpu suffix, e.g.
+// "BenchmarkHereParallel/sharded-8") to its recorded cost. The -cpu
+// suffix is part of the key on purpose: the gate pins the cpu list, so
+// keys are stable across machines even though the numbers are not.
+type Baseline map[string]Result
+
+// Parse reads `go test -bench -benchmem` output and summarizes repeated
+// runs of the same benchmark: min ns/op, and min B/op and allocs/op to
+// match (warm-up iterations can only inflate those).
+func Parse(r io.Reader) (Baseline, error) {
+	out := Baseline{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, res, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if prev, seen := out[name]; seen {
+			if prev.NsPerOp < res.NsPerOp {
+				res.NsPerOp = prev.NsPerOp
+			}
+			if prev.BytesPerOp < res.BytesPerOp {
+				res.BytesPerOp = prev.BytesPerOp
+			}
+			if prev.AllocsPerOp < res.AllocsPerOp {
+				res.AllocsPerOp = prev.AllocsPerOp
+			}
+		}
+		out[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseLine decodes one result line of the form
+//
+//	BenchmarkName-8  	 1234567	   229.5 ns/op	   0 B/op	   0 allocs/op
+//
+// extra metrics (frames/flush, MB/s) are ignored. Lines that are not
+// benchmark results report ok=false.
+func parseLine(line string) (string, Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", Result{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", Result{}, false
+	}
+	name := fields[0]
+	res := Result{BytesPerOp: -1, AllocsPerOp: -1}
+	haveNs := false
+	for i := 2; i+1 < len(fields); i++ {
+		v := fields[i]
+		switch fields[i+1] {
+		case "ns/op":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return "", Result{}, false
+			}
+			res.NsPerOp = f
+			haveNs = true
+		case "B/op":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return "", Result{}, false
+			}
+			res.BytesPerOp = n
+		case "allocs/op":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return "", Result{}, false
+			}
+			res.AllocsPerOp = n
+		}
+	}
+	if !haveNs {
+		return "", Result{}, false
+	}
+	return name, res, true
+}
+
+// Regression is one gate violation.
+type Regression struct {
+	Name   string
+	Metric string // "ns/op" or "allocs/op"
+	Base   float64
+	Got    float64
+}
+
+func (r Regression) String() string {
+	if r.Metric == "allocs/op" {
+		return fmt.Sprintf("%s: allocs/op regressed %d -> %d (any increase fails: "+
+			"a new steady-state allocation is a hot-path bug, not noise)",
+			r.Name, int64(r.Base), int64(r.Got))
+	}
+	return fmt.Sprintf("%s: ns/op regressed %.1f -> %.1f (%+.1f%%)",
+		r.Name, r.Base, r.Got, 100*(r.Got-r.Base)/r.Base)
+}
+
+// allocSlackFloor separates the two allocation regimes. At or below it,
+// allocs/op is fully deterministic (the paths the overhaul drove to zero)
+// and any increase fails. Above it — amortized whole-pipeline benchmarks
+// like a 64-query flush — a GC pass that empties a sync.Pool mid-run
+// perturbs the count by a handful, so those get 1% slack instead of an
+// exact match. 0 stays 0 either way.
+const allocSlackFloor = 32
+
+func allocCap(base int64) int64 {
+	if base <= allocSlackFloor {
+		return base
+	}
+	return base + base/100
+}
+
+// Compare gates current against base: ns/op may grow by at most tolPct
+// percent; allocs/op may not grow at all (see allocSlackFloor for the
+// one carve-out on amortized pipelines). Benchmarks present in only one
+// of the two sets are reported via missing/extra so a silently-deleted
+// benchmark cannot pass the gate.
+func Compare(base, current Baseline, tolPct float64) (regs []Regression, missing, extra []string) {
+	for name, b := range base {
+		c, ok := current[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+tolPct/100) {
+			regs = append(regs, Regression{Name: name, Metric: "ns/op", Base: b.NsPerOp, Got: c.NsPerOp})
+		}
+		if b.AllocsPerOp >= 0 && c.AllocsPerOp > allocCap(b.AllocsPerOp) {
+			regs = append(regs, Regression{Name: name, Metric: "allocs/op",
+				Base: float64(b.AllocsPerOp), Got: float64(c.AllocsPerOp)})
+		}
+	}
+	for name := range current {
+		if _, ok := base[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Name != regs[j].Name {
+			return regs[i].Name < regs[j].Name
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	sort.Strings(missing)
+	sort.Strings(extra)
+	return regs, missing, extra
+}
+
+// Load reads a baseline file. A missing file returns (nil, nil): the
+// caller decides whether that seeds a new baseline or fails the gate.
+func Load(path string) (Baseline, error) {
+	buf, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(buf, &b); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// Write stores a baseline with stable key order so diffs stay reviewable.
+func Write(path string, b Baseline) error {
+	buf, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -258,12 +258,23 @@ func (pt *PivotTracing) SetLease(name string, ttl time.Duration) error {
 }
 
 // onReport merges an agent's partial results into the query's global
-// accumulator and notifies listeners.
+// accumulator and notifies listeners. Agents batch a flush interval's
+// reports into one ReportBatch frame; each constituent report is merged —
+// and delivered to listeners — individually, in batch order, so consumers
+// observe exactly the stream they would have seen unbatched.
 func (pt *PivotTracing) onReport(msg any) {
-	r, ok := msg.(agent.Report)
-	if !ok {
-		return
+	switch m := msg.(type) {
+	case agent.Report:
+		pt.mergeReport(m)
+	case agent.ReportBatch:
+		for _, r := range m.Reports {
+			pt.mergeReport(r)
+		}
 	}
+}
+
+// mergeReport folds one report into its query's global state.
+func (pt *PivotTracing) mergeReport(r agent.Report) {
 	pt.mu.Lock()
 	h := pt.installed[r.QueryID]
 	pt.mu.Unlock()

@@ -1,0 +1,54 @@
+//go:build !race
+
+package tracepoint
+
+// Allocation-regression tests. Excluded under -race: the race detector's
+// instrumentation adds bookkeeping allocations that would fail these
+// assertions for reasons unrelated to the code under test.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func TestAllocDisabledHereIsAllocationFree(t *testing.T) {
+	reg := NewRegistry()
+	tp := reg.Define("Alloc.Tp", "v")
+	ctx := WithProc(context.Background(), ProcInfo{Host: "h", ProcName: "p"})
+	if n := testing.AllocsPerRun(1000, func() {
+		tp.Here(ctx, 7)
+	}); n != 0 {
+		t.Errorf("disabled tracepoint.Here allocates %.1f objects/op, want 0 "+
+			"(regression on the zero-overhead-when-disabled fast path)", n)
+	}
+}
+
+func TestAllocWovenHereSteadyStateIsAllocationFree(t *testing.T) {
+	reg := NewRegistry()
+	tp := reg.Define("Alloc.Tp", "v")
+	ctx := WithProc(context.Background(), ProcInfo{Host: "h", ProcName: "p"})
+	var fires int
+	adv := noCaptureAdvice{fires: &fires}
+	if err := reg.Weave("Alloc.Tp", adv); err != nil {
+		t.Fatal(err)
+	}
+	tp.Here(ctx, 1) // warm the fire-tuple pool
+	if n := testing.AllocsPerRun(1000, func() {
+		tp.Here(ctx, 1)
+	}); n != 0 {
+		t.Errorf("woven tracepoint.Here allocates %.1f objects/op before advice "+
+			"runs, want 0 (regression in the pooled fire-tuple path)", n)
+	}
+	if fires == 0 {
+		t.Fatal("advice never fired")
+	}
+}
+
+// noCaptureAdvice honors the Advice contract (vals are only valid for the
+// duration of the call) without copying, so the measurement isolates the
+// tracepoint's own allocations.
+type noCaptureAdvice struct{ fires *int }
+
+func (a noCaptureAdvice) Invoke(ctx context.Context, vals tuple.Tuple) { *a.fires++ }

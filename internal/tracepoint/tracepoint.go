@@ -32,7 +32,10 @@ var DefaultExports = tuple.Schema{"host", "time", "procName", "procId", "tracepo
 type Advice interface {
 	// Invoke runs the advice for one tracepoint crossing. vals holds the
 	// full exported tuple (defaults then declared exports) in the
-	// tracepoint's schema order.
+	// tracepoint's schema order. vals is only valid for the duration of
+	// the call — it is recycled by the tracepoint after every woven advice
+	// has run — so implementations that retain values must copy them
+	// (e.g. tuple.Tuple.Clone or Project).
 	Invoke(ctx context.Context, vals tuple.Tuple)
 }
 
@@ -63,7 +66,16 @@ type Tracepoint struct {
 	invocations atomic.Int64
 	panics      atomic.Int64
 	meters      atomic.Pointer[Meters]
+
+	// pool recycles the schema-width tuple Here materializes per enabled
+	// fire, so steady-state enabled crossings allocate nothing for it.
+	// Safe because Advice.Invoke must not retain vals (see Advice).
+	pool sync.Pool // *pooledTuple
 }
+
+// pooledTuple wraps the recycled fire tuple so the pool round-trips one
+// stable pointer instead of allocating a fresh slice header per Put.
+type pooledTuple struct{ t tuple.Tuple }
 
 // Meters are a tracepoint's self-telemetry instruments, attached by
 // Registry.SetTelemetry. While unattached (the default), the disabled
@@ -105,7 +117,11 @@ func (tp *Tracepoint) Here(ctx context.Context, vals ...any) {
 		m.Hits.Inc()
 	}
 	tp.invocations.Add(1)
-	full := make(tuple.Tuple, len(tp.schema))
+	p, _ := tp.pool.Get().(*pooledTuple)
+	if p == nil || len(p.t) != len(tp.schema) {
+		p = &pooledTuple{t: make(tuple.Tuple, len(tp.schema))}
+	}
+	full := p.t
 	info := ProcFromContext(ctx)
 	full[0] = tuple.String(info.Host)
 	full[1] = tuple.Int(int64(Now(ctx)))
@@ -120,6 +136,11 @@ func (tp *Tracepoint) Here(ctx context.Context, vals ...any) {
 	for _, a := range *list {
 		tp.invoke(ctx, a, full)
 	}
+	// Clear before pooling: stale values must not leak into the next fire
+	// (positions past len(vals) are expected to read null) and pooled
+	// string references must not pin application memory.
+	clear(full)
+	tp.pool.Put(p)
 }
 
 // invoke runs one advice behind a recover boundary: advice is the only

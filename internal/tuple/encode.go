@@ -106,7 +106,45 @@ func DecodeTuple(buf []byte) (Tuple, []byte, error) {
 	return t, rest, nil
 }
 
+// UvarintLen returns the number of bytes binary.AppendUvarint writes for x.
+func UvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// VarintLen returns the number of bytes binary.AppendVarint writes for x.
+func VarintLen(x int64) int {
+	return UvarintLen(uint64(x)<<1 ^ uint64(x>>63))
+}
+
 // EncodedSize returns the number of bytes AppendValue would write for v.
+// It is computed arithmetically — no buffer is built — so size accounting
+// on hot paths (baggage budgets, report batching) never allocates.
 func EncodedSize(v Value) int {
-	return len(AppendValue(nil, v))
+	switch v.kind {
+	case KindInt:
+		return 1 + VarintLen(int64(v.num))
+	case KindFloat:
+		return 1 + 8
+	case KindString:
+		return 1 + UvarintLen(uint64(len(v.str))) + len(v.str)
+	case KindBool:
+		return 2
+	default: // KindNull and unknown kinds encode as the bare tag byte
+		return 1
+	}
+}
+
+// SizeTuple returns the number of bytes AppendTuple would write for t,
+// without building the encoding.
+func SizeTuple(t Tuple) int {
+	n := UvarintLen(uint64(len(t)))
+	for _, v := range t {
+		n += EncodedSize(v)
+	}
+	return n
 }

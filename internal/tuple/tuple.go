@@ -293,11 +293,17 @@ func (t Tuple) Equal(o Tuple) bool {
 
 // Project returns the tuple restricted to the given positions.
 func (t Tuple) Project(idx []int) Tuple {
-	out := make(Tuple, len(idx))
-	for i, j := range idx {
-		out[i] = t[j]
+	return t.AppendProject(nil, idx)
+}
+
+// AppendProject appends the projected columns to dst and returns it,
+// reusing dst's capacity. Callers that recycle dst own its lifetime; the
+// values themselves are shared with t, not copied.
+func (t Tuple) AppendProject(dst Tuple, idx []int) Tuple {
+	for _, j := range idx {
+		dst = append(dst, t[j])
 	}
-	return out
+	return dst
 }
 
 // String renders the tuple for display.
@@ -312,9 +318,17 @@ func (t Tuple) String() string {
 // Key builds a group-by key from the values at the given positions. The
 // encoding is injective so distinct groups never collide.
 func (t Tuple) Key(idx []int) string {
-	var b []byte
+	return string(t.AppendKey(nil, idx))
+}
+
+// AppendKey appends the group-by key encoding (see Key) to buf and returns
+// the extended buffer. Callers that look groups up by key can build the key
+// in a reused scratch buffer and index their map with string(buf) — the Go
+// compiler elides that conversion's allocation for map access — so the
+// steady-state lookup path allocates nothing.
+func (t Tuple) AppendKey(buf []byte, idx []int) []byte {
 	for _, j := range idx {
-		b = AppendValue(b, t[j])
+		buf = AppendValue(buf, t[j])
 	}
-	return string(b)
+	return buf
 }

@@ -59,9 +59,19 @@ func messageSeeds(t testing.TB) map[string][]byte {
 			}},
 			Raws: []tuple.Tuple{{tuple.Float(1.5)}},
 		}),
+		"report-batch": mustMarshal(agent.ReportBatch{
+			Host: "h", ProcName: "p", Time: 5 * time.Second,
+			Reports: []agent.Report{
+				{QueryID: "Q1", Host: "h", ProcName: "p", Time: 5 * time.Second,
+					Raws: []tuple.Tuple{{tuple.Int(7)}}},
+				{QueryID: "Q2", Host: "h", ProcName: "p", Time: 5 * time.Second},
+			},
+		}),
 		"bad-tag": {0x7f},
 		// Install claiming 2^28 programs in a one-byte body.
 		"huge-count": {TagInstall, 0x01, 'q', 0xff, 0xff, 0xff, 0x7f, 0x00},
+		// Batch claiming 2^28 reports in a one-byte body.
+		"huge-batch": {TagReportBatch, 0x01, 'h', 0x01, 'p', 0x02, 0xff, 0xff, 0xff, 0x7f, 0x00},
 	}
 }
 

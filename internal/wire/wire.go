@@ -509,11 +509,118 @@ const (
 	TagStatusResponse = 6
 	TagRenew          = 7
 	TagQuarantine     = 8
+	TagReportBatch    = 9
 )
 
 // heartbeatInts is how many varints a Heartbeat carries after its two
 // strings: Time, Interval, Queries, then every Stats field in order.
-const heartbeatInts = 17
+const heartbeatInts = 18
+
+// appendReport encodes one report body (no tag byte); shared by the
+// TagReport and TagReportBatch encodings.
+func appendReport(buf []byte, m *agent.Report) []byte {
+	buf = appendString(buf, m.QueryID)
+	buf = appendString(buf, m.Host)
+	buf = appendString(buf, m.ProcName)
+	buf = binary.AppendVarint(buf, int64(m.Time))
+	buf = binary.AppendUvarint(buf, uint64(len(m.Groups)))
+	for _, g := range m.Groups {
+		buf = appendString(buf, g.Key)
+		buf = tuple.AppendTuple(buf, g.Rep)
+		buf = binary.AppendUvarint(buf, uint64(len(g.States)))
+		for _, st := range g.States {
+			buf = st.Append(buf)
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(m.Raws)))
+	for _, r := range m.Raws {
+		buf = tuple.AppendTuple(buf, r)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(m.Drops)))
+	for _, d := range m.Drops {
+		buf = appendString(buf, d.Slot)
+		buf = appendString(buf, d.Key)
+	}
+	return buf
+}
+
+// decodeReport decodes one report body (no tag byte); shared by the
+// TagReport and TagReportBatch decodings.
+func decodeReport(buf []byte) (agent.Report, []byte, error) {
+	var m agent.Report
+	var err error
+	if m.QueryID, buf, err = decodeString(buf); err != nil {
+		return m, nil, err
+	}
+	if m.Host, buf, err = decodeString(buf); err != nil {
+		return m, nil, err
+	}
+	if m.ProcName, buf, err = decodeString(buf); err != nil {
+		return m, nil, err
+	}
+	tns, k := binary.Varint(buf)
+	if k <= 0 {
+		return m, nil, errTruncated
+	}
+	m.Time = time.Duration(tns)
+	buf = buf[k:]
+	n, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return m, nil, errTruncated
+	}
+	buf = buf[k:]
+	for i := uint64(0); i < n; i++ {
+		g := &advice.Group{}
+		if g.Key, buf, err = decodeString(buf); err != nil {
+			return m, nil, err
+		}
+		if g.Rep, buf, err = tuple.DecodeTuple(buf); err != nil {
+			return m, nil, err
+		}
+		ns, k := binary.Uvarint(buf)
+		if k <= 0 {
+			return m, nil, errTruncated
+		}
+		buf = buf[k:]
+		for s := uint64(0); s < ns; s++ {
+			st, rest, err := agg.Decode(buf)
+			if err != nil {
+				return m, nil, err
+			}
+			g.States = append(g.States, st)
+			buf = rest
+		}
+		m.Groups = append(m.Groups, g)
+	}
+	n, k = binary.Uvarint(buf)
+	if k <= 0 {
+		return m, nil, errTruncated
+	}
+	buf = buf[k:]
+	for i := uint64(0); i < n; i++ {
+		var r tuple.Tuple
+		if r, buf, err = tuple.DecodeTuple(buf); err != nil {
+			return m, nil, err
+		}
+		m.Raws = append(m.Raws, r)
+	}
+	n, k = binary.Uvarint(buf)
+	if k <= 0 {
+		return m, nil, errTruncated
+	}
+	buf = buf[k:]
+	for i := uint64(0); i < n; i++ {
+		var d baggage.DropRecord
+		if d.Slot, buf, err = decodeString(buf); err != nil {
+			return m, nil, err
+		}
+		if d.Key, buf, err = decodeString(buf); err != nil {
+			return m, nil, err
+		}
+		m.Drops = append(m.Drops, d)
+	}
+	return m, buf, nil
+}
 
 // Marshal encodes a bus message (agent.Install, agent.Uninstall, or
 // agent.Report). Unknown message types return an error.
@@ -557,6 +664,7 @@ func Marshal(msg any) ([]byte, error) {
 		buf = binary.AppendVarint(buf, m.Stats.TuplesEmitted)
 		buf = binary.AppendVarint(buf, m.Stats.RowsReported)
 		buf = binary.AppendVarint(buf, m.Stats.Reports)
+		buf = binary.AppendVarint(buf, m.Stats.Batches)
 		buf = binary.AppendVarint(buf, m.Stats.ReportsRetained)
 		buf = binary.AppendVarint(buf, m.Stats.ReportsReplayed)
 		buf = binary.AppendVarint(buf, m.Stats.ReportsDropped)
@@ -578,27 +686,15 @@ func Marshal(msg any) ([]byte, error) {
 		return appendString(buf, m.Text), nil
 	case agent.Report:
 		buf := []byte{TagReport}
-		buf = appendString(buf, m.QueryID)
+		return appendReport(buf, &m), nil
+	case agent.ReportBatch:
+		buf := []byte{TagReportBatch}
 		buf = appendString(buf, m.Host)
 		buf = appendString(buf, m.ProcName)
 		buf = binary.AppendVarint(buf, int64(m.Time))
-		buf = binary.AppendUvarint(buf, uint64(len(m.Groups)))
-		for _, g := range m.Groups {
-			buf = appendString(buf, g.Key)
-			buf = tuple.AppendTuple(buf, g.Rep)
-			buf = binary.AppendUvarint(buf, uint64(len(g.States)))
-			for _, st := range g.States {
-				buf = st.Append(buf)
-			}
-		}
-		buf = binary.AppendUvarint(buf, uint64(len(m.Raws)))
-		for _, r := range m.Raws {
-			buf = tuple.AppendTuple(buf, r)
-		}
-		buf = binary.AppendUvarint(buf, uint64(len(m.Drops)))
-		for _, d := range m.Drops {
-			buf = appendString(buf, d.Slot)
-			buf = appendString(buf, d.Key)
+		buf = binary.AppendUvarint(buf, uint64(len(m.Reports)))
+		for i := range m.Reports {
+			buf = appendReport(buf, &m.Reports[i])
 		}
 		return buf, nil
 	default:
@@ -702,12 +798,13 @@ func Unmarshal(buf []byte) (any, error) {
 		m.Queries = int(ints[2])
 		m.Stats = agent.Stats{
 			TuplesEmitted: ints[3], RowsReported: ints[4], Reports: ints[5],
-			ReportsRetained: ints[6], ReportsReplayed: ints[7],
-			ReportsDropped: ints[8], Reconnects: ints[9],
-			LeasesExpired: ints[10], Quarantines: ints[11],
-			RawsDropped: ints[12], GroupsOverflowed: ints[13],
-			BaggageGroupsDropped: ints[14], BaggageTuplesDropped: ints[15],
-			BaggageBytesDropped: ints[16],
+			Batches:         ints[6],
+			ReportsRetained: ints[7], ReportsReplayed: ints[8],
+			ReportsDropped: ints[9], Reconnects: ints[10],
+			LeasesExpired: ints[11], Quarantines: ints[12],
+			RawsDropped: ints[13], GroupsOverflowed: ints[14],
+			BaggageGroupsDropped: ints[15], BaggageTuplesDropped: ints[16],
+			BaggageBytesDropped: ints[17],
 		}
 		return m, nil
 	case TagStatusRequest:
@@ -728,11 +825,14 @@ func Unmarshal(buf []byte) (any, error) {
 		}
 		return m, nil
 	case TagReport:
-		var m agent.Report
-		var err error
-		if m.QueryID, buf, err = decodeString(buf); err != nil {
+		m, _, err := decodeReport(buf)
+		if err != nil {
 			return nil, err
 		}
+		return m, nil
+	case TagReportBatch:
+		var m agent.ReportBatch
+		var err error
 		if m.Host, buf, err = decodeString(buf); err != nil {
 			return nil, err
 		}
@@ -750,55 +850,13 @@ func Unmarshal(buf []byte) (any, error) {
 			return nil, errTruncated
 		}
 		buf = buf[k:]
+		m.Reports = make([]agent.Report, 0, capHint(n, buf))
 		for i := uint64(0); i < n; i++ {
-			g := &advice.Group{}
-			if g.Key, buf, err = decodeString(buf); err != nil {
+			var r agent.Report
+			if r, buf, err = decodeReport(buf); err != nil {
 				return nil, err
 			}
-			if g.Rep, buf, err = tuple.DecodeTuple(buf); err != nil {
-				return nil, err
-			}
-			ns, k := binary.Uvarint(buf)
-			if k <= 0 {
-				return nil, errTruncated
-			}
-			buf = buf[k:]
-			for s := uint64(0); s < ns; s++ {
-				st, rest, err := agg.Decode(buf)
-				if err != nil {
-					return nil, err
-				}
-				g.States = append(g.States, st)
-				buf = rest
-			}
-			m.Groups = append(m.Groups, g)
-		}
-		n, k = binary.Uvarint(buf)
-		if k <= 0 {
-			return nil, errTruncated
-		}
-		buf = buf[k:]
-		for i := uint64(0); i < n; i++ {
-			var r tuple.Tuple
-			if r, buf, err = tuple.DecodeTuple(buf); err != nil {
-				return nil, err
-			}
-			m.Raws = append(m.Raws, r)
-		}
-		n, k = binary.Uvarint(buf)
-		if k <= 0 {
-			return nil, errTruncated
-		}
-		buf = buf[k:]
-		for i := uint64(0); i < n; i++ {
-			var d baggage.DropRecord
-			if d.Slot, buf, err = decodeString(buf); err != nil {
-				return nil, err
-			}
-			if d.Key, buf, err = decodeString(buf); err != nil {
-				return nil, err
-			}
-			m.Drops = append(m.Drops, d)
+			m.Reports = append(m.Reports, r)
 		}
 		return m, nil
 	default:

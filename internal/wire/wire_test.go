@@ -172,6 +172,31 @@ func TestMessageCodecRoundtrip(t *testing.T) {
 		t.Fatalf("state roundtrip = %v", gr.Groups[0].States[0].Result())
 	}
 
+	// ReportBatch: reports coalesced into one frame survive intact and in
+	// order.
+	batch := agent.ReportBatch{
+		Host: "h", ProcName: "p", Time: 6 * time.Second,
+		Reports: []agent.Report{rep, {QueryID: "Q2", Host: "h", ProcName: "p", Time: 6 * time.Second}},
+	}
+	buf, err = Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, ok := got.(agent.ReportBatch)
+	if !ok || gb.Host != "h" || gb.Time != 6*time.Second || len(gb.Reports) != 2 {
+		t.Fatalf("batch roundtrip = %#v", got)
+	}
+	if gb.Reports[0].QueryID != "Q1" || gb.Reports[1].QueryID != "Q2" {
+		t.Fatalf("batch order lost: %q, %q", gb.Reports[0].QueryID, gb.Reports[1].QueryID)
+	}
+	if gb.Reports[0].Groups[0].States[0].Result().Int() != 42 {
+		t.Fatalf("batched state roundtrip = %v", gb.Reports[0].Groups[0].States[0].Result())
+	}
+
 	// Unknown type.
 	if _, err := Marshal(struct{}{}); err == nil {
 		t.Error("unknown type should fail to marshal")

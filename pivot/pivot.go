@@ -341,10 +341,17 @@ func (pt *PT) ConnectBusWith(busAddr string, opts BusOptions) (disconnect func()
 	var link *bus.Link
 	lopts.OnDrop = func(topic string, msg any) {
 		// Reports survive the outage in the agent's ring buffer;
-		// heartbeats are liveness beacons and not worth replaying.
+		// heartbeats are liveness beacons and not worth replaying. A
+		// dropped batch retains its constituent reports individually, so
+		// replay granularity (and ring accounting) stays per-report.
 		if topic == agent.ResultsTopic {
-			if r, ok := msg.(agent.Report); ok {
-				pt.Agent.Retain(r)
+			switch m := msg.(type) {
+			case agent.Report:
+				pt.Agent.Retain(m)
+			case agent.ReportBatch:
+				for _, r := range m.Reports {
+					pt.Agent.Retain(r)
+				}
 			}
 		}
 	}
