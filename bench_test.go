@@ -249,6 +249,47 @@ func BenchmarkTracepointTelemetry(b *testing.B) {
 	})
 }
 
+// BenchmarkHereWithSpans bounds the span-capture tax on the woven
+// crossing. "spans-off" is the shipped default — no sink attached — and
+// must stay at the BenchmarkTracepoint/woven-q1-style floor with zero
+// allocs/op: span capture's existence may not tax deployments that never
+// enable it. "sink-no-baggage" attaches the recorder but crosses without
+// baggage, so the sink loads, sees nil baggage, and bails — one extra
+// atomic load, still zero allocations. "spans-on" is the paid path:
+// every crossing unpacks the trace frontier, records a span into the
+// ring, and advances the slot.
+func BenchmarkHereWithSpans(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		spans   bool
+		baggage bool
+	}{
+		{"spans-off", false, true},
+		{"sink-no-baggage", true, false},
+		{"spans-on", true, true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			a, _, tp := benchInstall(b, 1)
+			defer a.Close()
+			if mode.spans {
+				a.EnableSpans(1<<32, 0)
+			}
+			ctx := tracepoint.WithProc(context.Background(),
+				tracepoint.ProcInfo{Host: "h", ProcName: "p"})
+			if mode.baggage {
+				ctx = baggage.NewContext(ctx, baggage.New())
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tp.Here(ctx, i)
+			}
+			b.StopTimer()
+			a.Flush()
+		})
+	}
+}
+
 type emitterFunc func(*advice.Program, tuple.Tuple)
 
 func (f emitterFunc) EmitTuple(p *advice.Program, w tuple.Tuple) { f(p, w) }

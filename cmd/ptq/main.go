@@ -6,9 +6,20 @@
 //
 //	ptq [-unoptimized] 'From incr In DataNodeMetrics.incrBytesRead ...'
 //	echo 'From dnop In DN.DataTransferProtocol ...' | ptq
+//	ptq -explain-analyze                          run the demo query, print measured plan
+//	ptq -explain-analyze 'From r In Demo.Respond ...'
 //
 // Queries are resolved against the simulated Hadoop stack's tracepoint
 // vocabulary (the same definitions the experiment harnesses use).
+//
+// With -explain-analyze, ptq actually executes the query over the
+// scripted demo workload (querygen.DemoCase: an api request fanning out
+// to two datanode reads and joining back, over tracepoints Demo.Request,
+// Demo.Read, Demo.Respond) on a simulated cluster, then prints the plan
+// annotated with measured per-operator counters — fires, join drops,
+// filtered and packed tuples, baggage bytes, eviction counts, emits —
+// plus the frontend merge line and the per-process agent breakdown. With
+// no query argument it runs the demo case's own happened-before join.
 package main
 
 import (
@@ -17,9 +28,13 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/plan"
 	"repro/internal/query"
+	"repro/internal/querygen"
+	"repro/internal/simtime"
 	"repro/internal/tracepoint"
 )
 
@@ -60,6 +75,8 @@ func vocabulary() *tracepoint.Registry {
 func main() {
 	unopt := flag.Bool("unoptimized", false, "disable the Table 3 query rewrites")
 	listTPs := flag.Bool("tracepoints", false, "list the known tracepoint vocabulary and exit")
+	analyze := flag.Bool("explain-analyze", false, "execute the query over the scripted demo workload and print the measured plan")
+	requests := flag.Int("requests", 1, "demo requests to execute with -explain-analyze")
 	flag.Parse()
 
 	reg := vocabulary()
@@ -72,6 +89,15 @@ func main() {
 	}
 
 	text := strings.Join(flag.Args(), " ")
+	if *analyze {
+		out, err := runExplainAnalyze(text, *requests)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ptq:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
 	if strings.TrimSpace(text) == "" {
 		data, err := io.ReadAll(os.Stdin)
 		if err != nil {
@@ -102,4 +128,44 @@ func main() {
 	fmt.Println("outputs:", p.Schema)
 	fmt.Println()
 	fmt.Println(p.Explain())
+}
+
+// runExplainAnalyze installs the query (default: the demo case's own
+// happened-before join) in a simulated cluster, drives the scripted demo
+// workload through it, and returns the plan annotated with the measured
+// per-operator counters.
+func runExplainAnalyze(text string, requests int) (string, error) {
+	if requests < 1 {
+		requests = 1
+	}
+	c := querygen.DemoCase()
+	if strings.TrimSpace(text) == "" {
+		text = c.QueryText
+	}
+	var out string
+	var runErr error
+	env := simtime.NewEnv()
+	env.Run(func() {
+		cfg := cluster.DefaultConfig()
+		cfg.ReportInterval = 5 * time.Millisecond
+		cl := cluster.New(env, cfg)
+		cl.EnableSpans(0) // span capture also enables EXPLAIN ANALYZE shipping
+		x := cluster.NewScriptExec(cl, c)
+		h, err := cl.PT.Install(text)
+		if err != nil {
+			runErr = err
+			return
+		}
+		for i := 0; i < requests; i++ {
+			if err := x.Run(); err != nil {
+				runErr = err
+				return
+			}
+			env.Sleep(time.Millisecond)
+		}
+		env.Sleep(3 * cfg.ReportInterval)
+		cl.FlushAgents()
+		out = h.ExplainAnalyze()
+	})
+	return out, runErr
 }

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/bus"
+	"repro/internal/spans"
+	"repro/internal/wire"
+)
+
+// TestRunDemoRendersTraces drives the -demo path end to end: two scripted
+// requests must reconstruct as two trees (one Respond leaf each) plus the
+// summary table.
+func TestRunDemoRendersTraces(t *testing.T) {
+	out, err := runDemo(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Demo.Request", "Demo.Read", "Demo.Respond", "TRACE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("demo output missing %q\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "trace "); got != 2 {
+		t.Errorf("want 2 rendered trees, got %d\n%s", got, out)
+	}
+}
+
+// TestRunDemoClampsRequests: a request count below one still executes one
+// request rather than rendering an empty report.
+func TestRunDemoClampsRequests(t *testing.T) {
+	out, err := runDemo(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out, "trace "); got != 1 {
+		t.Errorf("want exactly 1 trace, got %d\n%s", got, out)
+	}
+}
+
+// TestCollectLiveReceivesSpans stands up a real pub/sub server, publishes
+// span batches from a second bus while collectLive listens passively, and
+// checks the reconstructed trace is rendered.
+func TestCollectLiveReceivesSpans(t *testing.T) {
+	srv, err := bus.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	pub := bus.New()
+	link, err := bus.Connect(pub, srv.Addr(), wire.BusCodec{},
+		[]string{agent.TraceTopic}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+
+	batch := agent.SpanBatch{Host: "h0", ProcName: "api", Spans: []spans.Span{
+		{TraceID: 7, SpanID: 7, Tracepoint: "Live.Request",
+			Host: "h0", ProcName: "api", Start: time.Millisecond},
+		{TraceID: 7, SpanID: 8, Parents: []uint64{7}, Tracepoint: "Live.Respond",
+			Host: "h0", ProcName: "api", Start: 2 * time.Millisecond, Duration: time.Millisecond},
+	}}
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				pub.Publish(agent.TraceTopic, batch)
+			}
+		}
+	}()
+
+	out, err := collectLive(srv.Addr(), 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Live.Request", "Live.Respond", "TRACE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("live output missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestCollectLiveEmptyWindow: a silent deployment yields a diagnostic
+// error, not an empty report.
+func TestCollectLiveEmptyWindow(t *testing.T) {
+	srv, err := bus.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := collectLive(srv.Addr(), 50*time.Millisecond); err == nil {
+		t.Fatal("want error when no spans arrive within the window")
+	}
+}

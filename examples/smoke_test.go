@@ -24,6 +24,8 @@ func TestExamplesRunCleanly(t *testing.T) {
 		{"distributed", []string{"advice woven remotely: gateway=true store=true"}},
 		{"latency", []string{"avg latency"}},
 		{"replicadebug", []string{"Symptom:", "HDFS-6268"}},
+		{"tracing", []string{"request trees:", "(join ×2)", "EXPLAIN ANALYZE",
+			"MERGE at frontend", "DOMINANT TIER"}},
 	}
 	for _, tc := range cases {
 		tc := tc

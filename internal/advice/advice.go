@@ -48,8 +48,21 @@ type Cost struct {
 	// DroppedByJoin counts crossings discarded because an Unpack found no
 	// causally-preceding tuples (inner-join misses).
 	DroppedByJoin atomic.Int64
+	// TuplesFiltered counts working tuples discarded by FILTER predicates.
+	TuplesFiltered atomic.Int64
 	// TuplesPacked counts tuples stored into baggage.
 	TuplesPacked atomic.Int64
+	// PackedBytes counts the encoded content bytes of tuples offered to
+	// PACK — the query's in-band baggage footprint before retention folding.
+	PackedBytes atomic.Int64
+	// PackRefused counts tuples refused by PACK because their slot or group
+	// carried an eviction tombstone.
+	PackRefused atomic.Int64
+	// PackEvictedGroups, PackEvictedTuples and PackEvictedBytes count budget
+	// evictions triggered by this program's packs (see baggage.PackStats).
+	PackEvictedGroups atomic.Int64
+	PackEvictedTuples atomic.Int64
+	PackEvictedBytes  atomic.Int64
 	// TuplesEmitted counts tuples sent to the process-local aggregator.
 	TuplesEmitted atomic.Int64
 	// Panics counts panics recovered from this advice at the tracepoint
@@ -197,25 +210,99 @@ func (p *Program) String() string {
 		fmt.Fprintf(&b, "\nCOMPUTE %s", c.Expr)
 	}
 	if p.Pack != nil {
-		kind := ""
-		switch p.Pack.Spec.Kind {
-		case baggage.First:
-			kind = "-FIRST"
-		case baggage.FirstN:
-			kind = fmt.Sprintf("-FIRST%d", p.Pack.Spec.N)
-		case baggage.Recent:
-			kind = "-RECENT"
-		case baggage.RecentN:
-			kind = fmt.Sprintf("-RECENT%d", p.Pack.Spec.N)
-		case baggage.Agg:
-			kind = "-AGG"
-		}
-		fmt.Fprintf(&b, "\nPACK%s %s", kind, describePack(p.Pack.Spec))
+		fmt.Fprintf(&b, "\nPACK%s %s", packKind(p.Pack.Spec), describePack(p.Pack.Spec))
 	}
 	if p.Emit != nil {
 		fmt.Fprintf(&b, "\nEMIT %s", join(p.Emit.Schema))
 	}
 	return b.String()
+}
+
+// AnnotatedString renders the program like String but with live execution
+// counters attached to each operator line — the EXPLAIN ANALYZE view of the
+// plan. Counters are per-stage: a program with several FILTERs shows the
+// summed filter drops on the first FILTER line, and join-miss drops are
+// summed across UNPACKs. Reading the atomics is racy-but-monotonic; callers
+// typically render after a flush quiesces the workload.
+func (p *Program) AnnotatedString() string {
+	var b strings.Builder
+	inv := p.Cost.Invocations.Load()
+	sampled := p.Cost.Sampled.Load()
+	fmt.Fprintf(&b, "OBSERVE %s", join(p.ObserveFields))
+	annotate(&b, counter{"fires", inv}, counter{"sampled", sampled})
+	joinDrops := p.Cost.DroppedByJoin.Load()
+	for i, u := range p.Unpacks {
+		fmt.Fprintf(&b, "\nUNPACK %s", join(u.Fields))
+		if i == 0 {
+			annotate(&b, counter{"join-drops", joinDrops})
+		}
+	}
+	filtered := p.Cost.TuplesFiltered.Load()
+	for i, f := range p.Filters {
+		fmt.Fprintf(&b, "\nFILTER %s", f.Expr)
+		if i == 0 {
+			annotate(&b, counter{"filtered", filtered})
+		}
+	}
+	for _, c := range p.Computes {
+		fmt.Fprintf(&b, "\nCOMPUTE %s", c.Expr)
+	}
+	if p.Pack != nil {
+		fmt.Fprintf(&b, "\nPACK%s %s", packKind(p.Pack.Spec), describePack(p.Pack.Spec))
+		annotate(&b,
+			counter{"packed", p.Cost.TuplesPacked.Load()},
+			counter{"bytes", p.Cost.PackedBytes.Load()},
+			counter{"refused", p.Cost.PackRefused.Load()},
+			counter{"evicted", p.Cost.PackEvictedTuples.Load()},
+		)
+	}
+	if p.Emit != nil {
+		fmt.Fprintf(&b, "\nEMIT %s", join(p.Emit.Schema))
+		annotate(&b, counter{"emitted", p.Cost.TuplesEmitted.Load()})
+	}
+	return b.String()
+}
+
+// counter is one name=value annotation on an operator line.
+type counter struct {
+	name string
+	val  int64
+}
+
+// annotate appends a right-aligned "[name=v name=v]" block, omitting
+// zero-valued counters after the first (the first is the operator's primary
+// throughput counter and always shown).
+func annotate(b *strings.Builder, cs ...counter) {
+	b.WriteString("  [")
+	wrote := false
+	for i, c := range cs {
+		if i > 0 && c.val == 0 {
+			continue
+		}
+		if wrote {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(b, "%s=%d", c.name, c.val)
+		wrote = true
+	}
+	b.WriteByte(']')
+}
+
+// packKind renders the retention suffix of a PACK operator.
+func packKind(spec baggage.SetSpec) string {
+	switch spec.Kind {
+	case baggage.First:
+		return "-FIRST"
+	case baggage.FirstN:
+		return fmt.Sprintf("-FIRST%d", spec.N)
+	case baggage.Recent:
+		return "-RECENT"
+	case baggage.RecentN:
+		return fmt.Sprintf("-RECENT%d", spec.N)
+	case baggage.Agg:
+		return "-AGG"
+	}
+	return ""
 }
 
 func describePack(spec baggage.SetSpec) string {
@@ -341,6 +428,9 @@ func (a *Advice) Invoke(ctx context.Context, vals tuple.Tuple) {
 				kept = append(kept, w)
 			}
 		}
+		if dropped := len(working) - len(kept); dropped > 0 {
+			p.Cost.TuplesFiltered.Add(int64(dropped))
+		}
 		working = kept
 		if len(working) == 0 {
 			return
@@ -358,11 +448,21 @@ func (a *Advice) Invoke(ctx context.Context, vals tuple.Tuple) {
 	// queries evict whole groups with tombstone accounting.
 	if p.Pack != nil && bag != nil {
 		var st baggage.PackStats
+		var packedBytes int64
 		for _, w := range working {
-			st.Add(bag.PackBudgeted(p.Pack.Slot, p.Pack.Spec, p.Safety.Budget, w.Project(p.Pack.Source)))
+			proj := w.Project(p.Pack.Source)
+			packedBytes += int64(tuple.SizeTuple(proj))
+			st.Add(bag.PackBudgeted(p.Pack.Slot, p.Pack.Spec, p.Safety.Budget, proj))
 		}
 		p.Cost.TuplesPacked.Add(st.Packed)
+		p.Cost.PackedBytes.Add(packedBytes)
+		if st.RefusedTuples > 0 {
+			p.Cost.PackRefused.Add(st.RefusedTuples)
+		}
 		if st.EvictedGroups > 0 {
+			p.Cost.PackEvictedGroups.Add(st.EvictedGroups)
+			p.Cost.PackEvictedTuples.Add(st.EvictedTuples)
+			p.Cost.PackEvictedBytes.Add(st.EvictedBytes)
 			if ps, ok := a.Emitter.(PackStatsSink); ok {
 				ps.NotePackStats(p, st)
 			}

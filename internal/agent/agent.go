@@ -18,6 +18,7 @@ import (
 	"repro/internal/baggage"
 	"repro/internal/bus"
 	"repro/internal/simtime"
+	"repro/internal/spans"
 	"repro/internal/telemetry"
 	"repro/internal/tracepoint"
 	"repro/internal/tuple"
@@ -37,6 +38,12 @@ const (
 	// QuarantineTopic carries Quarantine notices: an agent tripped a
 	// query's circuit breaker and unwove its advice.
 	QuarantineTopic = "pt.quarantine"
+	// TraceTopic carries causal-trace observability frames: SpanBatch
+	// (captured spans, best-effort) and ExplainStats (per-operator advice
+	// counters for EXPLAIN ANALYZE). Separate from ResultsTopic so trace
+	// volume never competes with query results, and dropped trace frames
+	// are not retained/replayed — spans are strictly best-effort.
+	TraceTopic = "pt.trace"
 )
 
 // MetaReportTracepoint is the meta-tracepoint crossed once per report the
@@ -133,6 +140,48 @@ type ReportBatch struct {
 // frame's payload.
 const DefaultBatchBytes = 256 << 10
 
+// SpanBatch coalesces one flush interval's captured spans from one process
+// into a single TraceTopic frame, mirroring ReportBatch's size-capped
+// splitting. Spans are best-effort: a dropped frame is never retained.
+type SpanBatch struct {
+	Host     string
+	ProcName string
+	Time     time.Duration
+	Spans    []spans.Span
+}
+
+// OpStats is one advice program's live operator counters, snapshot at
+// flush time for EXPLAIN ANALYZE. Values are cumulative since install.
+type OpStats struct {
+	Tracepoint     string
+	Invocations    int64
+	Sampled        int64
+	DroppedByJoin  int64
+	TuplesFiltered int64
+	TuplesPacked   int64
+	PackedBytes    int64
+	PackRefused    int64
+	EvictedGroups  int64
+	EvictedTuples  int64
+	EvictedBytes   int64
+	TuplesEmitted  int64
+	Panics         int64
+}
+
+// ExplainStats carries one query's per-operator counters from one process,
+// published on TraceTopic at every flush while span capture is enabled.
+// FlushNS is the wall-clock nanoseconds the agent spent draining and
+// encoding this query's partial results in the flush that produced this
+// snapshot — the agent-side "merge time" of EXPLAIN ANALYZE.
+type ExplainStats struct {
+	QueryID  string
+	Host     string
+	ProcName string
+	Time     time.Duration
+	FlushNS  int64
+	Ops      []OpStats
+}
+
 // Report is one interval's partial results from one process for one query.
 type Report struct {
 	QueryID  string
@@ -182,6 +231,11 @@ type Stats struct {
 	BaggageGroupsDropped int64 // baggage groups evicted by budgets (pack side)
 	BaggageTuplesDropped int64 // baggage tuples evicted by budgets (pack side)
 	BaggageBytesDropped  int64 // baggage bytes evicted by budgets (pack side)
+
+	// Span-capture counters (zero unless EnableSpans was called).
+	SpansCaptured int64 // spans recorded at tracepoint crossings
+	SpansDropped  int64 // spans overwritten in the ring before shipping
+	SpanBatches   int64 // SpanBatch frames published on TraceTopic
 }
 
 // Agent is the per-process Pivot Tracing runtime.
@@ -228,6 +282,9 @@ type Agent struct {
 	// so Stats stays cumulative across a query's whole lifetime.
 	rawsDroppedRetired      atomic.Int64
 	groupsOverflowedRetired atomic.Int64
+
+	recorder    atomic.Pointer[spans.Recorder]
+	spanBatches atomic.Int64
 
 	meters atomic.Pointer[agentMeters]
 	metaTP atomic.Pointer[tracepoint.Tracepoint]
@@ -285,6 +342,25 @@ func (a *Agent) EnableMetaTracepoint() *tracepoint.Tracepoint {
 	a.metaTP.Store(tp)
 	return tp
 }
+
+// EnableSpans turns on causal span capture in this process: a bounded
+// ring Recorder (see internal/spans) is attached to the registry as the
+// span sink, and every Flush drains it into SpanBatch frames on
+// TraceTopic — plus per-query ExplainStats snapshots. seed must be unique
+// per process (the pivot layer uses procID<<32) so minted span ids never
+// collide; capacity bounds the ring (<= 0 selects DefaultSpanBuffer).
+func (a *Agent) EnableSpans(seed uint64, capacity int) *spans.Recorder {
+	if capacity <= 0 {
+		capacity = DefaultSpanBuffer
+	}
+	rec := spans.NewRecorder(seed, capacity)
+	a.recorder.Store(rec)
+	a.reg.SetSpanSink(rec)
+	return rec
+}
+
+// DefaultSpanBuffer is the default span ring capacity per process.
+const DefaultSpanBuffer = 4096
 
 type queryState struct {
 	programs []*advice.Program
@@ -601,10 +677,11 @@ func (a *Agent) Flush() {
 	a.expireLeases()
 	a.mu.Lock()
 	type pending struct {
-		id     string
-		acc    *advice.Accumulator // drained snapshot, exclusively owned
-		drops  []baggage.DropRecord
-		tuples int64
+		id      string
+		acc     *advice.Accumulator // drained snapshot, exclusively owned
+		drops   []baggage.DropRecord
+		tuples  int64
+		flushNS int64
 	}
 	var out []pending
 	for id, qs := range a.queries {
@@ -612,6 +689,7 @@ func (a *Agent) Flush() {
 		if (acc == nil || acc.Empty()) && len(qs.drops) == 0 {
 			continue
 		}
+		drainStart := time.Now()
 		p := pending{id: id, tuples: qs.tuples.Swap(0)}
 		if acc != nil {
 			// Drain steals the shard contents under short per-shard locks
@@ -632,6 +710,7 @@ func (a *Agent) Flush() {
 			})
 			qs.drops = nil
 		}
+		p.flushNS = int64(time.Since(drainStart))
 		if (p.acc == nil || p.acc.Empty()) && len(p.drops) == 0 {
 			// The accumulator's emptiness hint raced with an in-flight Add
 			// and nothing actually drained; the tuples (if any) belong to
@@ -674,6 +753,14 @@ func (a *Agent) Flush() {
 		reports = append(reports, r)
 	}
 	a.publishBatches(reports)
+	if rec := a.recorder.Load(); rec != nil {
+		a.publishSpans(rec, now)
+		flushNS := make(map[string]int64, len(out))
+		for _, p := range out {
+			flushNS[p.id] = p.flushNS
+		}
+		a.publishExplain(flushNS, now)
+	}
 	a.bus.Publish(HealthTopic, Heartbeat{
 		Host:     a.proc.Host,
 		ProcName: a.proc.ProcName,
@@ -733,6 +820,101 @@ func (a *Agent) publishBatches(reports []Report) {
 		size += sz
 	}
 	flush()
+}
+
+// publishSpans drains the span ring into size-capped SpanBatch frames on
+// TraceTopic, reusing the ReportBatch splitting discipline.
+func (a *Agent) publishSpans(rec *spans.Recorder, now time.Duration) {
+	drained := rec.Drain()
+	if len(drained) == 0 {
+		return
+	}
+	limit := int(a.batchBytes.Load())
+	if limit <= 0 {
+		limit = DefaultBatchBytes
+	}
+	batch := drained[:0:0]
+	size := 0
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		a.spanBatches.Add(1)
+		a.bus.Publish(TraceTopic, SpanBatch{
+			Host:     a.proc.Host,
+			ProcName: a.proc.ProcName,
+			Time:     now,
+			Spans:    batch,
+		})
+		batch, size = nil, 0
+	}
+	for i := range drained {
+		sz := spanSize(&drained[i])
+		if len(batch) > 0 && size+sz > limit {
+			flush()
+		}
+		batch = append(batch, drained[i])
+		size += sz
+	}
+	flush()
+}
+
+// spanSize approximates one span's encoded payload size (same arithmetic
+// size model as reportSize; framing varints are deliberately undercounted).
+func spanSize(sp *spans.Span) int {
+	return len(sp.Tracepoint) + len(sp.Host) + len(sp.ProcName) + 8*len(sp.Parents) + 36
+}
+
+// publishExplain snapshots every installed query's per-operator advice
+// counters into ExplainStats frames on TraceTopic. flushNS carries the
+// per-query drain time measured in the surrounding Flush (zero for queries
+// that had nothing to drain this interval).
+func (a *Agent) publishExplain(flushNS map[string]int64, now time.Duration) {
+	type snap struct {
+		id    string
+		progs []*advice.Program
+	}
+	a.mu.Lock()
+	qsnaps := make([]snap, 0, len(a.queries))
+	for id, qs := range a.queries {
+		qsnaps = append(qsnaps, snap{id: id, progs: qs.programs})
+	}
+	a.mu.Unlock()
+	sort.Slice(qsnaps, func(i, j int) bool { return qsnaps[i].id < qsnaps[j].id })
+	for _, q := range qsnaps {
+		es := ExplainStats{
+			QueryID:  q.id,
+			Host:     a.proc.Host,
+			ProcName: a.proc.ProcName,
+			Time:     now,
+			FlushNS:  flushNS[q.id],
+		}
+		for _, prog := range q.progs {
+			if a.reg.Lookup(prog.Tracepoint) == nil {
+				continue // tracepoint not present in this process
+			}
+			c := &prog.Cost
+			es.Ops = append(es.Ops, OpStats{
+				Tracepoint:     prog.Tracepoint,
+				Invocations:    c.Invocations.Load(),
+				Sampled:        c.Sampled.Load(),
+				DroppedByJoin:  c.DroppedByJoin.Load(),
+				TuplesFiltered: c.TuplesFiltered.Load(),
+				TuplesPacked:   c.TuplesPacked.Load(),
+				PackedBytes:    c.PackedBytes.Load(),
+				PackRefused:    c.PackRefused.Load(),
+				EvictedGroups:  c.PackEvictedGroups.Load(),
+				EvictedTuples:  c.PackEvictedTuples.Load(),
+				EvictedBytes:   c.PackEvictedBytes.Load(),
+				TuplesEmitted:  c.TuplesEmitted.Load(),
+				Panics:         c.Panics.Load(),
+			})
+		}
+		if len(es.Ops) == 0 {
+			continue
+		}
+		a.bus.Publish(TraceTopic, es)
+	}
 }
 
 // reportSize approximates the report's encoded payload size using the
@@ -935,7 +1117,7 @@ func (a *Agent) Stats() Stats {
 		}
 	}
 	a.mu.Unlock()
-	return Stats{
+	s := Stats{
 		TuplesEmitted:        a.tuplesEmitted.Load(),
 		RowsReported:         a.rowsReported.Load(),
 		Reports:              a.reports.Load(),
@@ -951,7 +1133,13 @@ func (a *Agent) Stats() Stats {
 		BaggageGroupsDropped: a.baggageGroupsDropped.Load(),
 		BaggageTuplesDropped: a.baggageTuplesDropped.Load(),
 		BaggageBytesDropped:  a.baggageBytesDropped.Load(),
+		SpanBatches:          a.spanBatches.Load(),
 	}
+	if rec := a.recorder.Load(); rec != nil {
+		s.SpansCaptured = rec.Captured()
+		s.SpansDropped = rec.Dropped()
+	}
+	return s
 }
 
 // Close unsubscribes the agent from the control topic and unweaves all

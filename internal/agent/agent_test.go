@@ -330,3 +330,59 @@ func TestNoteReconnectCountsIntoStatsAndHeartbeat(t *testing.T) {
 		t.Errorf("heartbeat reconnects = %d, want 2", hb.Stats.Reconnects)
 	}
 }
+
+// TestAgentSpanCaptureShipsBatchesAndExplain: with span capture enabled,
+// each flush drains the ring into SpanBatch frames on TraceTopic and
+// snapshots every installed query's operator counters as ExplainStats.
+// The ring is bounded — crossings beyond capacity overwrite the oldest
+// spans and are accounted as drops, never blocking the hot path.
+func TestAgentSpanCaptureShipsBatchesAndExplain(t *testing.T) {
+	env := simtime.NewEnv()
+	var (
+		batches  []SpanBatch
+		explains []ExplainStats
+		st       Stats
+	)
+	env.Run(func() {
+		b := bus.New()
+		reg := tracepoint.NewRegistry()
+		tp := reg.Define("Tp", "v")
+		a := New(env, info("h1"), reg, b, time.Second)
+		a.EnableSpans(1<<32, 4)
+		b.Subscribe(TraceTopic, func(msg any) {
+			switch m := msg.(type) {
+			case SpanBatch:
+				batches = append(batches, m)
+			case ExplainStats:
+				explains = append(explains, m)
+			}
+		})
+		b.Publish(ControlTopic, Install{QueryID: "Q", Programs: []*advice.Program{q1Program()}})
+		ctx := request("h1")
+		for i := 0; i < 6; i++ { // 6 crossings into a 4-slot ring
+			tp.Here(ctx, 1)
+		}
+		env.Sleep(1500 * time.Millisecond) // one reporting interval
+		st = a.Stats()
+	})
+	var shipped int
+	for _, sb := range batches {
+		if sb.Host != "h1" || sb.ProcName != "p" {
+			t.Fatalf("batch identity = %s/%s", sb.Host, sb.ProcName)
+		}
+		shipped += len(sb.Spans)
+	}
+	if shipped != 4 {
+		t.Errorf("shipped spans = %d, want 4 (ring capacity)", shipped)
+	}
+	if st.SpansCaptured != 6 || st.SpansDropped != 2 {
+		t.Errorf("captured/dropped = %d/%d, want 6/2", st.SpansCaptured, st.SpansDropped)
+	}
+	if len(explains) == 0 {
+		t.Fatal("no ExplainStats published")
+	}
+	es := explains[0]
+	if es.QueryID != "Q" || len(es.Ops) != 1 || es.Ops[0].Invocations != 6 {
+		t.Errorf("explain snapshot = %+v", es)
+	}
+}

@@ -37,6 +37,24 @@ const DropSlot = "!pt.drops"
 // set: Pack dedups, Join unions, and nothing ever evicts or replaces them.
 var dropSpec = SetSpec{Kind: Union, Fields: tuple.Schema{"slot", "key"}}
 
+// TraceSlot is the reserved slot carrying the causal span frontier (a
+// trace id plus the ids of the execution's current frontier spans, see
+// internal/spans). Like DropSlot it lives outside the query namespace via
+// the leading '!', and it is explicitly excluded from budget accounting
+// and victim selection: a query exhausting its budget must evict its own
+// data, never the request's causal identity, and an evicted trace slot
+// must never surface in a query's drop accounting. The slot is intrinsically
+// tiny — FRONTIER retention keeps one (trace, span) pair per live branch.
+const TraceSlot = "!pt.trace"
+
+// TraceSpec stores the span frontier: FRONTIER retention replaces the
+// branch's tuple on every pack and unions distinct tuples at joins —
+// X-Trace-style event identifiers. Each tuple is (trace id, span id,
+// virtual-time start of that span's crossing); carrying the start lets the
+// next crossing compute its segment duration locally, keeping span records
+// fixed-size with no cross-process clock exchange.
+var TraceSpec = SetSpec{Kind: Frontier, Fields: tuple.Schema{"trace", "span", "start"}}
+
 // Default budget: generous enough that well-behaved queries (the paper's
 // fixed-size AGG rewrites) never hit it, small enough to bound the in-band
 // metadata overhead of a pathological one.
@@ -189,12 +207,13 @@ func (b *Baggage) enforce(budget Budget, prefix string) (groups, tuples, bytes i
 
 // usage sums the query's content cost and stored-tuple count across every
 // instance (active and frozen) — the same contents a serialize would ship.
-// The drop slot itself is excluded so accounting never triggers eviction.
+// The drop slot is excluded so accounting never triggers eviction, and the
+// trace slot is excluded so span capture never charges a query's budget.
 func (b *Baggage) usage(prefix string) (bytes, tuples int) {
 	b.ensureDecoded()
 	for _, in := range b.insts {
 		for _, slot := range in.order {
-			if slot == DropSlot || queryPrefix(slot) != prefix {
+			if slot == DropSlot || slot == TraceSlot || queryPrefix(slot) != prefix {
 				continue
 			}
 			s := in.slots[slot]
@@ -214,7 +233,7 @@ func (b *Baggage) victim(prefix string) (string, *Set) {
 	var bestSlot string
 	var best *Set
 	for _, slot := range act.order {
-		if slot == DropSlot || queryPrefix(slot) != prefix {
+		if slot == DropSlot || slot == TraceSlot || queryPrefix(slot) != prefix {
 			continue
 		}
 		s := act.slots[slot]

@@ -232,6 +232,50 @@ func TestDropSlotExcludedFromUsageAndEviction(t *testing.T) {
 	}
 }
 
+func TestTraceSlotNeverEvictedNorDoubleCounted(t *testing.T) {
+	// The reserved span-frontier slot rides in the same baggage as query
+	// data. A query exhausting its budget must evict its own groups, never
+	// the trace slot, and the query's reported+dropped reconciliation must
+	// be unaffected by the trace slot's presence.
+	b := New()
+	frontier := func(bag *Baggage, trace, span int64) {
+		bag.PackBudgeted(TraceSlot, TraceSpec, Budget{}, tuple.Tuple{tuple.Int(trace), tuple.Int(span), tuple.Int(span * 10)})
+	}
+	frontier(b, 7, 1)
+	tight := Budget{MaxBytes: -1, MaxTuples: 3}
+	const total = 9
+	for i := 0; i < total; i++ {
+		b.PackBudgeted("q1.a", aggSpec(), tight, kv(fmt.Sprintf("k%d", i), int64(i)))
+		frontier(b, 7, int64(i+2)) // interleave span packs with query packs
+	}
+	// The trace slot survives with exactly one (FRONTIER) pair.
+	tr := b.Unpack(TraceSlot)
+	if len(tr) != 1 || tr[0][0].Int() != 7 || tr[0][1].Int() != int64(total+1) {
+		t.Fatalf("trace slot = %v, want single frontier pair (7, %d)", tr, total+1)
+	}
+	// reported + dropped reconciles exactly; no tombstone names the trace slot.
+	got := b.Unpack("q1.a")
+	drops := b.DropRecords("q1")
+	if len(got)+len(drops) != total {
+		t.Fatalf("reported %d + dropped %d != total %d", len(got), len(drops), total)
+	}
+	for _, d := range b.DropRecords("") {
+		if d.Slot == TraceSlot {
+			t.Fatalf("trace slot appears in drop accounting: %v", d)
+		}
+	}
+	// The trace slot contributes nothing to any query's usage.
+	if bytes, tuples := b.usage("q1"); tuples > 3 {
+		t.Fatalf("usage (%d bytes, %d tuples) should exclude the trace slot", bytes, tuples)
+	}
+	// Even a pack scoped to the trace slot's own prefix finds no victim
+	// there: enforce must return without evicting or looping.
+	st := b.PackBudgeted(TraceSlot, TraceSpec, Budget{MaxBytes: 1, MaxTuples: 1}, tuple.Tuple{tuple.Int(7), tuple.Int(99), tuple.Int(990)})
+	if st.EvictedGroups != 0 || st.RefusedTuples != 0 || st.Packed != 1 {
+		t.Fatalf("trace-slot pack under a tiny budget must not evict: %+v", st)
+	}
+}
+
 func TestUnionSetSemantics(t *testing.T) {
 	b := New()
 	spec := SetSpec{Kind: Union, Fields: tuple.Schema{"v"}}

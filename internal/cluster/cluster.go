@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/simtime"
+	"repro/internal/spans"
 	"repro/internal/tracepoint"
 )
 
@@ -59,11 +60,13 @@ type Cluster struct {
 	PT  *core.PivotTracing
 	cfg Config
 
-	mu     sync.Mutex
-	hosts  map[string]*netsim.Host
-	procs  []*Process
-	byName map[string]*Process // "host/proc"
-	nextID int64
+	mu      sync.Mutex
+	hosts   map[string]*netsim.Host
+	procs   []*Process
+	byName  map[string]*Process // "host/proc"
+	nextID  int64
+	spansOn bool
+	spanCap int
 }
 
 // New creates an empty cluster.
@@ -87,6 +90,25 @@ func New(env *simtime.Env, cfg Config) *Cluster {
 		}
 	})
 	return c
+}
+
+// EnableSpans turns on causal span capture across the deployment: every
+// monitored process records spans at tracepoint crossings (ring capacity
+// per agent; <= 0 selects the agent default) and the frontend
+// reconstructs per-request DAGs, returned here as the builder. Processes
+// started after this call are enabled as they start.
+func (c *Cluster) EnableSpans(capacity int) *spans.Builder {
+	c.mu.Lock()
+	c.spansOn = true
+	c.spanCap = capacity
+	procs := append([]*Process(nil), c.procs...)
+	c.mu.Unlock()
+	for _, p := range procs {
+		if p.Agent != nil {
+			p.Agent.EnableSpans(uint64(p.Info.ProcID)<<32, capacity)
+		}
+	}
+	return c.PT.EnableTraceCollection()
 }
 
 // clock adapts the simulation environment to the tracepoint.Clock
@@ -173,9 +195,13 @@ func (c *Cluster) start(hostName, procName string, monitored bool) *Process {
 	}
 	c.byName[key] = p
 	c.procs = append(c.procs, p)
+	spansOn, spanCap := c.spansOn, c.spanCap
 	c.mu.Unlock()
 	if monitored {
 		p.Agent = agent.New(c.Env, p.Info, p.Reg, c.Bus, c.cfg.ReportInterval)
+		if spansOn {
+			p.Agent.EnableSpans(uint64(p.Info.ProcID)<<32, spanCap)
+		}
 		// Replay standing queries so late-started processes participate.
 		for _, msg := range c.PT.Installs() {
 			p.Agent.Deliver(msg)

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/querygen"
+	"repro/internal/simtime"
+)
+
+// TestScriptExecDrivesDemoCase runs the fixed demo case through
+// ScriptExec on a simulated cluster with span capture enabled: every
+// scripted event must be stamped by the executor, and each Run must
+// reconstruct as its own trace.
+func TestScriptExecDrivesDemoCase(t *testing.T) {
+	c := querygen.DemoCase()
+	var (
+		runErrs []error
+		traces  int
+		spans   int64
+	)
+	env := simtime.NewEnv()
+	env.Run(func() {
+		cfg := DefaultConfig()
+		cfg.ReportInterval = 5 * time.Millisecond
+		cl := New(env, cfg)
+		builder := cl.EnableSpans(0)
+		x := NewScriptExec(cl, c)
+		for i := 0; i < 2; i++ {
+			if err := x.Run(); err != nil {
+				runErrs = append(runErrs, err)
+				return
+			}
+			env.Sleep(time.Millisecond)
+		}
+		env.Sleep(3 * cfg.ReportInterval)
+		cl.FlushAgents()
+		traces = len(builder.TraceIDs())
+		for _, p := range x.Procs {
+			spans += p.Agent.Stats().SpansCaptured
+		}
+	})
+	for _, err := range runErrs {
+		t.Fatal(err)
+	}
+	for i := range c.Events {
+		if !c.Events[i].Stamped {
+			t.Fatalf("event %d was never stamped by the executor", i)
+		}
+		if c.Events[i].Host == "" || c.Events[i].ProcName == "" {
+			t.Fatalf("event %d stamped without process identity: %+v", i, c.Events[i])
+		}
+	}
+	if traces != 2 {
+		t.Fatalf("want 2 traces (one per Run), got %d", traces)
+	}
+	// 4 crossings per request × 2 requests, split across the 3 agents.
+	if spans != 8 {
+		t.Fatalf("want 8 captured spans, got %d", spans)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/plan"
 	"repro/internal/query"
+	"repro/internal/spans"
 	"repro/internal/telemetry"
 	"repro/internal/tracepoint"
 	"repro/internal/tuple"
@@ -45,10 +46,23 @@ type PivotTracing struct {
 
 	metaWeave *tracepoint.Tracepoint // "tracepoint.Weave", nil until enabled
 
+	// spanBuilder collects SpanBatch frames into per-request DAGs; nil
+	// until EnableTraceCollection. explain holds the latest per-process
+	// ExplainStats snapshot keyed by (query, host, proc).
+	spanBuilder *spans.Builder
+	explainMu   sync.Mutex
+	explain     map[explainKey]agent.ExplainStats
+
 	resultsSub    bus.Subscription
 	healthSub     bus.Subscription
 	statusSub     bus.Subscription
 	quarantineSub bus.Subscription
+	traceSub      bus.Subscription
+}
+
+// explainKey identifies one process's ExplainStats stream for one query.
+type explainKey struct {
+	query, host, proc string
 }
 
 // New creates a frontend bound to the bus and the master tracepoint
@@ -73,7 +87,51 @@ func New(b *bus.Bus, reg *tracepoint.Registry) *PivotTracing {
 	pt.healthSub = b.Subscribe(agent.HealthTopic, pt.onHeartbeat)
 	pt.statusSub = b.Subscribe(agent.StatusRequestTopic, pt.onStatusRequest)
 	pt.quarantineSub = b.Subscribe(agent.QuarantineTopic, pt.onQuarantine)
+	pt.traceSub = b.Subscribe(agent.TraceTopic, pt.onTrace)
 	return pt
+}
+
+// EnableTraceCollection starts collecting agent-shipped spans into
+// per-request DAGs. Explain stats are always collected (they are tiny and
+// only flow while agents have span capture enabled); span collection is
+// opt-in because trace volume scales with request rate.
+func (pt *PivotTracing) EnableTraceCollection() *spans.Builder {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	if pt.spanBuilder == nil {
+		pt.spanBuilder = spans.NewBuilder()
+	}
+	return pt.spanBuilder
+}
+
+// Traces returns the frontend's span DAG builder, or nil if trace
+// collection was never enabled.
+func (pt *PivotTracing) Traces() *spans.Builder {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	return pt.spanBuilder
+}
+
+// onTrace handles TraceTopic frames: span batches feed the DAG builder
+// (when enabled), explain snapshots replace the previous one from the same
+// (query, host, proc) — counters are cumulative, so latest wins.
+func (pt *PivotTracing) onTrace(msg any) {
+	switch m := msg.(type) {
+	case agent.SpanBatch:
+		pt.mu.Lock()
+		b := pt.spanBuilder
+		pt.mu.Unlock()
+		if b != nil {
+			b.AddBatch(m.Spans)
+		}
+	case agent.ExplainStats:
+		pt.explainMu.Lock()
+		if pt.explain == nil {
+			pt.explain = make(map[explainKey]agent.ExplainStats)
+		}
+		pt.explain[explainKey{m.QueryID, m.Host, m.ProcName}] = m
+		pt.explainMu.Unlock()
+	}
 }
 
 // Registry returns the master tracepoint registry.
@@ -112,6 +170,7 @@ type Installed struct {
 	limits      advice.Limits
 	drops       map[baggage.DropRecord]bool // union of reported eviction tombstones
 	quarantines []agent.Quarantine
+	mergeNS     int64 // cumulative wall-clock ns spent merging this query's reports
 }
 
 // Install parses, compiles, and installs a query with the Table 3
@@ -284,6 +343,7 @@ func (pt *PivotTracing) mergeReport(r agent.Report) {
 	pt.reportsMerged.Inc()
 	pt.groupsMerged.Add(int64(len(r.Groups)))
 	pt.rawsMerged.Add(int64(len(r.Raws)))
+	mergeStart := time.Now()
 	h.mu.Lock()
 	if h.firstResult < 0 {
 		h.firstResult = time.Since(h.installedAt)
@@ -304,6 +364,7 @@ func (pt *PivotTracing) mergeReport(r agent.Report) {
 	}
 	var listeners []func(agent.Report)
 	listeners = append(listeners, h.listeners...)
+	h.mergeNS += int64(time.Since(mergeStart))
 	h.mu.Unlock()
 	for _, fn := range listeners {
 		fn(r)
@@ -462,6 +523,70 @@ func (h *Installed) CostReport() string {
 	return b.String()
 }
 
+// ExplainAnalyze renders the compiled plan with live per-operator
+// execution counters, followed by the frontend's merge accounting and —
+// when agents ship ExplainStats (span capture enabled) — a per-process
+// flush breakdown. The operator counters come from the in-process
+// advice.Cost atomics, which are globally exact within one OS process
+// (including the whole simulated cluster, whose bus passes Program
+// pointers); the per-process rows are each worker's own view and are
+// rendered as a breakdown, never summed into the operator lines. In a
+// shared-pointer deployment that breakdown degenerates: every process
+// reports the same global counters (only the flush timings are truly
+// per-process); over a TCP bus each worker decodes its own Program copy
+// and the rows are genuinely per-process.
+func (h *Installed) ExplainAnalyze() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "EXPLAIN ANALYZE %s:\n\n", h.Name)
+	b.WriteString(h.Plan.ExplainAnalyze())
+	h.mu.Lock()
+	reports, mergeNS := h.reports, h.mergeNS
+	rows := int64(len(h.global.Rows()))
+	dropped := 0
+	for d := range h.drops {
+		if d.Key != "" || !h.wholeSlotShadowedLocked(d.Slot) {
+			dropped++
+		}
+	}
+	h.mu.Unlock()
+	fmt.Fprintf(&b, "\n\nMERGE at frontend  [reports=%d rows=%d dropped-groups=%d merge=%s]",
+		reports, rows, dropped, time.Duration(mergeNS))
+
+	h.pt.explainMu.Lock()
+	var procs []agent.ExplainStats
+	for k, es := range h.pt.explain {
+		if k.query == h.Name {
+			procs = append(procs, es)
+		}
+	}
+	h.pt.explainMu.Unlock()
+	if len(procs) > 0 {
+		sort.Slice(procs, func(i, j int) bool {
+			if procs[i].Host != procs[j].Host {
+				return procs[i].Host < procs[j].Host
+			}
+			return procs[i].ProcName < procs[j].ProcName
+		})
+		fmt.Fprintf(&b, "\n\nper-process agent breakdown:\n")
+		fmt.Fprintf(&b, "  %-24s %-36s %10s %9s %9s %9s %9s\n",
+			"host/proc", "tracepoint", "fires", "filtered", "packed", "emitted", "flush")
+		for _, es := range procs {
+			loc := es.Host + "/" + es.ProcName
+			for i, op := range es.Ops {
+				flush := ""
+				if i == 0 {
+					flush = time.Duration(es.FlushNS).String()
+				}
+				fmt.Fprintf(&b, "  %-24s %-36s %10d %9d %9d %9d %9s\n",
+					loc, op.Tracepoint, op.Invocations, op.TuplesFiltered,
+					op.TuplesPacked, op.TuplesEmitted, flush)
+				loc = ""
+			}
+		}
+	}
+	return b.String()
+}
+
 // Uninstall removes the query's advice from all agents. The handle's
 // accumulated results remain readable.
 func (h *Installed) Uninstall() {
@@ -478,4 +603,5 @@ func (pt *PivotTracing) Close() {
 	pt.bus.Unsubscribe(pt.healthSub)
 	pt.bus.Unsubscribe(pt.statusSub)
 	pt.bus.Unsubscribe(pt.quarantineSub)
+	pt.bus.Unsubscribe(pt.traceSub)
 }

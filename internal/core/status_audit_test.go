@@ -1,0 +1,55 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/agent"
+)
+
+// TestStatColumnsCoverHeartbeat is the ptstat column audit: every field
+// of agent.Stats must have an entry in statColumns (an empty column is a
+// deliberate, commented no-render decision), and every named column must
+// actually appear in the rendered agent-table header. When the heartbeat
+// grows a counter, this fails until someone decides how ptstat shows it.
+func TestStatColumnsCoverHeartbeat(t *testing.T) {
+	st := reflect.TypeOf(agent.Stats{})
+	fields := make(map[string]bool, st.NumField())
+	for i := 0; i < st.NumField(); i++ {
+		fields[st.Field(i).Name] = true
+	}
+	for name := range fields {
+		if _, ok := statColumns[name]; !ok {
+			t.Errorf("agent.Stats.%s has no ptstat column decision; add it to statColumns (an empty column with a reason comment is a valid decision)", name)
+		}
+	}
+	for name := range statColumns {
+		if !fields[name] {
+			t.Errorf("statColumns names %q, which is no longer a field of agent.Stats", name)
+		}
+	}
+
+	out := RenderStatus(Status{Agents: []AgentHealth{{Host: "h", ProcName: "p"}}})
+	lines := strings.Split(out, "\n")
+	if len(lines) < 2 {
+		t.Fatalf("RenderStatus output too short:\n%s", out)
+	}
+	header := make(map[string]bool)
+	for _, col := range strings.Fields(lines[1]) {
+		header[col] = true
+	}
+	seen := make(map[string]string) // column -> first field claiming it
+	for field, col := range statColumns {
+		if col == "" {
+			continue
+		}
+		if !header[col] {
+			t.Errorf("statColumns maps agent.Stats.%s to column %q, which is missing from the rendered agent-table header:\n%s", field, col, lines[1])
+		}
+		if prev, dup := seen[col]; dup {
+			t.Errorf("column %q claimed by both agent.Stats.%s and agent.Stats.%s", col, prev, field)
+		}
+		seen[col] = field
+	}
+}

@@ -80,6 +80,22 @@ func (p *Plan) Explain() string {
 	return b.String()
 }
 
+// ExplainAnalyze renders the compiled advice like Explain, but with each
+// operator annotated by its live execution counters (advice.Cost) — the
+// per-operator half of EXPLAIN ANALYZE. Counters are shared by every woven
+// copy of a program within this OS process; in a TCP-distributed deployment
+// the agent-shipped ExplainStats carry each worker's counters instead.
+func (p *Plan) ExplainAnalyze() string {
+	var b strings.Builder
+	for i, prog := range p.Programs {
+		if i > 0 {
+			b.WriteString("\n\n")
+		}
+		fmt.Fprintf(&b, "A%d at %s:\n%s", i+1, prog.Tracepoint, prog.AnnotatedString())
+	}
+	return b.String()
+}
+
 // Compile resolves q against the registry and named queries and produces
 // the advice plan.
 func Compile(q *query.Query, reg *tracepoint.Registry, named map[string]*query.Query, opts Options) (*Plan, error) {

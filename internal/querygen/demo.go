@@ -1,0 +1,60 @@
+package querygen
+
+import (
+	"time"
+
+	"repro/internal/tuple"
+)
+
+// DemoCase is the fixed, hand-built case shared by the cmd demo tools
+// (pttrace -demo, ptq -explain-analyze) and the tracing acceptance
+// tests: a storage-style request with a known split/join shape, so the
+// reconstructed span DAG can be checked node by node.
+//
+// Virtual timeline (delays accumulate on one clock; transfers add small
+// simulated network time on top):
+//
+//	t≈1ms   Demo.Request  fires at h0/api      (root span)
+//	        split; both branches transfer to the datanodes
+//	t≈3ms   Demo.Read     fires at h1/dn1      (parent: Request)
+//	t≈6ms   Demo.Read     fires at h2/dn2      (parent: Request)
+//	        join; transfer back to the api tier
+//	t≈10ms  Demo.Respond  fires at h0/api      (parents: both Reads)
+//
+// The query is a raw happened-before join — no grouping, no aggregation —
+// so the pipeline emits exactly one tuple per (Read -> Respond) pair and
+// the EMIT counter must equal the oracle's row count exactly: the
+// reconciliation the EXPLAIN ANALYZE acceptance test pins.
+func DemoCase() *Case {
+	c := &Case{Seed: -1}
+	c.TPs = []TP{
+		{Name: "Demo.Request", Fields: []Field{{"size", tuple.KindInt}}},
+		{Name: "Demo.Read", Fields: []Field{{"bytes", tuple.KindInt}}},
+		{Name: "Demo.Respond", Fields: []Field{{"status", tuple.KindString}}},
+	}
+	const reqTP, readTP, respTP = 0, 1, 2
+	c.NumProcs = 3
+	c.Hosts = []string{"h0", "h1", "h2"}
+	c.ProcNames = []string{"api", "dn1", "dn2"}
+	c.QueryText = "From r In Demo.Respond Join rd In Demo.Read On rd -> r Select rd.host, rd.bytes"
+
+	fire := func(branch, tp, proc int, delay time.Duration, args ...tuple.Value) {
+		ev := Event{ID: len(c.Events), TP: tp, Proc: proc, Args: args}
+		c.Events = append(c.Events, ev)
+		c.Ops = append(c.Ops, Op{Kind: OpFire, Delay: delay, Branch: branch, Event: ev.ID})
+	}
+	fire(0, reqTP, 0, time.Millisecond, tuple.Int(4096))
+	c.Ops = append(c.Ops,
+		Op{Kind: OpSplit, Branch: 0},
+		Op{Kind: OpTransfer, Branch: 0, Proc: 1},
+		Op{Kind: OpTransfer, Branch: 1, Proc: 2},
+	)
+	fire(0, readTP, 1, 2*time.Millisecond, tuple.Int(1024))
+	fire(1, readTP, 2, 3*time.Millisecond, tuple.Int(2048))
+	c.Ops = append(c.Ops,
+		Op{Kind: OpJoin, Branch: 0, Other: 1},
+		Op{Kind: OpTransfer, Branch: 0, Proc: 0},
+	)
+	fire(0, respTP, 0, 4*time.Millisecond, tuple.String("ok"))
+	return c
+}

@@ -47,6 +47,15 @@ type PanicSink interface {
 	AdvicePanicked(tpName string, recovered any)
 }
 
+// SpanSink observes every Here crossing of a tracepoint, woven or not —
+// the hook span capture attaches via Registry.SetSpanSink. While no sink
+// is attached (the default), the disabled fast path pays one extra atomic
+// nil-load; the sink itself derives everything (baggage, process identity,
+// clock) from ctx, so nothing is computed when span capture is off.
+type SpanSink interface {
+	TracepointCrossed(ctx context.Context, tpName string)
+}
+
 // Tracepoint identifies one or more locations in the system code and the
 // variables exported there. Tracepoint definitions are not part of system
 // code; they are named entry points that queries refer to.
@@ -66,6 +75,7 @@ type Tracepoint struct {
 	invocations atomic.Int64
 	panics      atomic.Int64
 	meters      atomic.Pointer[Meters]
+	spanSink    atomic.Pointer[SpanSink]
 
 	// pool recycles the schema-width tuple Here materializes per enabled
 	// fire, so steady-state enabled crossings allocate nothing for it.
@@ -111,10 +121,16 @@ func (tp *Tracepoint) Here(ctx context.Context, vals ...any) {
 		if m := tp.meters.Load(); m != nil {
 			m.Hits.Inc()
 		}
+		if s := tp.spanSink.Load(); s != nil {
+			(*s).TracepointCrossed(ctx, tp.Name)
+		}
 		return
 	}
 	if m := tp.meters.Load(); m != nil {
 		m.Hits.Inc()
+	}
+	if s := tp.spanSink.Load(); s != nil {
+		(*s).TracepointCrossed(ctx, tp.Name)
 	}
 	tp.invocations.Add(1)
 	p, _ := tp.pool.Get().(*pooledTuple)
@@ -172,8 +188,29 @@ type Registry struct {
 	tps   map[string]*Tracepoint
 	hooks []func(*Tracepoint)
 
-	tel     *telemetry.Registry
-	weaveNS atomic.Pointer[telemetry.Histogram]
+	tel      *telemetry.Registry
+	spanSink *SpanSink
+	weaveNS  atomic.Pointer[telemetry.Histogram]
+}
+
+// SetSpanSink attaches a span sink to the registry: every tracepoint,
+// existing and future, reports its Here crossings to s. Passing nil
+// detaches the sink, restoring the single-load disabled fast path.
+func (r *Registry) SetSpanSink(s SpanSink) {
+	var p *SpanSink
+	if s != nil {
+		p = &s
+	}
+	r.mu.Lock()
+	r.spanSink = p
+	existing := make([]*Tracepoint, 0, len(r.tps))
+	for _, tp := range r.tps {
+		existing = append(existing, tp)
+	}
+	r.mu.Unlock()
+	for _, tp := range existing {
+		tp.spanSink.Store(p)
+	}
 }
 
 // SetTelemetry attaches self-telemetry to the registry: every tracepoint,
@@ -249,6 +286,9 @@ func (r *Registry) Define(name string, exports ...string) *Tracepoint {
 	}
 	if r.tel != nil {
 		tp.meters.Store(metersFor(r.tel, name))
+	}
+	if r.spanSink != nil {
+		tp.spanSink.Store(r.spanSink)
 	}
 	r.tps[name] = tp
 	var hooks []func(*Tracepoint)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/query"
 	"repro/internal/randtest"
+	"repro/internal/spans"
 	"repro/internal/tuple"
 )
 
@@ -67,11 +68,36 @@ func messageSeeds(t testing.TB) map[string][]byte {
 				{QueryID: "Q2", Host: "h", ProcName: "p", Time: 5 * time.Second},
 			},
 		}),
+		"span-batch": mustMarshal(agent.SpanBatch{
+			Host: "h", ProcName: "p", Time: 5 * time.Second,
+			Spans: []spans.Span{
+				{TraceID: 0xdead, SpanID: 0xdead, Tracepoint: "root",
+					Host: "h", ProcName: "p", Start: time.Millisecond},
+				{TraceID: 0xdead, SpanID: 0xbeef, Parents: []uint64{0xdead, 1 << 63},
+					Tracepoint: "child", Host: "h2", ProcName: "p2",
+					Start: 2 * time.Millisecond, Duration: time.Millisecond},
+			},
+		}),
+		"explain-stats": mustMarshal(agent.ExplainStats{
+			QueryID: "Q1", Host: "h", ProcName: "p", Time: 5 * time.Second, FlushNS: 1234,
+			Ops: []agent.OpStats{{
+				Tracepoint: "Tp", Invocations: 10, Sampled: 1, DroppedByJoin: 2,
+				TuplesFiltered: 3, TuplesPacked: 4, PackedBytes: 500, PackRefused: 1,
+				EvictedGroups: 1, EvictedTuples: 2, EvictedBytes: 64,
+				TuplesEmitted: 5, Panics: 0,
+			}},
+		}),
 		"bad-tag": {0x7f},
 		// Install claiming 2^28 programs in a one-byte body.
 		"huge-count": {TagInstall, 0x01, 'q', 0xff, 0xff, 0xff, 0x7f, 0x00},
 		// Batch claiming 2^28 reports in a one-byte body.
 		"huge-batch": {TagReportBatch, 0x01, 'h', 0x01, 'p', 0x02, 0xff, 0xff, 0xff, 0x7f, 0x00},
+		// SpanBatch claiming 2^28 spans in a one-byte body.
+		"huge-span-batch": {TagSpanBatch, 0x01, 'h', 0x01, 'p', 0x02, 0xff, 0xff, 0xff, 0x7f, 0x00},
+		// Span claiming 2^28 parents in a one-byte body.
+		"huge-parents": {TagSpanBatch, 0x01, 'h', 0x01, 'p', 0x02, 0x01, 0x05, 0x06, 0xff, 0xff, 0xff, 0x7f, 0x00},
+		// ExplainStats claiming 2^28 ops in a one-byte body.
+		"huge-explain": {TagExplainStats, 0x01, 'q', 0x01, 'h', 0x01, 'p', 0x02, 0x04, 0xff, 0xff, 0xff, 0x7f, 0x00},
 	}
 }
 

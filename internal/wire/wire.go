@@ -21,6 +21,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/baggage"
 	"repro/internal/query"
+	"repro/internal/spans"
 	"repro/internal/tuple"
 )
 
@@ -510,11 +511,86 @@ const (
 	TagRenew          = 7
 	TagQuarantine     = 8
 	TagReportBatch    = 9
+	TagSpanBatch      = 10
+	TagExplainStats   = 11
 )
 
 // heartbeatInts is how many varints a Heartbeat carries after its two
 // strings: Time, Interval, Queries, then every Stats field in order.
-const heartbeatInts = 18
+const heartbeatInts = 21
+
+// opStatsInts is how many varints one OpStats carries after its tracepoint
+// name: every counter field in declaration order.
+const opStatsInts = 12
+
+// appendSpan encodes one span record (no tag byte). Ids are raw uvarints
+// (they are uniformly-mixed 64-bit values; zig-zag would only cost bytes).
+func appendSpan(buf []byte, sp *spans.Span) []byte {
+	buf = binary.AppendUvarint(buf, sp.TraceID)
+	buf = binary.AppendUvarint(buf, sp.SpanID)
+	buf = binary.AppendUvarint(buf, uint64(len(sp.Parents)))
+	for _, p := range sp.Parents {
+		buf = binary.AppendUvarint(buf, p)
+	}
+	buf = appendString(buf, sp.Tracepoint)
+	buf = appendString(buf, sp.Host)
+	buf = appendString(buf, sp.ProcName)
+	buf = binary.AppendVarint(buf, int64(sp.Start))
+	buf = binary.AppendVarint(buf, int64(sp.Duration))
+	return buf
+}
+
+// decodeSpan decodes one span record (no tag byte).
+func decodeSpan(buf []byte) (spans.Span, []byte, error) {
+	var sp spans.Span
+	var err error
+	ids := [2]uint64{}
+	for i := range ids {
+		v, k := binary.Uvarint(buf)
+		if k <= 0 {
+			return sp, nil, errTruncated
+		}
+		ids[i] = v
+		buf = buf[k:]
+	}
+	sp.TraceID, sp.SpanID = ids[0], ids[1]
+	n, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return sp, nil, errTruncated
+	}
+	buf = buf[k:]
+	if n > 0 {
+		sp.Parents = make([]uint64, 0, capHint(n, buf))
+	}
+	for i := uint64(0); i < n; i++ {
+		v, k := binary.Uvarint(buf)
+		if k <= 0 {
+			return sp, nil, errTruncated
+		}
+		sp.Parents = append(sp.Parents, v)
+		buf = buf[k:]
+	}
+	if sp.Tracepoint, buf, err = decodeString(buf); err != nil {
+		return sp, nil, err
+	}
+	if sp.Host, buf, err = decodeString(buf); err != nil {
+		return sp, nil, err
+	}
+	if sp.ProcName, buf, err = decodeString(buf); err != nil {
+		return sp, nil, err
+	}
+	times := [2]int64{}
+	for i := range times {
+		v, k := binary.Varint(buf)
+		if k <= 0 {
+			return sp, nil, errTruncated
+		}
+		times[i] = v
+		buf = buf[k:]
+	}
+	sp.Start, sp.Duration = time.Duration(times[0]), time.Duration(times[1])
+	return sp, buf, nil
+}
 
 // appendReport encodes one report body (no tag byte); shared by the
 // TagReport and TagReportBatch encodings.
@@ -676,6 +752,9 @@ func Marshal(msg any) ([]byte, error) {
 		buf = binary.AppendVarint(buf, m.Stats.BaggageGroupsDropped)
 		buf = binary.AppendVarint(buf, m.Stats.BaggageTuplesDropped)
 		buf = binary.AppendVarint(buf, m.Stats.BaggageBytesDropped)
+		buf = binary.AppendVarint(buf, m.Stats.SpansCaptured)
+		buf = binary.AppendVarint(buf, m.Stats.SpansDropped)
+		buf = binary.AppendVarint(buf, m.Stats.SpanBatches)
 		return buf, nil
 	case agent.StatusRequest:
 		buf := []byte{TagStatusRequest}
@@ -695,6 +774,40 @@ func Marshal(msg any) ([]byte, error) {
 		buf = binary.AppendUvarint(buf, uint64(len(m.Reports)))
 		for i := range m.Reports {
 			buf = appendReport(buf, &m.Reports[i])
+		}
+		return buf, nil
+	case agent.SpanBatch:
+		buf := []byte{TagSpanBatch}
+		buf = appendString(buf, m.Host)
+		buf = appendString(buf, m.ProcName)
+		buf = binary.AppendVarint(buf, int64(m.Time))
+		buf = binary.AppendUvarint(buf, uint64(len(m.Spans)))
+		for i := range m.Spans {
+			buf = appendSpan(buf, &m.Spans[i])
+		}
+		return buf, nil
+	case agent.ExplainStats:
+		buf := []byte{TagExplainStats}
+		buf = appendString(buf, m.QueryID)
+		buf = appendString(buf, m.Host)
+		buf = appendString(buf, m.ProcName)
+		buf = binary.AppendVarint(buf, int64(m.Time))
+		buf = binary.AppendVarint(buf, m.FlushNS)
+		buf = binary.AppendUvarint(buf, uint64(len(m.Ops)))
+		for _, op := range m.Ops {
+			buf = appendString(buf, op.Tracepoint)
+			buf = binary.AppendVarint(buf, op.Invocations)
+			buf = binary.AppendVarint(buf, op.Sampled)
+			buf = binary.AppendVarint(buf, op.DroppedByJoin)
+			buf = binary.AppendVarint(buf, op.TuplesFiltered)
+			buf = binary.AppendVarint(buf, op.TuplesPacked)
+			buf = binary.AppendVarint(buf, op.PackedBytes)
+			buf = binary.AppendVarint(buf, op.PackRefused)
+			buf = binary.AppendVarint(buf, op.EvictedGroups)
+			buf = binary.AppendVarint(buf, op.EvictedTuples)
+			buf = binary.AppendVarint(buf, op.EvictedBytes)
+			buf = binary.AppendVarint(buf, op.TuplesEmitted)
+			buf = binary.AppendVarint(buf, op.Panics)
 		}
 		return buf, nil
 	default:
@@ -805,6 +918,7 @@ func Unmarshal(buf []byte) (any, error) {
 			RawsDropped: ints[13], GroupsOverflowed: ints[14],
 			BaggageGroupsDropped: ints[15], BaggageTuplesDropped: ints[16],
 			BaggageBytesDropped: ints[17],
+			SpansCaptured:       ints[18], SpansDropped: ints[19], SpanBatches: ints[20],
 		}
 		return m, nil
 	case TagStatusRequest:
@@ -857,6 +971,85 @@ func Unmarshal(buf []byte) (any, error) {
 				return nil, err
 			}
 			m.Reports = append(m.Reports, r)
+		}
+		return m, nil
+	case TagSpanBatch:
+		var m agent.SpanBatch
+		var err error
+		if m.Host, buf, err = decodeString(buf); err != nil {
+			return nil, err
+		}
+		if m.ProcName, buf, err = decodeString(buf); err != nil {
+			return nil, err
+		}
+		tns, k := binary.Varint(buf)
+		if k <= 0 {
+			return nil, errTruncated
+		}
+		m.Time = time.Duration(tns)
+		buf = buf[k:]
+		n, k := binary.Uvarint(buf)
+		if k <= 0 {
+			return nil, errTruncated
+		}
+		buf = buf[k:]
+		m.Spans = make([]spans.Span, 0, capHint(n, buf))
+		for i := uint64(0); i < n; i++ {
+			var sp spans.Span
+			if sp, buf, err = decodeSpan(buf); err != nil {
+				return nil, err
+			}
+			m.Spans = append(m.Spans, sp)
+		}
+		return m, nil
+	case TagExplainStats:
+		var m agent.ExplainStats
+		var err error
+		if m.QueryID, buf, err = decodeString(buf); err != nil {
+			return nil, err
+		}
+		if m.Host, buf, err = decodeString(buf); err != nil {
+			return nil, err
+		}
+		if m.ProcName, buf, err = decodeString(buf); err != nil {
+			return nil, err
+		}
+		var hdr [2]int64
+		for i := range hdr {
+			v, k := binary.Varint(buf)
+			if k <= 0 {
+				return nil, errTruncated
+			}
+			hdr[i] = v
+			buf = buf[k:]
+		}
+		m.Time = time.Duration(hdr[0])
+		m.FlushNS = hdr[1]
+		n, k := binary.Uvarint(buf)
+		if k <= 0 {
+			return nil, errTruncated
+		}
+		buf = buf[k:]
+		m.Ops = make([]agent.OpStats, 0, capHint(n, buf))
+		for i := uint64(0); i < n; i++ {
+			var op agent.OpStats
+			if op.Tracepoint, buf, err = decodeString(buf); err != nil {
+				return nil, err
+			}
+			ints := [opStatsInts]int64{}
+			for j := range ints {
+				v, k := binary.Varint(buf)
+				if k <= 0 {
+					return nil, errTruncated
+				}
+				ints[j] = v
+				buf = buf[k:]
+			}
+			op.Invocations, op.Sampled, op.DroppedByJoin = ints[0], ints[1], ints[2]
+			op.TuplesFiltered, op.TuplesPacked, op.PackedBytes = ints[3], ints[4], ints[5]
+			op.PackRefused, op.EvictedGroups, op.EvictedTuples = ints[6], ints[7], ints[8]
+			op.EvictedBytes, op.TuplesEmitted, op.Panics = ints[9], ints[10], ints[11]
+			m.Ops = append(m.Ops, op)
 		}
 		return m, nil
 	default:

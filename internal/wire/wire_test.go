@@ -2,6 +2,7 @@ package wire
 
 import (
 	"context"
+	"reflect"
 	"testing"
 	"time"
 
@@ -277,16 +278,26 @@ func TestGovernanceCodecRoundtrip(t *testing.T) {
 		t.Fatalf("report drops roundtrip = %+v", grep.Drops)
 	}
 
+	// Fill every Stats field with a distinct value via reflection so the
+	// test fails the moment a counter is added to agent.Stats without a
+	// matching wire encode/decode pair: the new field would round-trip to
+	// zero and the struct comparison below would catch it.
 	hb := agent.Heartbeat{
 		Host: "h", ProcName: "p", Time: time.Second, Interval: time.Second, Queries: 2,
-		Stats: agent.Stats{
-			TuplesEmitted: 1, RowsReported: 2, Reports: 3,
-			LeasesExpired: 4, Quarantines: 5, RawsDropped: 6, GroupsOverflowed: 7,
-			BaggageGroupsDropped: 8, BaggageTuplesDropped: 9, BaggageBytesDropped: 10,
-		},
 	}
-	if ghb := roundtrip(hb).(agent.Heartbeat); ghb.Stats != hb.Stats {
-		t.Fatalf("heartbeat stats roundtrip = %+v, want %+v", ghb.Stats, hb.Stats)
+	sv := reflect.ValueOf(&hb.Stats).Elem()
+	for i := 0; i < sv.NumField(); i++ {
+		sv.Field(i).SetInt(int64(i + 1))
+	}
+	ghb := roundtrip(hb).(agent.Heartbeat)
+	if ghb.Stats != hb.Stats {
+		gv := reflect.ValueOf(ghb.Stats)
+		for i := 0; i < sv.NumField(); i++ {
+			if gv.Field(i).Int() != sv.Field(i).Int() {
+				t.Errorf("heartbeat stats field %s: got %d, want %d (missing wire codec support?)",
+					sv.Type().Field(i).Name, gv.Field(i).Int(), sv.Field(i).Int())
+			}
+		}
 	}
 }
 

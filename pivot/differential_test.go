@@ -55,72 +55,6 @@ func TestDifferentialPipelineMatchesOracle(t *testing.T) {
 	randtest.Check(t, n, diffBaseSeed, runDifferentialCase)
 }
 
-// branchState is one live baggage branch during trace execution.
-type branchState struct {
-	bag  *baggage.Baggage
-	proc int
-}
-
-// clusterExec realizes a generated trace script on a simulated cluster:
-// fires cross real tracepoints with real baggage contexts, splits and
-// joins use the baggage branch operations, and transfers serialize the
-// baggage across the (netsim) wire into the destination process.
-type clusterExec struct {
-	c        *querygen.Case
-	cl       *cluster.Cluster
-	procs    []*cluster.Process
-	tps      [][]*tracepoint.Tracepoint // [proc][tp]
-	branches map[int]*branchState
-	err      error
-}
-
-func (x *clusterExec) Fire(branch int, ev *querygen.Event) {
-	st := x.branches[branch]
-	if st.proc != ev.Proc && x.err == nil {
-		x.err = fmt.Errorf("branch %d is in proc %d but event %d was generated for proc %d",
-			branch, st.proc, ev.ID, ev.Proc)
-		return
-	}
-	p := x.procs[ev.Proc]
-	ctx := baggage.NewContext(p.Context(), st.bag)
-	args := make([]any, len(ev.Args))
-	for i, v := range ev.Args {
-		args[i] = v
-	}
-	ev.Time = int64(x.cl.Env.Now())
-	ev.Host = p.Info.Host
-	ev.ProcName = p.Info.ProcName
-	ev.ProcID = p.Info.ProcID
-	ev.Stamped = true
-	x.tps[ev.Proc][ev.TP].Here(ctx, args...)
-}
-
-func (x *clusterExec) Split(branch, child int) {
-	st := x.branches[branch]
-	l, r := st.bag.Split()
-	st.bag = l
-	x.branches[child] = &branchState{bag: r, proc: st.proc}
-}
-
-func (x *clusterExec) Join(dst, src int) {
-	d, s := x.branches[dst], x.branches[src]
-	d.bag = baggage.Join(d.bag, s.bag)
-	delete(x.branches, src)
-}
-
-func (x *clusterExec) Transfer(branch, proc int) {
-	st := x.branches[branch]
-	payload := st.bag.Serialize()
-	from, to := x.procs[st.proc].Host, x.procs[proc].Host
-	if from != to {
-		from.Send(to, float64(len(payload))+64)
-	}
-	st.bag = baggage.Deserialize(payload)
-	st.proc = proc
-}
-
-func (x *clusterExec) Delay(d time.Duration) { x.cl.Env.Sleep(d) }
-
 // runDifferentialCase executes one generated case through the pipeline
 // twice (optimized and unoptimized plans) and against the oracle.
 func runDifferentialCase(seed int64) error {
@@ -135,7 +69,7 @@ func runDifferentialCase(seed int64) error {
 		// rounds, exercising the frontend's multi-report merge.
 		cfg.ReportInterval = 5 * time.Millisecond
 		cl := cluster.New(env, cfg)
-		procs, tps := startCaseProcs(cl, c)
+		x := cluster.NewScriptExec(cl, c)
 		hOpt, err := cl.PT.Install(c.QueryText)
 		if err != nil {
 			runErr = fmt.Errorf("install optimized: %w", err)
@@ -146,13 +80,8 @@ func runDifferentialCase(seed int64) error {
 			runErr = fmt.Errorf("install unoptimized: %w", err)
 			return
 		}
-		x := &clusterExec{
-			c: c, cl: cl, procs: procs, tps: tps,
-			branches: map[int]*branchState{0: {bag: baggage.New(), proc: 0}},
-		}
-		c.Execute(x)
-		if x.err != nil {
-			runErr = x.err
+		if err := x.Run(); err != nil {
+			runErr = err
 			return
 		}
 		env.Sleep(3 * cfg.ReportInterval)
@@ -176,25 +105,6 @@ func runDifferentialCase(seed int64) error {
 		return diffError(c, "unoptimized plan", want, gotUnopt)
 	}
 	return nil
-}
-
-// startCaseProcs starts one cluster process per case process and defines
-// the case's tracepoints in each.
-func startCaseProcs(cl *cluster.Cluster, c *querygen.Case) ([]*cluster.Process, [][]*tracepoint.Tracepoint) {
-	procs := make([]*cluster.Process, c.NumProcs)
-	tps := make([][]*tracepoint.Tracepoint, c.NumProcs)
-	for p := range procs {
-		procs[p] = cl.Start(c.Hosts[p], c.ProcNames[p])
-		tps[p] = make([]*tracepoint.Tracepoint, len(c.TPs))
-		for ti, tp := range c.TPs {
-			names := make([]string, len(tp.Fields))
-			for i, f := range tp.Fields {
-				names[i] = f.Name
-			}
-			tps[p][ti] = procs[p].Define(tp.Name, names...)
-		}
-	}
-	return procs, tps
 }
 
 // oracleRows evaluates the case's query with the reference evaluator
@@ -252,7 +162,7 @@ func runBudgetedDifferentialCase(seed int64) error {
 		cfg := cluster.DefaultConfig()
 		cfg.ReportInterval = 5 * time.Millisecond
 		cl := cluster.New(env, cfg)
-		procs, tps := startCaseProcs(cl, c)
+		x := cluster.NewScriptExec(cl, c)
 		h, err := cl.PT.InstallNamed("QB", c.QueryText, plan.Options{
 			Optimize: true,
 			Safety:   advice.Safety{Budget: baggage.Budget{MaxTuples: budget}},
@@ -261,13 +171,8 @@ func runBudgetedDifferentialCase(seed int64) error {
 			runErr = fmt.Errorf("install budgeted: %w", err)
 			return
 		}
-		x := &clusterExec{
-			c: c, cl: cl, procs: procs, tps: tps,
-			branches: map[int]*branchState{0: {bag: baggage.New(), proc: 0}},
-		}
-		c.Execute(x)
-		if x.err != nil {
-			runErr = x.err
+		if err := x.Run(); err != nil {
+			runErr = err
 			return
 		}
 		env.Sleep(3 * cfg.ReportInterval)

@@ -40,6 +40,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/core"
 	"repro/internal/plan"
+	"repro/internal/spans"
 	"repro/internal/telemetry"
 	"repro/internal/tracepoint"
 	"repro/internal/tuple"
@@ -159,6 +160,28 @@ func (pt *PT) EnableSelfTelemetry() *telemetry.Registry {
 	serializeTP.Store(pt.Registry.Define("baggage.Serialize", "bytes"))
 	return tel
 }
+
+// spanSeedSeq disambiguates span-ID seeds when several runtimes share one
+// OS process (tests, simulated clusters): same PID, distinct streams.
+var spanSeedSeq atomic.Uint64
+
+// EnableSpans turns on causal span capture for this runtime: every
+// tracepoint crossing on a baggage-carrying context records a span (in a
+// bounded ring of the given capacity; <= 0 selects the default), batches
+// ship on the trace topic at each flush, and the frontend reconstructs
+// per-request DAGs, exposed via Traces(). Enabling spans also makes the
+// agent publish per-query EXPLAIN ANALYZE statistics at each flush (see
+// Query.ExplainAnalyze). The disabled path costs nothing: until this is
+// called, crossings never touch the span machinery.
+func (pt *PT) EnableSpans(capacity int) *spans.Builder {
+	seed := uint64(pt.info.ProcID)<<32 | spanSeedSeq.Add(1)
+	pt.Agent.EnableSpans(seed, capacity)
+	return pt.Frontend.EnableTraceCollection()
+}
+
+// Traces returns the frontend's request-DAG builder, or nil if EnableSpans
+// was never called.
+func (pt *PT) Traces() *spans.Builder { return pt.Frontend.Traces() }
 
 // Status reports the tracer's own health: per-agent heartbeat ages,
 // per-query progress and cost, and (after EnableSelfTelemetry) the full
@@ -315,7 +338,7 @@ func (pt *PT) ConnectFrontend(busAddr string, opts BusOptions) (disconnect func(
 	link, err = bus.ConnectOptions(pt.Bus, busAddr, wire.BusCodec{},
 		[]string{agent.ControlTopic, agent.StatusResponseTopic},
 		[]string{agent.ResultsTopic, agent.HealthTopic, agent.QuarantineTopic,
-			agent.StatusRequestTopic},
+			agent.StatusRequestTopic, agent.TraceTopic},
 		lopts)
 	if err != nil {
 		return nil, err
@@ -361,8 +384,13 @@ func (pt *PT) ConnectBusWith(busAddr string, opts BusOptions) (disconnect func()
 			return link.Send(agent.ResultsTopic, r)
 		})
 	}
+	// TraceTopic is outbound but deliberately absent from OnDrop below:
+	// spans are best-effort observability and are never retained or
+	// replayed across an outage (the recorder's drop counter still tells
+	// the story).
 	link, err = bus.ConnectOptions(pt.Bus, busAddr, wire.BusCodec{},
-		[]string{agent.ResultsTopic, agent.HealthTopic, agent.QuarantineTopic},
+		[]string{agent.ResultsTopic, agent.HealthTopic, agent.QuarantineTopic,
+			agent.TraceTopic},
 		[]string{agent.ControlTopic},
 		lopts)
 	if err != nil {
