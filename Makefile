@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check fmt vet build test race bench bench-gate stress fuzz-smoke coverage differential safety
+.PHONY: check fmt vet build test race bench bench-gate stress fuzz-smoke coverage differential safety scenarios scenarios-short
 
 check: fmt vet build race fuzz-smoke
 
@@ -59,6 +59,17 @@ coverage:
 	echo "total coverage: $$total% (floor: $$floor%)"; \
 	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
 		{ echo "coverage dropped below the recorded baseline"; exit 1; }
+
+# The ptbench scenario library at the reduced (<=64-host) sizing, under
+# the race detector, plus the byte-identical same-seed report check.
+# Replay a failure with the printed `go run ./cmd/ptbench ...` command.
+scenarios-short:
+	$(GO) test ./internal/scenario -race -run 'TestAllScenariosShort|TestReportDeterminism'
+
+# The full scenario library on thousand-host topologies — the ptbench
+# acceptance run (about half a minute of wall time).
+scenarios:
+	$(GO) run ./cmd/ptbench -all
 
 # The differential query-correctness sweeps (plain and budgeted) under
 # the race detector.

@@ -28,8 +28,10 @@ import (
 	"repro/internal/baggage"
 	"repro/internal/bus"
 	"repro/internal/experiments"
+	"repro/internal/netsim"
 	"repro/internal/plan"
 	"repro/internal/query"
+	"repro/internal/simtime"
 	"repro/internal/telemetry"
 	"repro/internal/tracepoint"
 	"repro/internal/tuple"
@@ -644,4 +646,40 @@ func BenchmarkTable5Overhead(b *testing.B) {
 		open60 = res.Overhead[experiments.CfgBaggage60]["Open"]
 	}
 	b.ReportMetric(open60, "open-60tuple-overhead-pct")
+}
+
+// BenchmarkNetsimEventQueue measures raw event-queue throughput of the
+// network simulator: 64 hosts on a racked topology send flows large
+// enough to ride the shared max-min machinery, so every completion and
+// reshare goes through the engine's timer queue. ns/op here is wall time
+// per simulated flow — the budget that bounds how many requests a
+// thousand-host ptbench scenario can push per second of real time.
+func BenchmarkNetsimEventQueue(b *testing.B) {
+	const hosts = 64
+	b.ReportAllocs()
+	env := simtime.NewEnv()
+	env.Run(func() {
+		net := netsim.New(env)
+		topo := netsim.BuildTopology(net, netsim.TopologyConfig{
+			Racks: 4, HostsPerRack: 16,
+			RackUplink: 4 * netsim.Gbit,
+		})
+		wg := env.NewWaitGroup()
+		per := (b.N + hosts - 1) / hosts
+		for i := 0; i < hosts; i++ {
+			i := i
+			wg.Add(1)
+			env.Go(func() {
+				defer wg.Done()
+				src := topo.Host(i)
+				dst := topo.Host((i + 17) % hosts)
+				for k := 0; k < per; k++ {
+					// Vary sizes so completions interleave and force
+					// reshares instead of draining in lockstep.
+					src.Send(dst, 64e3+float64((i+k)%7)*16e3)
+				}
+			})
+		}
+		wg.Wait()
+	})
 }

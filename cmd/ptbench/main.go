@@ -1,0 +1,107 @@
+// Command ptbench runs the scenario mega-harness: pre-built failure
+// scenarios (limplock disks, hot regions, straggler reducers, cascading
+// failovers, ...) on thousand-host simulated topologies, with every
+// checkpoint asserted through real Pivot Tracing queries.
+//
+// Usage:
+//
+//	go run ./cmd/ptbench -all                # full library, 1024-host topologies
+//	go run ./cmd/ptbench -run limplock -v    # one scenario, verbose
+//	go run ./cmd/ptbench -all -short -seed 7 # reduced CI sizing
+//	go run ./cmd/ptbench -all -json out.json # deterministic JSON report
+//
+// The JSON report is byte-identical across runs with the same seed,
+// scenario set, and host count; exit status is nonzero if any checkpoint
+// fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "run the full scenario library")
+		run      = flag.String("run", "", "comma-separated scenario IDs to run")
+		list     = flag.Bool("list", false, "list scenarios and exit")
+		seed     = flag.Int64("seed", 1, "seed for all scenario randomness")
+		hosts    = flag.Int("hosts", 0, "override topology host count (0 = per-scenario default)")
+		short    = flag.Bool("short", false, "reduced sizing (CI / -race subsets)")
+		jsonPath = flag.String("json", "", "write the deterministic JSON report to this file (- for stdout)")
+		verbose  = flag.Bool("v", false, "per-checkpoint progress on stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range scenario.All() {
+			def := s.DefaultHosts
+			fmt.Printf("%-12s %5d hosts  %s\n", s.ID, def, s.Description)
+		}
+		return
+	}
+
+	var set []*scenario.Scenario
+	switch {
+	case *all:
+		set = scenario.All()
+	case *run != "":
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			s := scenario.ByID(id)
+			if s == nil {
+				fmt.Fprintf(os.Stderr, "ptbench: unknown scenario %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			set = append(set, s)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "ptbench: pass -all, -run <ids>, or -list")
+		os.Exit(2)
+	}
+
+	h := &scenario.Harness{Seed: *seed, Hosts: *hosts, Short: *short}
+	if *verbose {
+		h.Log = os.Stderr
+	}
+	results := h.RunAll(set)
+	rep := scenario.NewReport(*seed, *short, results)
+	rep.Console(os.Stdout)
+
+	if *jsonPath != "" {
+		out, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ptbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *jsonPath == "-" {
+			os.Stdout.Write(out)
+		} else if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ptbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if !rep.Passed {
+		ids := make([]string, 0, len(results))
+		for _, res := range results {
+			if !res.Passed {
+				ids = append(ids, res.ID)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "ptbench: FAILED %s\nreplay: go run ./cmd/ptbench -run %s -seed %d%s\n",
+			strings.Join(ids, ","), strings.Join(ids, ","), *seed, shortFlag(*short))
+		os.Exit(1)
+	}
+}
+
+func shortFlag(short bool) string {
+	if short {
+		return " -short"
+	}
+	return ""
+}

@@ -36,6 +36,12 @@ type Config struct {
 	// costs nothing — the paper's zero-byte default.
 	BaggageFixedCost time.Duration
 	BaggageByteCost  time.Duration
+	// SmallFlowCutoff, when > 0, routes network transfers of at most
+	// that many bytes through netsim's closed-form small-flow path
+	// (see netsim.Network.SetSmallFlowCutoff). Large scenario runs set
+	// this just below their data-read size so control RPCs stay cheap;
+	// zero preserves the exact model everywhere.
+	SmallFlowCutoff float64
 }
 
 // DefaultConfig models the paper's testbed: 1 Gbit NICs, commodity disks,
@@ -80,6 +86,9 @@ func New(env *simtime.Env, cfg Config) *Cluster {
 		byName: make(map[string]*Process),
 	}
 	c.PT = core.New(c.Bus, tracepoint.NewRegistry())
+	if cfg.SmallFlowCutoff > 0 {
+		c.Net.SetSmallFlowCutoff(cfg.SmallFlowCutoff)
+	}
 	// Renew query leases on the virtual clock, as a live frontend would;
 	// lease expiry (a dead frontend) is exercised by the chaos tests over
 	// the TCP bus, where the frontend really can disappear.
@@ -128,6 +137,51 @@ func (c *Cluster) Host(name string) *netsim.Host {
 		c.hosts[name] = h
 	}
 	return h
+}
+
+// AdoptHosts registers externally built hosts (typically a
+// netsim.BuildTopology fabric constructed on c.Net) so Host and Start
+// resolve them by name instead of lazily creating flat replacements.
+// Panics if a name is already taken.
+func (c *Cluster) AdoptHosts(hosts ...*netsim.Host) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, h := range hosts {
+		if _, dup := c.hosts[h.Name]; dup {
+			panic(fmt.Sprintf("cluster: duplicate host %q", h.Name))
+		}
+		c.hosts[h.Name] = h
+	}
+}
+
+// AdoptTopology builds a rack/pod topology on the cluster's network and
+// adopts every host, returning the topology for name/placement lookups.
+// This is the bulk host-creation path scenario runs use: one call stands
+// up a 1000-host fabric with interned names.
+func (c *Cluster) AdoptTopology(cfg netsim.TopologyConfig) *netsim.Topology {
+	if cfg.NICRate == 0 {
+		cfg.NICRate = c.cfg.NICRate
+	}
+	if cfg.DiskRate == 0 {
+		cfg.DiskRate = c.cfg.DiskRate
+	}
+	if cfg.HostLatency == 0 {
+		cfg.HostLatency = c.cfg.RPCLatency
+	}
+	topo := netsim.BuildTopology(c.Net, cfg)
+	c.AdoptHosts(topo.Hosts()...)
+	return topo
+}
+
+// StartAll launches one monitored process named procName on every listed
+// host, in order — the bulk-spawn path for scenario topologies (1000
+// DataNodes in one call).
+func (c *Cluster) StartAll(procName string, hosts []string) []*Process {
+	out := make([]*Process, len(hosts))
+	for i, h := range hosts {
+		out[i] = c.Start(h, procName)
+	}
+	return out
 }
 
 // Hosts returns all host names in creation order... map order is not

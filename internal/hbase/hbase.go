@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -40,6 +41,7 @@ type HBase struct {
 	mu      sync.Mutex
 	servers []*RegionServer
 	regions int
+	routing func(row string, servers int) int
 }
 
 // New starts the HBase Master.
@@ -55,6 +57,11 @@ type RegionServer struct {
 	hb   *HBase
 	fs   *hdfs.Client
 	sem  *simtime.Semaphore
+
+	// draining, when set, removes the server from row routing (a failover
+	// or decommission). In-flight requests finish; new requests route to
+	// the next live server.
+	draining atomic.Bool
 
 	gcMu    sync.Mutex
 	gcUntil time.Duration
@@ -177,14 +184,76 @@ func (hb *HBase) regionCount() int {
 	return hb.regions
 }
 
-// serverFor routes a row key to its RegionServer.
+// Servers returns the RegionServers in add order (fault-injection handle).
+func (hb *HBase) Servers() []*RegionServer {
+	hb.mu.Lock()
+	defer hb.mu.Unlock()
+	return append([]*RegionServer(nil), hb.servers...)
+}
+
+// SetDraining marks the server as draining (or restores it). Draining
+// servers are skipped by row routing, shifting their key ranges onto the
+// next live servers — the cascading-failover and decommission hook.
+func (rs *RegionServer) SetDraining(d bool) { rs.draining.Store(d) }
+
+// Draining reports whether the server is currently out of the routing.
+func (rs *RegionServer) Draining() bool { return rs.draining.Load() }
+
+// SetRouting overrides the row-to-server routing function with fn (row,
+// server count) -> server index; nil restores the default hash routing.
+// Region rebalancing is modeled by swapping routing functions at runtime.
+func (hb *HBase) SetRouting(fn func(row string, servers int) int) {
+	hb.mu.Lock()
+	hb.routing = fn
+	hb.mu.Unlock()
+}
+
+// serverFor routes a row key to its RegionServer: the routing function's
+// pick (default: hash), then linear probing past draining servers.
 func (hb *HBase) serverFor(row string) *RegionServer {
 	hb.mu.Lock()
 	defer hb.mu.Unlock()
-	if len(hb.servers) == 0 {
+	n := len(hb.servers)
+	if n == 0 {
 		return nil
 	}
-	return hb.servers[hashRow(row)%len(hb.servers)]
+	idx := 0
+	if hb.routing != nil {
+		idx = hb.routing(row, n) % n
+		if idx < 0 {
+			idx += n
+		}
+	} else {
+		idx = hashRow(row) % n
+	}
+	for probe := 0; probe < n; probe++ {
+		rs := hb.servers[(idx+probe)%n]
+		if !rs.draining.Load() {
+			return rs
+		}
+	}
+	return nil
+}
+
+// AddRegionServers is the bulk-spawn path: one RegionServer per host, in
+// order, all reading through the same NameNode.
+func (hb *HBase) AddRegionServers(c *cluster.Cluster, hosts []string, nn *hdfs.NameNode, fsCfg hdfs.ClientConfig) []*RegionServer {
+	out := make([]*RegionServer, len(hosts))
+	for i, h := range hosts {
+		out[i] = hb.AddRegionServer(c, h, nn, fsCfg)
+	}
+	return out
+}
+
+// HostFor returns the host currently serving row (after routing overrides
+// and draining probes), or "" with no live servers. Scenario assertions
+// use it to predict where load lands.
+func (hb *HBase) HostFor(row string) string {
+	rs := hb.serverFor(row)
+	if rs == nil {
+		return ""
+	}
+	return rs.Proc.Info.Host
 }
 
 func hashRow(row string) int {

@@ -2,6 +2,7 @@ package hdfs
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -96,7 +97,34 @@ func (c *Client) Read(ctx context.Context, src string, offset, length float64) e
 		if n > remaining {
 			n = remaining
 		}
-		host := c.chooseReplica(bl.Replicas)
+		if err := c.readBlock(ctx, bl, n); err != nil {
+			return err
+		}
+		remaining -= n
+	}
+	return nil
+}
+
+// readBlock streams one block from its chosen replica, falling back to
+// the remaining replicas in location order when a DataNode fails (the
+// real client's dead-node retry). The error of the last attempt is
+// returned if every replica fails.
+func (c *Client) readBlock(ctx context.Context, bl BlockLocation, n float64) error {
+	chosen := c.chooseReplica(bl.Replicas)
+	if chosen == "" {
+		return fmt.Errorf("hdfs: block %q has no replicas", bl.Block)
+	}
+	var lastErr error
+	tried := 0
+	for i := -1; i < len(bl.Replicas); i++ {
+		host := chosen
+		if i >= 0 {
+			if bl.Replicas[i] == chosen {
+				continue // already tried as the primary choice
+			}
+			host = bl.Replicas[i]
+		}
+		tried++
 		dnProc := c.Proc.C.Proc(host, "DataNode")
 		if dnProc == nil {
 			return fmt.Errorf("hdfs: no DataNode on %q", host)
@@ -104,12 +132,12 @@ func (c *Client) Read(ctx context.Context, src string, offset, length float64) e
 		_, err := c.Proc.Call(ctx, dnProc, "DataTransferProtocol.ReadBlock",
 			ReadBlockReq{Block: bl.Block, Length: n, DestHost: c.Proc.Info.Host},
 			cluster.Sizes{Request: rpcOverhead, Response: 64})
-		if err != nil {
-			return err
+		if err == nil {
+			return nil
 		}
-		remaining -= n
+		lastErr = err
 	}
-	return nil
+	return fmt.Errorf("hdfs: all %d replicas of %q failed: %w", tried, bl.Block, lastErr)
 }
 
 // Create creates src with the given size and writes its blocks through the
@@ -124,26 +152,40 @@ func (c *Client) Create(ctx context.Context, src string, size float64) error {
 	}
 	locs, _ := resp.([]BlockLocation)
 	for _, bl := range locs {
-		if len(bl.Replicas) == 0 {
-			continue
-		}
-		first := c.Proc.C.Proc(bl.Replicas[0], "DataNode")
-		if first == nil {
-			return fmt.Errorf("hdfs: no DataNode on %q", bl.Replicas[0])
-		}
-		_, err := c.Proc.Call(ctx, first, "DataTransferProtocol.WriteBlock",
-			WriteBlockReq{
-				Block: bl.Block, Length: bl.Size,
-				SrcHost: c.Proc.Info.Host, Pipeline: bl.Replicas[1:],
-			},
-			cluster.Sizes{Request: bl.Size, Response: 64})
-		if err != nil {
+		if err := c.writeBlock(ctx, bl); err != nil {
 			return err
 		}
 	}
 	_, err = c.Proc.Call(ctx, c.nn.Proc, "ClientProtocol.Complete", src,
 		cluster.Sizes{Request: rpcOverhead, Response: rpcOverhead})
 	return err
+}
+
+// writeBlock streams one block into its replication pipeline, skipping
+// offline heads (pipeline recovery's client half: when the first replica
+// is down, the next one leads the pipeline).
+func (c *Client) writeBlock(ctx context.Context, bl BlockLocation) error {
+	if len(bl.Replicas) == 0 {
+		return nil
+	}
+	var lastErr error
+	for i := range bl.Replicas {
+		head := c.Proc.C.Proc(bl.Replicas[i], "DataNode")
+		if head == nil {
+			return fmt.Errorf("hdfs: no DataNode on %q", bl.Replicas[i])
+		}
+		_, err := c.Proc.Call(ctx, head, "DataTransferProtocol.WriteBlock",
+			WriteBlockReq{
+				Block: bl.Block, Length: bl.Size,
+				SrcHost: c.Proc.Info.Host, Pipeline: bl.Replicas[i+1:],
+			},
+			cluster.Sizes{Request: bl.Size, Response: 64})
+		if err == nil || !errors.Is(err, ErrDataNodeOffline) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("hdfs: all %d pipeline replicas of %q offline: %w", len(bl.Replicas), bl.Block, lastErr)
 }
 
 // CreateMetadataOnly registers src in the namespace without transferring

@@ -2,6 +2,9 @@ package hdfs
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -23,6 +26,11 @@ type DataNode struct {
 	Proc *cluster.Process
 	nn   *NameNode
 	sem  *simtime.Semaphore
+
+	// offline, when set, makes the DataNode refuse new operations (a
+	// restarting or crashed process). Requests fail before any
+	// tracepoint fires, so op counts reflect served work only.
+	offline atomic.Bool
 
 	tpProto      *tracepoint.Tracepoint // DN.DataTransferProtocol
 	tpQueued     *tracepoint.Tracepoint // DN.OpQueued
@@ -56,6 +64,32 @@ func NewDataNode(c *cluster.Cluster, host string, nn *NameNode) *DataNode {
 	return dn
 }
 
+// NewDataNodes is the bulk-spawn path: one DataNode per host, in order.
+// Scenario topologies stand up 1000+ DataNodes through this call.
+func NewDataNodes(c *cluster.Cluster, hosts []string, nn *NameNode) []*DataNode {
+	out := make([]*DataNode, len(hosts))
+	for i, h := range hosts {
+		out[i] = NewDataNode(c, h, nn)
+	}
+	return out
+}
+
+// ErrDataNodeOffline is returned (wrapped) for operations against an
+// offline DataNode.
+var ErrDataNodeOffline = fmt.Errorf("hdfs: datanode offline")
+
+// SetOffline toggles the DataNode's availability (rolling-restart fault
+// injection). While offline, every read and write fails immediately;
+// clients fall back to another replica.
+func (dn *DataNode) SetOffline(off bool) { dn.offline.Store(off) }
+
+// Offline reports whether the DataNode is currently refusing operations.
+func (dn *DataNode) Offline() bool { return dn.offline.Load() }
+
+// SetDiskRate changes the DataNode host's disk bandwidth (limplock fault
+// injection: the node keeps serving, slowly).
+func (dn *DataNode) SetDiskRate(rate float64) { dn.Proc.Host.SetDiskRate(rate) }
+
 // ReadBlockReq reads length bytes of a block and pushes them to the
 // requesting host.
 type ReadBlockReq struct {
@@ -68,6 +102,9 @@ type ReadBlockReq struct {
 
 func (dn *DataNode) handleReadBlock(ctx context.Context, req any) (any, error) {
 	r := req.(ReadBlockReq)
+	if dn.offline.Load() {
+		return nil, fmt.Errorf("%w: %s", ErrDataNodeOffline, dn.Proc.Info.Host)
+	}
 	dn.tpProto.Here(ctx, "READ_BLOCK", r.Length)
 	dn.tpQueued.Here(ctx, "READ_BLOCK")
 	dn.sem.Acquire()
@@ -103,6 +140,9 @@ type WriteBlockReq struct {
 
 func (dn *DataNode) handleWriteBlock(ctx context.Context, req any) (any, error) {
 	r := req.(WriteBlockReq)
+	if dn.offline.Load() {
+		return nil, fmt.Errorf("%w: %s", ErrDataNodeOffline, dn.Proc.Info.Host)
+	}
 	dn.tpProto.Here(ctx, "WRITE_BLOCK", r.Length)
 	dn.tpQueued.Here(ctx, "WRITE_BLOCK")
 	dn.sem.Acquire()
@@ -113,18 +153,23 @@ func (dn *DataNode) handleWriteBlock(ctx context.Context, req any) (any, error) 
 	dn.Proc.DiskWrite(ctx, r.Length)
 	dn.tpBytesWrite.Here(ctx, r.Length)
 
-	// Forward down the replication pipeline.
-	if len(r.Pipeline) > 0 {
-		next := dn.Proc.C.Proc(r.Pipeline[0], "DataNode")
-		if next != nil {
-			fwd := WriteBlockReq{
-				Block: r.Block, Length: r.Length,
-				SrcHost: dn.Proc.Info.Host, Pipeline: r.Pipeline[1:],
-			}
-			if _, err := dn.Proc.Call(ctx, next, "DataTransferProtocol.WriteBlock", fwd,
-				cluster.Sizes{Request: r.Length, Response: 64}); err != nil {
-				return nil, err
-			}
+	// Forward down the replication pipeline. An offline downstream node is
+	// dropped and the pipeline continues with the nodes after it (HDFS
+	// pipeline recovery: the block stays under-replicated rather than
+	// failing the write while healthy replicas remain).
+	for i := 0; i < len(r.Pipeline); i++ {
+		next := dn.Proc.C.Proc(r.Pipeline[i], "DataNode")
+		if next == nil {
+			continue
+		}
+		fwd := WriteBlockReq{
+			Block: r.Block, Length: r.Length,
+			SrcHost: dn.Proc.Info.Host, Pipeline: r.Pipeline[i+1:],
+		}
+		_, err := dn.Proc.Call(ctx, next, "DataTransferProtocol.WriteBlock", fwd,
+			cluster.Sizes{Request: r.Length, Response: 64})
+		if err == nil || !errors.Is(err, ErrDataNodeOffline) {
+			return r.Length, err
 		}
 	}
 	return r.Length, nil

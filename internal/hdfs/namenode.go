@@ -40,6 +40,12 @@ type Config struct {
 	OpDelay time.Duration
 	// Seed drives replica placement and ordering.
 	Seed int64
+	// DeterministicPlacement keys replica placement on the file path and
+	// block index instead of a shared rng, making placement independent
+	// of the order concurrent Create operations reach the NameNode. The
+	// scenario harness requires it for byte-identical reports; the
+	// default preserves the historical shared-rng placement.
+	DeterministicPlacement bool
 }
 
 // DefaultConfig returns the buggy-ordering configuration used by the §6.1
@@ -235,7 +241,7 @@ func (nn *NameNode) createLocked(src string, size float64) []BlockLocation {
 	for i := 0; i < nBlocks; i++ {
 		nn.nextBlock++
 		b := fmt.Sprintf("blk_%d", nn.nextBlock)
-		replicas := nn.placeReplicas()
+		replicas := nn.placeReplicas(src, i)
 		nn.blocks[b] = replicas
 		fi.blocks = append(fi.blocks, b)
 		bs := BlockSize
@@ -251,14 +257,34 @@ func (nn *NameNode) createLocked(src string, size float64) []BlockLocation {
 }
 
 // placeReplicas picks Replication distinct DataNodes uniformly at random.
-func (nn *NameNode) placeReplicas() []string {
+// Under DeterministicPlacement the choice is a pure function of (src,
+// block index, seed); otherwise it consumes the shared placement rng.
+func (nn *NameNode) placeReplicas(src string, idx int) []string {
 	n := nn.cfg.Replication
 	if n > len(nn.dataNodes) {
 		n = len(nn.dataNodes)
 	}
-	perm := nn.rng.Perm(len(nn.dataNodes))
+	var rng *rand.Rand
+	if nn.cfg.DeterministicPlacement {
+		h := int64(1469598103934665603)
+		for _, c := range src {
+			h = (h ^ int64(c)) * 1099511628211
+		}
+		rng = rand.New(rand.NewSource(nn.cfg.Seed ^ h ^ int64(idx)*-0x61C8864680B583EB))
+	} else {
+		rng = nn.rng
+	}
+	// Rejection-sample n distinct datanodes: O(n) for the thousand-host
+	// pools the scenario harness builds, where a full Perm is O(hosts)
+	// per block.
 	out := make([]string, 0, n)
-	for _, i := range perm[:n] {
+	used := make(map[int]bool, n)
+	for len(out) < n {
+		i := rng.Intn(len(nn.dataNodes))
+		if used[i] {
+			continue
+		}
+		used[i] = true
 		out = append(out, nn.dataNodes[i])
 	}
 	return out

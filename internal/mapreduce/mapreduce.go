@@ -49,6 +49,16 @@ type taskProcs struct {
 
 // New creates the framework. Task processes are created lazily per host.
 func New(c *cluster.Cluster, rm *yarn.ResourceManager, nn *hdfs.NameNode, hdfsCfg hdfs.ClientConfig) *Framework {
+	// Declare the job-lifecycle tracepoint vocabulary in the master
+	// registry up front: the tracepoints are defined on live processes
+	// lazily (per AM, per job), but queries over them must be
+	// installable before the first job runs.
+	reg := c.PT.Registry()
+	reg.Define("AM.JobStart", "id")
+	reg.Define("AM.MapTaskComplete", "id")
+	reg.Define("AM.ReduceTaskComplete", "id")
+	reg.Define("JobComplete", "id")
+	reg.Define("MapOutputServlet", "size")
 	return &Framework{C: c, RM: rm, NN: nn, hdfsCfg: hdfsCfg, taskProcs: make(map[string]*taskProcs)}
 }
 
@@ -92,6 +102,12 @@ type JobConfig struct {
 	// OutputFactor scales job output relative to shuffled data (1.0 for a
 	// sort job).
 	OutputFactor float64
+	// Stragglers makes the first N reduce tasks stragglers: each repeats
+	// its merge-spill disk IO StragglerFactor times (a skewed partition
+	// or a slow local disk), so the job's tail is dominated by those
+	// tasks and a per-host Reduce disk GROUP BY pins them.
+	Stragglers      int
+	StragglerFactor float64
 }
 
 type mapOutput struct {
@@ -218,9 +234,16 @@ func (fw *Framework) runAppMaster(ctx context.Context, am *taskProcs, jobID stri
 				}
 				fetched += part
 			}
-			// Merge spill: write then re-read locally.
-			tp.reduceProc.DiskWrite(taskCtx, fetched)
-			tp.reduceProc.DiskRead(taskCtx, fetched)
+			// Merge spill: write then re-read locally. Stragglers churn
+			// through extra spill rounds.
+			spills := 1
+			if r < job.Stragglers && job.StragglerFactor > 1 {
+				spills = int(job.StragglerFactor)
+			}
+			for s := 0; s < spills; s++ {
+				tp.reduceProc.DiskWrite(taskCtx, fetched)
+				tp.reduceProc.DiskRead(taskCtx, fetched)
+			}
 			env.Sleep(time.Duration(fetched / CPURate * float64(time.Second)))
 			// Job output back to HDFS (replication pipeline).
 			outFile := fmt.Sprintf("/out/%s/part-r-%05d", jobID, r)

@@ -14,7 +14,9 @@ const (
 )
 
 // Host bundles the resources of one simulated machine: a full-duplex NIC
-// (independent tx and rx links) and a local disk.
+// (independent tx and rx links) and a local disk. Hosts built by a
+// Topology additionally carry their rack/pod position and the shared
+// aggregation links their cross-rack traffic rides.
 type Host struct {
 	Name string
 	net  *Network
@@ -24,6 +26,13 @@ type Host struct {
 
 	// Latency is the fixed one-way message latency from/to this host.
 	Latency time.Duration
+
+	// Rack/pod placement, set by BuildTopology. rack is a global rack
+	// index (unique across pods); the aggregation links are nil on flat
+	// networks, in which case Send is point-to-point as before.
+	rack, pod        int
+	rackUp, rackDown *Link
+	podUp, podDown   *Link
 }
 
 // NewHost registers a host's NIC and disk links on the network.
@@ -47,15 +56,41 @@ func (h *Host) SetNICRate(rate float64) {
 // NICRate returns the current transmit capacity of the host's NIC.
 func (h *Host) NICRate() float64 { return h.net.Rate(h.tx.Name) }
 
+// SetDiskRate changes the host disk's capacity (fault injection: a
+// limplock disk serves reads and writes at a crawl without failing).
+func (h *Host) SetDiskRate(rate float64) { h.net.SetRate(h.disk.Name, rate) }
+
+// DiskBandwidth returns the disk's current capacity in bytes/second.
+func (h *Host) DiskBandwidth() float64 { return h.net.Rate(h.disk.Name) }
+
+// Rack returns the host's global rack index (0 on flat networks).
+func (h *Host) Rack() int { return h.rack }
+
+// Pod returns the host's pod index (0 on flat networks).
+func (h *Host) Pod() int { return h.pod }
+
 // Send transfers size bytes from h to dst, blocking until delivered.
-// Loopback transfers (h == dst) skip the network. The transfer contends for
-// h's transmit link and dst's receive link under max-min fairness.
+// Loopback transfers (h == dst) skip the network. The transfer contends
+// for h's transmit link and dst's receive link under max-min fairness;
+// on a rack/pod topology, cross-rack traffic additionally rides the
+// shared rack uplinks (and pod uplinks across pods), so aggregation
+// oversubscription is modeled.
 func (h *Host) Send(dst *Host, size float64) {
 	if h == dst {
 		return
 	}
 	h.net.env.Sleep(h.Latency)
-	h.net.Flow(size, h.tx, dst.rx)
+	if h.rackUp == nil || dst.rackDown == nil || h.rack == dst.rack {
+		h.net.Flow(size, h.tx, dst.rx)
+		return
+	}
+	var path [6]*Link
+	links := append(path[:0], h.tx, h.rackUp)
+	if h.pod != dst.pod && h.podUp != nil && dst.podDown != nil {
+		links = append(links, h.podUp, dst.podDown)
+	}
+	links = append(links, dst.rackDown, dst.rx)
+	h.net.Flow(size, links...)
 }
 
 // DiskRead reads size bytes from the host's local disk.

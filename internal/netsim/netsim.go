@@ -27,10 +27,12 @@ type Link struct {
 
 	rate   float64 // bytes per second
 	served float64 // cumulative bytes served through this link
+	active int     // flows currently crossing this link
 
 	// scratch state for the water-filling computation
 	remCap   float64
 	unfrozen int
+	touched  bool
 }
 
 // Network simulates a set of links and the flows crossing them.
@@ -45,6 +47,15 @@ type Network struct {
 
 	lastUpdate time.Duration
 	running    bool
+
+	// smallCutoff, when > 0, routes flows of at most that many bytes
+	// through a closed-form service-time model instead of the shared
+	// water-filling machinery. See SetSmallFlowCutoff.
+	smallCutoff float64
+
+	// scratchLinks is reused across reshare rounds so steady-state
+	// resharing allocates nothing.
+	scratchLinks []*Link
 
 	// Stats counts completed flows and served bytes, for tests and tools.
 	completedFlows int64
@@ -140,6 +151,20 @@ func (n *Network) Stats() (flows int64, bytes float64) {
 	return n.completedFlows, n.servedBytes
 }
 
+// SetSmallFlowCutoff makes flows of at most cutoff bytes bypass the shared
+// water-filling machinery: the caller sleeps size divided by the slowest
+// link's full capacity, and the bytes are accounted to the links instantly.
+// Small control messages (RPC headers, heartbeats) are latency-dominated,
+// so the approximation is tight while removing the per-flow reshare that
+// otherwise makes thousands of tiny metadata RPCs against one host
+// quadratic. Zero (the default) disables the cutoff; large data transfers
+// always take the exact path.
+func (n *Network) SetSmallFlowCutoff(cutoff float64) {
+	n.mu.Lock()
+	n.smallCutoff = cutoff
+	n.mu.Unlock()
+}
+
 // Flow transfers size bytes across the given links, blocking in virtual time
 // until complete. A flow over zero links (or zero bytes) completes instantly.
 // Must be called from a managed goroutine.
@@ -147,12 +172,48 @@ func (n *Network) Flow(size float64, links ...*Link) {
 	if size <= 0 || len(links) == 0 {
 		return
 	}
-	f := &flow{remaining: size, links: links}
 	n.mu.Lock()
+	if n.smallCutoff > 0 && size <= n.smallCutoff {
+		rate := math.MaxFloat64
+		for _, l := range links {
+			if l.rate < rate {
+				rate = l.rate
+			}
+			l.served += size
+		}
+		n.completedFlows++
+		n.servedBytes += size
+		n.mu.Unlock()
+		n.env.Sleep(time.Duration(size / rate * float64(time.Second)))
+		return
+	}
+	f := &flow{remaining: size, links: links}
 	n.ensureEngineLocked()
 	n.settleLocked()
 	n.flows[f] = struct{}{}
-	n.reshareLocked()
+	// A flow whose links carry no other traffic gets the bottleneck
+	// capacity outright; the fair shares of every other flow are
+	// unaffected, so the global reshare can be skipped. On a large
+	// topology most transfers are isolated, which turns the O(flows x
+	// links) water-filling into the rare case instead of the common one.
+	isolated := true
+	for _, l := range f.links {
+		l.active++
+		if l.active > 1 {
+			isolated = false
+		}
+	}
+	if isolated {
+		rate := math.MaxFloat64
+		for _, l := range f.links {
+			if l.rate < rate {
+				rate = l.rate
+			}
+		}
+		f.rate = rate
+	} else {
+		n.reshareLocked()
+	}
 	n.wake.Signal()
 	for !f.finished {
 		n.done.Wait()
@@ -177,9 +238,11 @@ func (n *Network) engine() {
 	defer n.mu.Unlock()
 	for !n.env.Done() {
 		n.settleLocked()
-		completed := n.completeLocked()
+		completed, needReshare := n.completeLocked()
 		if completed > 0 {
-			n.reshareLocked()
+			if needReshare {
+				n.reshareLocked()
+			}
 			n.done.Broadcast()
 		}
 		if len(n.flows) == 0 {
@@ -209,19 +272,26 @@ func (n *Network) settleLocked() {
 	}
 }
 
-// completeLocked finishes flows whose bytes are fully served.
-func (n *Network) completeLocked() int {
+// completeLocked finishes flows whose bytes are fully served. It reports
+// whether any completed flow shared a link with still-active flows — only
+// then do the survivors' fair shares change and a reshare is needed.
+func (n *Network) completeLocked() (count int, needReshare bool) {
 	const eps = 1e-6
-	count := 0
 	for f := range n.flows {
 		if f.remaining <= eps {
 			f.finished = true
 			delete(n.flows, f)
 			n.completedFlows++
 			count++
+			for _, l := range f.links {
+				l.active--
+				if l.active > 0 {
+					needReshare = true
+				}
+			}
 		}
 	}
-	return count
+	return count, needReshare
 }
 
 // nextCompletionLocked returns the time until the earliest flow finish.
@@ -248,17 +318,23 @@ func (n *Network) nextCompletionLocked() time.Duration {
 
 // reshareLocked recomputes max-min fair rates for all active flows by
 // water-filling: repeatedly find the most-constrained link, freeze its flows
-// at the fair share, subtract their demand, and recurse.
+// at the fair share, subtract their demand, and recurse. Only links that
+// active flows actually cross participate — on a 1000-host topology with a
+// handful of concurrent transfers the thousands of idle host links cost
+// nothing.
 func (n *Network) reshareLocked() {
-	for _, l := range n.links {
-		l.remCap = l.rate
-		l.unfrozen = 0
-	}
+	links := n.scratchLinks[:0]
 	unfrozen := make(map[*flow]struct{}, len(n.flows))
 	for f := range n.flows {
 		f.rate = 0
 		unfrozen[f] = struct{}{}
 		for _, l := range f.links {
+			if !l.touched {
+				l.touched = true
+				l.remCap = l.rate
+				l.unfrozen = 0
+				links = append(links, l)
+			}
 			l.unfrozen++
 		}
 	}
@@ -267,7 +343,7 @@ func (n *Network) reshareLocked() {
 		// unfrozen flows.
 		var bottleneck *Link
 		share := math.MaxFloat64
-		for _, l := range n.links {
+		for _, l := range links {
 			if l.unfrozen == 0 {
 				continue
 			}
@@ -303,4 +379,8 @@ func (n *Network) reshareLocked() {
 			}
 		}
 	}
+	for _, l := range links {
+		l.touched = false
+	}
+	n.scratchLinks = links
 }

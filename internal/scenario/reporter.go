@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Report is the top-level ptbench output: one run of a scenario set.
+// Everything serialized here is deterministic — two runs with the same
+// seed, host count, and scenario list must produce byte-identical JSON
+// (the harness's acceptance criterion); wall-clock timings are printed
+// to the console only.
+type Report struct {
+	Seed      int64     `json:"seed"`
+	Short     bool      `json:"short,omitempty"`
+	Scenarios []*Result `json:"scenarios"`
+	Passed    bool      `json:"passed"`
+}
+
+// NewReport assembles results into a report.
+func NewReport(seed int64, short bool, results []*Result) *Report {
+	rep := &Report{Seed: seed, Short: short, Scenarios: results, Passed: true}
+	for _, res := range results {
+		if !res.Passed {
+			rep.Passed = false
+		}
+	}
+	return rep
+}
+
+// JSON renders the deterministic report.
+func (rep *Report) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Console writes the human summary table, including the
+// non-deterministic wall-clock columns.
+func (rep *Report) Console(w io.Writer) {
+	fmt.Fprintf(w, "\n%-12s %-7s %6s %9s %9s %10s %8s %6s  %s\n",
+		"scenario", "verdict", "hosts", "virtual", "wall", "requests", "tuples", "procs", "checkpoints")
+	var wall, reqs, tuples int64
+	for _, res := range rep.Scenarios {
+		verdict := "pass"
+		if !res.Passed {
+			verdict = "FAIL"
+		}
+		passedCPs := 0
+		for _, cp := range res.Checkpoints {
+			if cp.Passed {
+				passedCPs++
+			}
+		}
+		fmt.Fprintf(w, "%-12s %-7s %6d %9s %9s %10d %8d %6d  %d/%d\n",
+			res.ID, verdict, res.Hosts,
+			time.Duration(res.VirtualMS)*time.Millisecond,
+			time.Duration(res.WallMS)*time.Millisecond,
+			res.Requests, res.Tuples, res.Procs,
+			passedCPs, len(res.Checkpoints))
+		wall += res.WallMS
+		reqs += res.Requests
+		tuples += res.Tuples
+		if res.Err != "" {
+			fmt.Fprintf(w, "%12s   error: %s\n", "", res.Err)
+		}
+		for _, cp := range res.Checkpoints {
+			if !cp.Passed {
+				fmt.Fprintf(w, "%12s   FAIL %s: %s\n", "", cp.Name, cp.Detail)
+			}
+		}
+	}
+	verdict := "PASS"
+	if !rep.Passed {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "\n%s: %d scenarios, %d requests, %d tuples, %s wall\n",
+		verdict, len(rep.Scenarios), reqs, tuples, time.Duration(wall)*time.Millisecond)
+	fmt.Fprintf(w, "replay: go run ./cmd/ptbench -seed %d\n", rep.Seed)
+}

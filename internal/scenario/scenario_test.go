@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/randtest"
+)
+
+// testSeed returns the seed for scenario tests: 1 unless overridden with
+// -seed / PT_SEED (the randtest replay convention).
+func testSeed() int64 {
+	if s, ok := randtest.Explicit(); ok {
+		return s
+	}
+	return 1
+}
+
+// TestAllScenariosShort runs the full scenario library at the reduced
+// sizing — the same subset CI runs under -race. Every checkpoint of
+// every scenario must pass; a failure prints the ptbench replay command.
+func TestAllScenariosShort(t *testing.T) {
+	seed := testSeed()
+	for _, s := range All() {
+		s := s
+		t.Run(s.ID, func(t *testing.T) {
+			h := &Harness{Seed: seed, Short: true}
+			res := h.RunScenario(s)
+			if res.Err != "" {
+				t.Errorf("scenario error: %s", res.Err)
+			}
+			for _, cp := range res.Checkpoints {
+				if !cp.Passed {
+					t.Errorf("checkpoint %s: %s", cp.Name, cp.Detail)
+				}
+			}
+			if !res.Passed {
+				t.Errorf("replay: go run ./cmd/ptbench -run %s -seed %d -short", s.ID, seed)
+			}
+		})
+	}
+}
+
+// TestReportDeterminism runs a two-scenario set twice with the same seed
+// and requires byte-identical JSON reports — the harness's headline
+// acceptance criterion. Limplock and failover together cover the HDFS
+// and HBase paths plus fault injection and query reinstallation.
+func TestReportDeterminism(t *testing.T) {
+	seed := testSeed()
+	set := []*Scenario{Limplock(), CascadingFailover()}
+	render := func() []byte {
+		h := &Harness{Seed: seed, Short: true}
+		rep := NewReport(seed, true, h.RunAll(set))
+		out, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Errorf("same-seed runs produced different JSON reports\n%s", randtest.Replay(t, seed))
+	}
+}
+
+// TestHarnessCapturesPanic: a panic in a scenario body (from any managed
+// goroutine) becomes a failed result, not a crashed harness.
+func TestHarnessCapturesPanic(t *testing.T) {
+	s := &Scenario{
+		ID: "boom", Name: "boom", ShortHosts: 1, Horizon: time.Second,
+		Run: func(r *Run) error { panic("kaboom") },
+	}
+	h := &Harness{Seed: 1, Short: true}
+	res := h.RunScenario(s)
+	if res.Passed {
+		t.Fatal("panicking scenario reported as passed")
+	}
+	if !strings.Contains(res.Err, "kaboom") {
+		t.Fatalf("Err = %q, want the panic value", res.Err)
+	}
+}
+
+// TestHarnessFailingCheckpoint: one failed checkpoint fails the result
+// while the rest still record.
+func TestHarnessFailingCheckpoint(t *testing.T) {
+	s := &Scenario{
+		ID: "cp", Name: "cp", ShortHosts: 1, Horizon: time.Second,
+		Run: func(r *Run) error {
+			r.Expect("good", nil)
+			r.Expect("bad", errors.New("nope"))
+			return nil
+		},
+	}
+	res := (&Harness{Seed: 1, Short: true}).RunScenario(s)
+	if res.Passed {
+		t.Fatal("failing checkpoint reported as passed")
+	}
+	if len(res.Checkpoints) != 2 || !res.Checkpoints[0].Passed || res.Checkpoints[1].Passed {
+		t.Fatalf("checkpoints = %+v", res.Checkpoints)
+	}
+}
+
+// TestNoCheckpointsIsFailure: a scenario that asserts nothing must not
+// count as passing (an empty Run body would otherwise go green).
+func TestNoCheckpointsIsFailure(t *testing.T) {
+	s := &Scenario{
+		ID: "empty", Name: "empty", ShortHosts: 1, Horizon: time.Second,
+		Run: func(r *Run) error { return nil },
+	}
+	if res := (&Harness{Seed: 1, Short: true}).RunScenario(s); res.Passed {
+		t.Fatal("checkpoint-free scenario reported as passed")
+	}
+}
+
+// TestLibraryShape pins the library's contract: unique IDs, ByID lookup,
+// and thousand-host default topologies.
+func TestLibraryShape(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range All() {
+		if seen[s.ID] {
+			t.Errorf("duplicate scenario ID %q", s.ID)
+		}
+		seen[s.ID] = true
+		if ByID(s.ID) == nil {
+			t.Errorf("ByID(%q) = nil", s.ID)
+		}
+		if s.DefaultHosts < 1000 {
+			t.Errorf("%s: DefaultHosts = %d, want >= 1000", s.ID, s.DefaultHosts)
+		}
+		if s.ShortHosts <= 0 || s.ShortHosts > 64 {
+			t.Errorf("%s: ShortHosts = %d, want in (0, 64]", s.ID, s.ShortHosts)
+		}
+	}
+	if len(seen) < 7 {
+		t.Errorf("library has %d scenarios, want >= 7", len(seen))
+	}
+	if ByID("no-such-scenario") != nil {
+		t.Error("ByID of unknown ID != nil")
+	}
+}
+
+// TestConsoleReport checks the human summary: verdicts, failed
+// checkpoint detail, and the replay command line.
+func TestConsoleReport(t *testing.T) {
+	res := &Result{ID: "x", Name: "x", Seed: 9, Hosts: 8, Passed: false,
+		Checkpoints: []CheckpointResult{{Name: "cp", Passed: false, Detail: "went sideways"}}}
+	var buf bytes.Buffer
+	NewReport(9, true, []*Result{res}).Console(&buf)
+	out := buf.String()
+	for _, want := range []string{"FAIL", "went sideways", "replay: go run ./cmd/ptbench -seed 9"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("console output missing %q:\n%s", want, out)
+		}
+	}
+}

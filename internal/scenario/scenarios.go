@@ -1,0 +1,886 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/hbase"
+	"repro/internal/hdfs"
+	"repro/internal/mapreduce"
+	"repro/internal/netsim"
+	"repro/internal/tuple"
+	"repro/internal/yarn"
+)
+
+// All returns the scenario library in its fixed run order.
+func All() []*Scenario {
+	return []*Scenario{
+		Limplock(),
+		HotRegion(),
+		StragglerReducers(),
+		CascadingFailover(),
+		RebalancingStorm(),
+		ThunderingHerd(),
+		RollingRestarts(),
+	}
+}
+
+// ByID returns the scenario with the given ID, or nil.
+func ByID(id string) *Scenario {
+	for _, s := range All() {
+		if s.ID == id {
+			return s
+		}
+	}
+	return nil
+}
+
+// ---- row helpers ------------------------------------------------------
+
+// groupVals maps each row's first column (the group key) to its last
+// column's numeric value.
+func groupVals(rows []tuple.Tuple) map[string]float64 {
+	out := make(map[string]float64, len(rows))
+	for _, row := range rows {
+		if len(row) < 2 {
+			continue
+		}
+		out[row[0].Str()] = row[len(row)-1].Float()
+	}
+	return out
+}
+
+func sumVals(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// maxVal returns the largest value and its key.
+func maxVal(m map[string]float64) (string, float64) {
+	var bk string
+	var bv float64
+	first := true
+	for k, v := range m {
+		if first || v > bv || (v == bv && k < bk) {
+			bk, bv, first = k, v, false
+		}
+	}
+	return bk, bv
+}
+
+// growth subtracts a snapshot from the current values (missing keys = 0).
+func growth(cur, snap map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(cur))
+	for k, v := range cur {
+		out[k] = v - snap[k]
+	}
+	return out
+}
+
+// ---- 1. limplock ------------------------------------------------------
+
+const qDNCount = `From dnop In DN.DataTransferProtocol
+GroupBy dnop.host
+Select dnop.host, COUNT`
+
+const qDNBytes = `From incr In DataNodeMetrics.incrBytesRead
+GroupBy incr.host
+Select incr.host, SUM(incr.delta)`
+
+// qDiskLatency spans exactly the local disk work of one DataNode op:
+// DN.OpStart fires before the seek + read, DN.TransferStart after.
+const qDiskLatency = `From x In DN.TransferStart
+Join s In MostRecent(DN.OpStart) On s -> x
+GroupBy x.host
+Select x.host, AVERAGE(x.time - s.time)`
+
+// Limplock reproduces a limplock disk: one DataNode's disk degrades to
+// a tenth of its bandwidth without failing, and the per-host disk-latency
+// GROUP BY pins the limping host while op counts stay unremarkable.
+func Limplock() *Scenario {
+	return &Scenario{
+		ID:           "limplock",
+		Name:         "Limplock disk",
+		Description:  "one DataNode disk at 1/10 speed; disk-latency GROUP BY pins the host",
+		DefaultHosts: 1024,
+		ShortHosts:   64,
+		Horizon:      12 * time.Second,
+		Run: func(r *Run) error {
+			d := deploy(r.Env, r, 500*time.Millisecond)
+			hosts := d.WorkerNames(0)
+			dns := d.StartDataNodes(hosts)
+			const readSize = 64e3
+			files := d.Dataset(2*len(hosts), readSize)
+
+			qCount := r.Query(qDNCount)
+			qBytes := r.Query(qDNBytes)
+
+			nClients, ops := len(hosts)/4, 80
+			if r.Short {
+				nClients = 16
+			}
+			clients := d.StartClients(nClients, hosts)
+			fsClients := make([]*hdfs.Client, len(clients))
+			for i, p := range clients {
+				fsClients[i] = hdfs.NewClient(p, d.NN, hdfs.ClientConfig{RandomReplicaSelection: true, Seed: r.Seed})
+			}
+			join := r.DriveAsync(clients, ops, func(i, k int, ctx context.Context, p *cluster.Process, rng *rand.Rand) error {
+				r.Env.Sleep(time.Duration(5+rng.Intn(10)) * time.Millisecond)
+				return fsClients[i].Read(ctx, files[rng.Intn(len(files))], 0, readSize)
+			})
+
+			r.Await("cluster-serving", qCount, 3, func(rows []tuple.Tuple) error {
+				if n := len(groupVals(rows)); n < len(hosts)/2 {
+					return fmt.Errorf("only %d of %d DataNodes reporting", n, len(hosts))
+				}
+				return nil
+			})
+
+			// Fault: the disk limps at 1/10 on the host holding the first
+			// replica of files[0]. Choosing the limping host from the
+			// placement (rather than the other way around) lets dedicated
+			// probe readers hit it deterministically: on a thousand-host
+			// topology each DataNode holds only a handful of replicas, so
+			// uniform random traffic cannot be relied on to exercise the
+			// limping disk before the checkpoint deadline.
+			locs, err := d.AdminFS.GetBlockLocations(d.Admin.NewRequest(), files[0], 0, readSize)
+			if err != nil || len(locs) == 0 || len(locs[0].Replicas) == 0 {
+				return fmt.Errorf("limplock: block locations for %s: %v", files[0], err)
+			}
+			limpHost := locs[0].Replicas[0]
+			var limp *hdfs.DataNode
+			for _, dn := range dns {
+				if dn.Proc.Info.Host == limpHost {
+					limp = dn
+				}
+			}
+			// 1/10, not an even harsher cut: the disk is processor-shared,
+			// so at 1/100 the pile-up of concurrent reads would delay the
+			// FIRST completion (and hence the first latency tuple) beyond
+			// any reasonable checkpoint deadline.
+			limp.SetDiskRate(netsim.DiskRate / 10)
+			r.Logf("  fault: %s disk -> %.0f B/s at t=%s", limpHost, netsim.DiskRate/10, r.Env.Now())
+
+			// Install the latency query only now: it aggregates purely
+			// post-fault ops (pre-fault reads at baseline latency would
+			// otherwise dilute the limping host's average below the
+			// dominance threshold on large topologies, where each host
+			// serves only a handful of reads).
+			qLat := r.Query(qDiskLatency)
+
+			// Two probe readers with first-replica selection read files[0]
+			// back to back: guaranteed post-fault ops on the limping disk.
+			// Two, not more — concurrent reads share the crippled disk's
+			// bandwidth, and a larger herd would push the first completion
+			// (and hence the first latency tuple) past the deadline.
+			probes := make([]*cluster.Process, 2)
+			fsProbes := make([]*hdfs.Client, len(probes))
+			for i := range probes {
+				probes[i] = d.C.StartUnmonitored(hosts[len(hosts)-1-i], fmt.Sprintf("Probe%d", i))
+				fsProbes[i] = hdfs.NewClient(probes[i], d.NN, hdfs.ClientConfig{RandomReplicaSelection: false, Seed: r.Seed})
+			}
+			probeJoin := r.DriveAsync(probes, 6, func(i, k int, ctx context.Context, p *cluster.Process, rng *rand.Rand) error {
+				return fsProbes[i].Read(ctx, files[0], 0, readSize)
+			})
+
+			r.Await("limp-disk-dominates", qLat, 4, func(rows []tuple.Tuple) error {
+				lats := groupVals(rows)
+				limpLat := lats[limpHost]
+				delete(lats, limpHost)
+				_, other := maxVal(lats)
+				if limpLat < 5*other || other == 0 {
+					return fmt.Errorf("limp host %s at %.2fms vs max other %.2fms", limpHost, limpLat/1e6, other/1e6)
+				}
+				return nil
+			})
+
+			join()
+			probeJoin()
+			total := float64(r.Requests())
+			r.Await("ops-conserved", qCount, 1, func(rows []tuple.Tuple) error {
+				if got := sumVals(groupVals(rows)); got != total {
+					return fmt.Errorf("DN ops %v != reads issued %v", got, total)
+				}
+				return nil
+			})
+			r.Await("bytes-conserved", qBytes, 1, func(rows []tuple.Tuple) error {
+				if got, want := sumVals(groupVals(rows)), total*readSize; got != want {
+					return fmt.Errorf("bytes read %v != %v", got, want)
+				}
+				return nil
+			})
+			r.SettleTo(r.horizon())
+			return nil
+		},
+	}
+}
+
+// ---- 2. hot region ----------------------------------------------------
+
+const qRSCount = `From op In RS.ClientService
+GroupBy op.host
+Select op.host, COUNT`
+
+// HotRegion skews 80% of HBase gets onto rows owned by one RegionServer;
+// the per-host RS.ClientService GROUP BY exposes the hotspot.
+func HotRegion() *Scenario {
+	return &Scenario{
+		ID:           "hot-region",
+		Name:         "Hot HBase region",
+		Description:  "80% of gets hit one RegionServer; per-host op GROUP BY exposes it",
+		DefaultHosts: 1024,
+		ShortHosts:   64,
+		Horizon:      10 * time.Second,
+		Run: func(r *Run) error {
+			d := deploy(r.Env, r, 500*time.Millisecond)
+			hosts := d.WorkerNames(0)
+			d.StartDataNodes(hosts)
+			nRS := 64
+			if r.Short {
+				nRS = 12
+			}
+			hb, servers := d.StartHBase(hosts[:nRS], 8e6, r.Seed)
+			hotHost := servers[0].Proc.Info.Host
+
+			// Partition candidate rows by owner so the workload can aim.
+			var hotRows, allRows []string
+			for i := 0; len(hotRows) < 48 || len(allRows) < 4*nRS; i++ {
+				row := fmt.Sprintf("row-%05d", i)
+				allRows = append(allRows, row)
+				if hb.HostFor(row) == hotHost {
+					hotRows = append(hotRows, row)
+				}
+			}
+
+			q := r.Query(qRSCount)
+
+			nClients, ops := 192, 100
+			if r.Short {
+				nClients = 24
+			}
+			clients := d.StartClients(nClients, hosts)
+			hbClients := make([]*hbase.Client, len(clients))
+			for i, p := range clients {
+				hbClients[i] = hbase.NewClient(p, hb)
+			}
+			join := r.DriveAsync(clients, ops, func(i, k int, ctx context.Context, p *cluster.Process, rng *rand.Rand) error {
+				r.Env.Sleep(time.Duration(5+rng.Intn(10)) * time.Millisecond)
+				row := allRows[rng.Intn(len(allRows))]
+				if rng.Float64() < 0.8 {
+					row = hotRows[rng.Intn(len(hotRows))]
+				}
+				return hbClients[i].Get(ctx, row, 8e3)
+			})
+
+			// The floor is absolute, not a fraction of issued ops: the hot
+			// server's disk serializes its gets, so early-interval
+			// throughput is capped by disk bandwidth regardless of how
+			// many gets are queued behind it.
+			r.Await("hot-server-dominates", q, 4, func(rows []tuple.Tuple) error {
+				counts := groupVals(rows)
+				hot := counts[hotHost]
+				delete(counts, hotHost)
+				_, second := maxVal(counts)
+				if hot < 200 || hot < 8*second {
+					return fmt.Errorf("hot %s=%v vs next %v", hotHost, hot, second)
+				}
+				return nil
+			})
+
+			join()
+			total := float64(r.Requests())
+			r.Await("gets-conserved", q, 1, func(rows []tuple.Tuple) error {
+				if got := sumVals(groupVals(rows)); got != total {
+					return fmt.Errorf("served %v != issued %v", got, total)
+				}
+				return nil
+			})
+			r.SettleTo(r.horizon())
+			return nil
+		},
+	}
+}
+
+// ---- 3. straggler reducers --------------------------------------------
+
+const qReduceIO = `From w In FileOutputStream.write
+Where w.procName == "Reduce"
+GroupBy w.host
+Select w.host, SUM(w.length)`
+
+const qReduceDone = `From t In AM.ReduceTaskComplete
+GroupBy t.id
+Select t.id, COUNT`
+
+// StragglerReducers runs a MapReduce job whose first reducers churn
+// through 6x merge-spill IO; the per-host Reduce disk GROUP BY pins the
+// straggler hosts.
+func StragglerReducers() *Scenario {
+	return &Scenario{
+		ID:           "stragglers",
+		Name:         "Straggler reducers",
+		Description:  "2 reducers spill 6x; per-host Reduce disk SUM pins them",
+		DefaultHosts: 1024,
+		ShortHosts:   64,
+		Horizon:      60 * time.Second,
+		Run: func(r *Run) error {
+			d := deploy(r.Env, r, time.Second)
+			hosts := d.WorkerNames(0)
+			d.StartDataNodes(hosts)
+			nMR := 32
+			if r.Short {
+				nMR = 8
+			}
+			rm, _ := d.StartYARN(hosts[:nMR], 8)
+			fw := d.StartMapReduce(rm, r.Seed)
+
+			maps, reducers, stragglers := 8, 8, 2
+			if r.Short {
+				maps, reducers, stragglers = 4, 4, 1
+			}
+			input := "/data/mr-input"
+			ctx := d.Admin.NewRequest()
+			if err := d.AdminFS.CreateMetadataOnly(ctx, input, float64(maps)*hdfs.BlockSize); err != nil {
+				return err
+			}
+
+			qIO := r.Query(qReduceIO)
+			qDone := r.Query(qReduceDone)
+
+			submitter := d.C.Start("master", "JobClient")
+			err := fw.Submit(submitter.NewRequest(), submitter, mapreduce.JobConfig{
+				Name:            "sort",
+				Input:           input,
+				Reducers:        reducers,
+				Stragglers:      stragglers,
+				StragglerFactor: 6,
+			})
+			r.AddRequests(1)
+			r.Expect("job-completes", err)
+
+			r.Await("stragglers-dominate", qIO, 2, func(rows []tuple.Tuple) error {
+				io := groupVals(rows)
+				if len(io) < 2 {
+					return fmt.Errorf("only %d reduce hosts reported", len(io))
+				}
+				_, max := maxVal(io)
+				if min := minVal(io); max < 3*min {
+					return fmt.Errorf("max reduce IO %v < 3x min %v", max, min)
+				}
+				return nil
+			})
+			r.Await("reducers-complete", qDone, 1, func(rows []tuple.Tuple) error {
+				if got := sumVals(groupVals(rows)); got != float64(reducers) {
+					return fmt.Errorf("%v reduce completions != %d", got, reducers)
+				}
+				return nil
+			})
+			r.SettleTo(r.horizon())
+			return nil
+		},
+	}
+}
+
+func minVal(m map[string]float64) float64 {
+	first := true
+	var mv float64
+	for _, v := range m {
+		if first || v < mv {
+			mv, first = v, false
+		}
+	}
+	return mv
+}
+
+// ---- 4. cascading failover --------------------------------------------
+
+// CascadingFailover drains two RegionServers in sequence under load; the
+// per-host GROUP BY shows each one's counts freezing while its key range
+// reappears on the next live server, with zero client errors.
+func CascadingFailover() *Scenario {
+	return &Scenario{
+		ID:           "failover",
+		Name:         "Cascading failover",
+		Description:  "two RegionServers drain back-to-back; load reroutes, zero errors",
+		DefaultHosts: 1024,
+		ShortHosts:   64,
+		Horizon:      12 * time.Second,
+		Run: func(r *Run) error {
+			d := deploy(r.Env, r, 500*time.Millisecond)
+			hosts := d.WorkerNames(0)
+			d.StartDataNodes(hosts)
+			nRS := 48
+			if r.Short {
+				nRS = 12
+			}
+			hb, servers := d.StartHBase(hosts[:nRS], 8e6, r.Seed)
+
+			rows := make([]string, 4*nRS)
+			for i := range rows {
+				rows[i] = fmt.Sprintf("key-%05d", i)
+			}
+
+			q := r.Query(qRSCount)
+
+			nClients, ops := 160, 120
+			if r.Short {
+				nClients = 24
+			}
+			clients := d.StartClients(nClients, hosts)
+			hbClients := make([]*hbase.Client, len(clients))
+			for i, p := range clients {
+				hbClients[i] = hbase.NewClient(p, hb)
+			}
+			join := r.DriveAsync(clients, ops, func(i, k int, ctx context.Context, p *cluster.Process, rng *rand.Rand) error {
+				r.Env.Sleep(time.Duration(10+rng.Intn(10)) * time.Millisecond)
+				return hbClients[i].Get(ctx, rows[rng.Intn(len(rows))], 8e3)
+			})
+
+			r.Await("pre-fault-coverage", q, 3, func(rowsT []tuple.Tuple) error {
+				if n := len(groupVals(rowsT)); n < 2*nRS/3 {
+					return fmt.Errorf("only %d of %d RegionServers reporting", n, nRS)
+				}
+				return nil
+			})
+
+			// For each victim, a row it currently owns, to verify rerouting.
+			victims := [2]*regionVictim{
+				{host: servers[0].Proc.Info.Host},
+				{host: servers[1].Proc.Info.Host},
+			}
+			for _, row := range rows {
+				for v := range victims {
+					if victims[v].row == "" && hb.HostFor(row) == victims[v].host {
+						victims[v].row = row
+					}
+				}
+			}
+
+			for v := range victims {
+				vic := victims[v]
+				r.C.FlushAgents()
+				snap := groupVals(q.Rows())
+				servers[v].SetDraining(true)
+				r.Logf("  fault: draining %s at t=%s", vic.host, r.Env.Now())
+				name := fmt.Sprintf("failover-%d-freezes", v+1)
+				r.Await(name, q, 3, func(rowsT []tuple.Tuple) error {
+					g := growth(groupVals(rowsT), snap)
+					frozen := g[vic.host]
+					if total := sumVals(g); frozen > 8 || total < 200 {
+						return fmt.Errorf("drained %s grew %v of total growth %v", vic.host, frozen, sumVals(g))
+					}
+					return nil
+				})
+				if vic.row != "" {
+					now := hb.HostFor(vic.row)
+					var err error
+					if now == vic.host || now == "" {
+						err = fmt.Errorf("row %s still routed to drained %s", vic.row, now)
+					}
+					r.Expect(fmt.Sprintf("failover-%d-reroutes", v+1), err)
+				}
+			}
+
+			join()
+			total := float64(r.Requests())
+			var errCount error
+			if n := r.ClientErrors(); n != 0 {
+				errCount = fmt.Errorf("%d client errors during failover", n)
+			}
+			r.Expect("zero-client-errors", errCount)
+			r.Await("gets-conserved", q, 1, func(rowsT []tuple.Tuple) error {
+				if got := sumVals(groupVals(rowsT)); got != total {
+					return fmt.Errorf("served %v != issued %v", got, total)
+				}
+				return nil
+			})
+			r.SettleTo(r.horizon())
+			return nil
+		},
+	}
+}
+
+type regionVictim struct {
+	host string
+	row  string
+}
+
+// ---- 5. rebalancing storm ---------------------------------------------
+
+// RebalancingStorm rotates the row-to-server routing repeatedly under
+// load (a region rebalance storm), then settles on a shifted assignment;
+// the GROUP BY shows load spreading across nearly every server.
+func RebalancingStorm() *Scenario {
+	return &Scenario{
+		ID:           "rebalance",
+		Name:         "Rebalancing storm",
+		Description:  "routing rotates every 400ms under load, then settles shifted",
+		DefaultHosts: 1024,
+		ShortHosts:   64,
+		Horizon:      10 * time.Second,
+		Run: func(r *Run) error {
+			d := deploy(r.Env, r, 500*time.Millisecond)
+			hosts := d.WorkerNames(0)
+			d.StartDataNodes(hosts)
+			nRS := 40
+			if r.Short {
+				nRS = 10
+			}
+			hb, _ := d.StartHBase(hosts[:nRS], 8e6, r.Seed)
+
+			rows := make([]string, 4*nRS)
+			for i := range rows {
+				rows[i] = fmt.Sprintf("key-%05d", i)
+			}
+
+			q := r.Query(qRSCount)
+
+			nClients, ops := 128, 140
+			if r.Short {
+				nClients = 24
+			}
+			clients := d.StartClients(nClients, hosts)
+			hbClients := make([]*hbase.Client, len(clients))
+			for i, p := range clients {
+				hbClients[i] = hbase.NewClient(p, hb)
+			}
+			join := r.DriveAsync(clients, ops, func(i, k int, ctx context.Context, p *cluster.Process, rng *rand.Rand) error {
+				r.Env.Sleep(time.Duration(8+rng.Intn(8)) * time.Millisecond)
+				return hbClients[i].Get(ctx, rows[rng.Intn(len(rows))], 8e3)
+			})
+
+			probe := rows[0]
+			preHost := hb.HostFor(probe)
+			r.SettleTo(800 * time.Millisecond)
+			r.C.FlushAgents()
+			snap := groupVals(q.Rows())
+
+			// The storm: rotate every row's owner four times, 400ms apart,
+			// ending on a fixed shifted assignment.
+			for k := 1; k <= 4; k++ {
+				shift := k * 7
+				hb.SetRouting(func(row string, n int) int {
+					return (defaultRouteHash(row) + shift) % n
+				})
+				r.Logf("  rebalance: shift=%d at t=%s", shift, r.Env.Now())
+				r.Env.Sleep(400 * time.Millisecond)
+			}
+
+			r.Await("storm-spreads-load", q, 3, func(rowsT []tuple.Tuple) error {
+				g := growth(groupVals(rowsT), snap)
+				grew := 0
+				for _, v := range g {
+					if v > 0 {
+						grew++
+					}
+				}
+				if grew < 3*nRS/4 {
+					return fmt.Errorf("only %d of %d servers grew during the storm", grew, nRS)
+				}
+				return nil
+			})
+
+			var moved error
+			if now := hb.HostFor(probe); now == "" || now == preHost {
+				moved = fmt.Errorf("probe row %s still on %s", probe, preHost)
+			}
+			r.Expect("routing-shifted", moved)
+
+			join()
+			total := float64(r.Requests())
+			r.Await("gets-conserved", q, 1, func(rowsT []tuple.Tuple) error {
+				if got := sumVals(groupVals(rowsT)); got != total {
+					return fmt.Errorf("served %v != issued %v", got, total)
+				}
+				return nil
+			})
+			r.SettleTo(r.horizon())
+			return nil
+		},
+	}
+}
+
+// defaultRouteHash mirrors hbase's row hash so shifted routing stays a
+// deterministic rotation of the default assignment.
+func defaultRouteHash(row string) int {
+	h := 0
+	for _, c := range row {
+		h = h*31 + int(c)
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}
+
+// ---- 6. thundering herd -----------------------------------------------
+
+const qNNOpen = `From o In NN.Open
+GroupBy o.host
+Select o.host, COUNT`
+
+const qNNRename = `From o In NN.Rename
+GroupBy o.host
+Select o.host, COUNT`
+
+// ThunderingHerd slams the NameNode with over a thousand clients issuing
+// metadata operations back to back — the scale carrier: a million-plus
+// requests through one process, with exact op conservation at the end.
+func ThunderingHerd() *Scenario {
+	return &Scenario{
+		ID:           "herd",
+		Name:         "Thundering herd",
+		Description:  "1000+ clients hammer the NameNode; exact op conservation",
+		DefaultHosts: 1024,
+		ShortHosts:   64,
+		Horizon:      20 * time.Second,
+		Run: func(r *Run) error {
+			d := deploy(r.Env, r, 100*time.Millisecond)
+			hosts := d.WorkerNames(0)
+			d.StartDataNodes(hosts)
+
+			nClients, ops := 1152, 880
+			if r.Short {
+				nClients, ops = 96, 120
+			}
+
+			// Each client owns a private file it opens and renames, so
+			// concurrent renames never invalidate another client's ops.
+			ctx := d.Admin.NewRequest()
+			for i := 0; i < nClients; i++ {
+				if err := d.AdminFS.CreateMetadataOnly(ctx, fmt.Sprintf("/priv/c%04d", i), 1e3); err != nil {
+					return err
+				}
+			}
+
+			qOpen := r.Query(qNNOpen)
+			qRen := r.Query(qNNRename)
+
+			clients := d.StartClients(nClients, hosts)
+			fsClients := make([]*hdfs.Client, len(clients))
+			for i, p := range clients {
+				fsClients[i] = hdfs.NewClient(p, d.NN, hdfs.ClientConfig{RandomReplicaSelection: true, Seed: r.Seed})
+			}
+			// Every 10th op renames the private file back and forth; the
+			// rest open it under whichever name it currently has. Totals
+			// are exact functions of (nClients, ops).
+			join := r.DriveAsync(clients, ops, func(i, k int, ctx context.Context, p *cluster.Process, rng *rand.Rand) error {
+				a := fmt.Sprintf("/priv/c%04d", i)
+				b := a + "x"
+				// k/10 renames have completed before op k (they happen at
+				// k%10 == 9), so the file is at b after an odd number.
+				cur, other := a, b
+				if (k/10)%2 == 1 {
+					cur, other = b, a
+				}
+				if k%10 == 9 {
+					return fsClients[i].Rename(ctx, cur, other)
+				}
+				return fsClients[i].Open(ctx, cur)
+			})
+
+			wantRenames := float64(nClients * (ops / 10))
+			wantOpens := float64(nClients*ops) - wantRenames
+
+			// The herd must be visibly underway early; /20 (not a higher
+			// fraction) because the single NameNode's throughput bounds
+			// how many of the million-plus ops can have completed within
+			// the first second.
+			r.Await("herd-observed", qOpen, 10, func(rows []tuple.Tuple) error {
+				if got := sumVals(groupVals(rows)); got < wantOpens/20 {
+					return fmt.Errorf("only %v opens observed", got)
+				}
+				return nil
+			})
+
+			join()
+			var errCount error
+			if n := r.ClientErrors(); n != 0 {
+				errCount = fmt.Errorf("%d failed metadata ops", n)
+			}
+			r.Expect("zero-client-errors", errCount)
+			r.Await("opens-conserved", qOpen, 1, func(rows []tuple.Tuple) error {
+				if got := sumVals(groupVals(rows)); got != wantOpens {
+					return fmt.Errorf("opens %v != %v", got, wantOpens)
+				}
+				return nil
+			})
+			r.Await("renames-conserved", qRen, 1, func(rows []tuple.Tuple) error {
+				if got := sumVals(groupVals(rows)); got != wantRenames {
+					return fmt.Errorf("renames %v != %v", got, wantRenames)
+				}
+				return nil
+			})
+			r.SettleTo(r.horizon())
+			return nil
+		},
+	}
+}
+
+// ---- 7. rolling restarts ----------------------------------------------
+
+// RollingRestarts cycles workers through restart windows (DataNode
+// offline + NodeManager draining) under HDFS read load and a stream of
+// MapReduce jobs; replica fallback and pipeline recovery keep client
+// errors at zero.
+func RollingRestarts() *Scenario {
+	return &Scenario{
+		ID:           "rolling",
+		Name:         "Rolling restarts",
+		Description:  "workers restart one by one; fallback paths keep errors at zero",
+		DefaultHosts: 1024,
+		ShortHosts:   64,
+		Horizon:      20 * time.Second,
+		Run: func(r *Run) error {
+			d := deploy(r.Env, r, 200*time.Millisecond)
+			hosts := d.WorkerNames(0)
+			dns := d.StartDataNodes(hosts)
+			nNM, nRestart := 24, 8
+			if r.Short {
+				nNM, nRestart = 8, 4
+			}
+			rm, nms := d.StartYARN(hosts[:nNM], 8)
+			fw := d.StartMapReduce(rm, r.Seed)
+
+			const readSize = 64e3
+			files := d.Dataset(len(hosts), readSize)
+			input := "/data/mr-input"
+			adminCtx := d.Admin.NewRequest()
+			if err := d.AdminFS.CreateMetadataOnly(adminCtx, input, 2*hdfs.BlockSize); err != nil {
+				return err
+			}
+
+			qDN := r.Query(qDNCount)
+			qJob := r.Query(`From j In JobComplete
+GroupBy j.id
+Select j.id, COUNT`)
+
+			nClients, ops := 96, 100
+			if r.Short {
+				nClients = 24
+			}
+			clients := d.StartClients(nClients, hosts)
+			fsClients := make([]*hdfs.Client, len(clients))
+			for i, p := range clients {
+				fsClients[i] = hdfs.NewClient(p, d.NN, hdfs.ClientConfig{RandomReplicaSelection: true, Seed: r.Seed})
+			}
+			join := r.DriveAsync(clients, ops, func(i, k int, ctx context.Context, p *cluster.Process, rng *rand.Rand) error {
+				r.Env.Sleep(time.Duration(8+rng.Intn(8)) * time.Millisecond)
+				return fsClients[i].Read(ctx, files[rng.Intn(len(files))], 0, readSize)
+			})
+
+			// Job stream in the background (sequential, small jobs).
+			jobs := 3
+			if r.Short {
+				jobs = 2
+			}
+			submitter := d.C.Start("master", "JobClient")
+			var jobErr error
+			jobsDone := r.Env.NewWaitGroup()
+			jobsDone.Add(1)
+			r.Env.Go(func() {
+				defer jobsDone.Done()
+				for j := 0; j < jobs; j++ {
+					err := fw.Submit(submitter.NewRequest(), submitter, mapreduce.JobConfig{
+						Name:            fmt.Sprintf("etl%d", j),
+						Input:           input,
+						Reducers:        2,
+						MapOutputFactor: 0.1,
+						OutputFactor:    0.1,
+					})
+					r.AddRequests(1)
+					if err != nil && jobErr == nil {
+						jobErr = err
+					}
+				}
+			})
+
+			// Rolling restarts: DataNodes on a range disjoint from the NM
+			// hosts, NodeManagers from the tail of the NM range.
+			restartBase := nNM + 16
+			if r.Short {
+				restartBase = nNM + 4
+			}
+			for w := 0; w < nRestart; w++ {
+				dn := dns[restartBase+w]
+				nm := nms[nNM-1-(w%nNM)]
+				dnHost := dn.Proc.Info.Host
+				r.C.FlushAgents()
+				snap := groupVals(qDN.Rows())
+				dn.SetOffline(true)
+				nm.SetDraining(true)
+				r.Logf("  restart window: DN %s offline, NM %s draining at t=%s",
+					dnHost, nm.Proc.Info.Host, r.Env.Now())
+				if w == 0 {
+					r.Await("offline-dn-freezes", qDN, 3, func(rows []tuple.Tuple) error {
+						g := growth(groupVals(rows), snap)
+						if frozen, total := g[dnHost], sumVals(g); frozen > 2 || total < 50 {
+							return fmt.Errorf("offline %s grew %v of %v", dnHost, frozen, total)
+						}
+						return nil
+					})
+					// The RM must place around the draining node even when
+					// it is the preferred host.
+					cont, err := yarn.Allocate(submitter.NewRequest(), submitter, rm, "probe", nm.Proc.Info.Host)
+					if err == nil && cont.Host == nm.Proc.Info.Host {
+						err = fmt.Errorf("container granted on draining %s", cont.Host)
+					}
+					if err == nil {
+						cont.Release()
+					}
+					r.Expect("rm-avoids-draining", err)
+				} else {
+					r.Env.Sleep(500 * time.Millisecond)
+				}
+				dn.SetOffline(false)
+				nm.SetDraining(false)
+				r.Env.Sleep(100 * time.Millisecond)
+			}
+
+			// Recovery probe: the first restarted DataNode serves again.
+			r.C.FlushAgents()
+			snap := groupVals(qDN.Rows())
+			probeDN := dns[restartBase]
+			probeHost := probeDN.Proc.Info.Host
+			probeCtx := clients[0].NewRequest()
+			for i := 0; i < 5; i++ {
+				if _, err := clients[0].Call(probeCtx, probeDN.Proc, "DataTransferProtocol.ReadBlock",
+					hdfs.ReadBlockReq{Block: "probe", Length: readSize, DestHost: clients[0].Info.Host},
+					cluster.Sizes{Request: 200, Response: 64}); err != nil {
+					return fmt.Errorf("recovery probe: %w", err)
+				}
+				r.AddRequests(1)
+			}
+			r.Await("restarted-dn-recovers", qDN, 2, func(rows []tuple.Tuple) error {
+				g := growth(groupVals(rows), snap)
+				if g[probeHost] < 5 {
+					return fmt.Errorf("restarted %s served %v probe reads", probeHost, g[probeHost])
+				}
+				return nil
+			})
+
+			join()
+			jobsDone.Wait()
+			var errCount error
+			if n := r.ClientErrors(); n != 0 {
+				errCount = fmt.Errorf("%d client errors during restarts", n)
+			}
+			r.Expect("zero-client-errors", errCount)
+			r.Expect("jobs-complete", jobErr)
+			r.Await("jobs-observed", qJob, 1, func(rows []tuple.Tuple) error {
+				if got := sumVals(groupVals(rows)); got != float64(jobs) {
+					return fmt.Errorf("%v job completions != %d", got, jobs)
+				}
+				return nil
+			})
+			r.SettleTo(r.horizon())
+			return nil
+		},
+	}
+}

@@ -300,3 +300,92 @@ func TestMixIsInjectiveOverSmallRange(t *testing.T) {
 		seen[id] = true
 	}
 }
+
+// TestBuilderDuplicateBatchFirstCopyWins: a replayed batch whose spans
+// carry different field values (a buggy or racing reporter) must not
+// overwrite the copies already stored.
+func TestBuilderDuplicateBatchFirstCopyWins(t *testing.T) {
+	b := NewBuilder()
+	b.AddBatch(diamond())
+	forged := diamond()
+	for i := range forged {
+		forged[i].Tracepoint = "forged"
+		forged[i].Start += time.Hour
+	}
+	// The forged replay also smuggles in one genuinely new span.
+	forged = append(forged, Span{TraceID: 1, SpanID: 50, Parents: []uint64{40},
+		Tracepoint: "e", Start: 5 * time.Millisecond})
+	b.AddBatch(forged)
+
+	tr := b.Trace(1)
+	if len(tr.Nodes) != 5 {
+		t.Fatalf("nodes = %d, want 5 (4 originals + 1 new)", len(tr.Nodes))
+	}
+	for _, n := range tr.Nodes {
+		if n.SpanID != 50 && n.Tracepoint == "forged" {
+			t.Errorf("span %d was overwritten by the duplicate batch", n.SpanID)
+		}
+	}
+}
+
+// TestBuilderOrphanResolvedByLateParent: reconstruction is a pure
+// function of the stored set, so an orphan adopted under a synthetic
+// root is re-homed when its parent finally arrives in a late batch
+// (reordered delivery across agent reports).
+func TestBuilderOrphanResolvedByLateParent(t *testing.T) {
+	b := NewBuilder()
+	var root Span
+	for _, sp := range diamond() {
+		if sp.SpanID == 10 {
+			root = sp
+			continue // root delayed in transit
+		}
+		b.Add(sp)
+	}
+	if tr := b.Trace(1); !tr.Synthetic || tr.Orphans != 2 {
+		t.Fatalf("before late delivery: synthetic=%v orphans=%d, want true/2", tr.Synthetic, tr.Orphans)
+	}
+
+	b.AddBatch([]Span{root}) // the delayed batch lands
+	tr := b.Trace(1)
+	if tr.Synthetic || tr.Orphans != 0 {
+		t.Fatalf("after late delivery: synthetic=%v orphans=%d, want false/0", tr.Synthetic, tr.Orphans)
+	}
+	if tr.Root.SpanID != 10 {
+		t.Fatalf("root = %d, want the late-arriving 10", tr.Root.SpanID)
+	}
+}
+
+// TestCriticalPathTieBreaks pins the deterministic tie-breaks: when two
+// spans share the latest finish instant the path ends at the one with
+// the smaller SpanID, and when a node's parents tie the walk keeps the
+// first recorded parent.
+func TestCriticalPathTieBreaks(t *testing.T) {
+	b := NewBuilder()
+	b.AddBatch([]Span{
+		{TraceID: 7, SpanID: 1, Tracepoint: "root", Start: 0},
+		{TraceID: 7, SpanID: 2, Parents: []uint64{1}, Tracepoint: "a", Start: 10 * time.Millisecond},
+		{TraceID: 7, SpanID: 3, Parents: []uint64{1}, Tracepoint: "b", Start: 10 * time.Millisecond},
+	})
+	path := b.Trace(7).CriticalPath()
+	ids := pathIDs(path)
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("endpoint tie path = %v, want [1 2] (smaller SpanID wins)", ids)
+	}
+
+	// A leaf whose two parents tie: the first recorded parent (3) wins.
+	b.Add(Span{TraceID: 7, SpanID: 4, Parents: []uint64{3, 2}, Tracepoint: "join",
+		Start: 20 * time.Millisecond})
+	ids = pathIDs(b.Trace(7).CriticalPath())
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 3 || ids[2] != 4 {
+		t.Fatalf("parent tie path = %v, want [1 3 4] (first recorded parent wins)", ids)
+	}
+}
+
+func pathIDs(path []*Node) []uint64 {
+	out := make([]uint64, len(path))
+	for i, n := range path {
+		out[i] = n.SpanID
+	}
+	return out
+}

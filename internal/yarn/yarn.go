@@ -9,6 +9,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/simtime"
@@ -46,7 +48,28 @@ type NodeManager struct {
 	free *simtime.Semaphore
 	cap  int
 
+	// draining, when set, removes the node from container placement (a
+	// rolling restart or decommission); running containers finish.
+	draining atomic.Bool
+
 	tpLaunch *tracepoint.Tracepoint
+}
+
+// SetDraining marks the node as out of (or back into) container
+// placement. The RM skips draining nodes when granting containers.
+func (nm *NodeManager) SetDraining(d bool) { nm.draining.Store(d) }
+
+// Draining reports whether the node currently refuses new containers.
+func (nm *NodeManager) Draining() bool { return nm.draining.Load() }
+
+// NewNodeManagers is the bulk-spawn path: one NodeManager per host with
+// the same capacity, in order.
+func NewNodeManagers(c *cluster.Cluster, hosts []string, rm *ResourceManager, capacity int) []*NodeManager {
+	out := make([]*NodeManager, len(hosts))
+	for i, h := range hosts {
+		out[i] = NewNodeManager(c, h, rm, capacity)
+	}
+	return out
 }
 
 // NewNodeManager starts a NodeManager with the given container capacity on
@@ -84,35 +107,44 @@ type Container struct {
 func (rm *ResourceManager) handleAllocate(ctx context.Context, req any) (any, error) {
 	r := req.(AllocateReq)
 	// Wait for cluster capacity, then pick a node: preferred host if it
-	// has a free slot, else round-robin over nodes with capacity.
-	rm.avail.Acquire()
-	rm.mu.Lock()
-	var pick *NodeManager
-	for _, nm := range rm.nodes {
-		if nm.Proc.Info.Host == r.PreferredHost && nm.tryReserve() {
-			pick = nm
-			break
+	// has a free slot, else round-robin over nodes with capacity. The
+	// capacity semaphore can admit us while every placeable slot sits on
+	// a draining node (its slots still count until it re-registers), so
+	// placement retries on a short backoff instead of failing the job.
+	const maxTries = 1000
+	for try := 0; try < maxTries; try++ {
+		rm.avail.Acquire()
+		rm.mu.Lock()
+		var pick *NodeManager
+		for _, nm := range rm.nodes {
+			if nm.Proc.Info.Host == r.PreferredHost && nm.tryReserve() {
+				pick = nm
+				break
+			}
 		}
-	}
-	for i := 0; pick == nil && i < len(rm.nodes); i++ {
-		rm.rr = (rm.rr + 1) % len(rm.nodes)
-		if rm.nodes[rm.rr].tryReserve() {
-			pick = rm.nodes[rm.rr]
+		for i := 0; pick == nil && i < len(rm.nodes); i++ {
+			rm.rr = (rm.rr + 1) % len(rm.nodes)
+			if rm.nodes[rm.rr].tryReserve() {
+				pick = rm.nodes[rm.rr]
+			}
 		}
-	}
-	rm.mu.Unlock()
-	if pick == nil {
-		// Capacity semaphore said a slot exists; racing releases make this
-		// transient. Retry by failing upward — callers retry.
+		rm.mu.Unlock()
+		if pick != nil {
+			rm.tpAllocate.Here(ctx, r.PreferredHost, pick.Proc.Info.Host)
+			return Container{App: r.App, Host: pick.Proc.Info.Host, nm: pick}, nil
+		}
 		rm.avail.Release()
-		return nil, fmt.Errorf("yarn: no container available despite capacity")
+		rm.Proc.C.Env.Sleep(time.Millisecond)
 	}
-	rm.tpAllocate.Here(ctx, r.PreferredHost, pick.Proc.Info.Host)
-	return Container{App: r.App, Host: pick.Proc.Info.Host, nm: pick}, nil
+	return nil, fmt.Errorf("yarn: no container available despite capacity")
 }
 
-// tryReserve takes a slot if one is immediately free.
+// tryReserve takes a slot if one is immediately free and the node is
+// accepting containers.
 func (nm *NodeManager) tryReserve() bool {
+	if nm.draining.Load() {
+		return false
+	}
 	return nm.free.TryAcquire()
 }
 
