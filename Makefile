@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check fmt vet build test race bench bench-gate stress fuzz-smoke coverage differential safety scenarios scenarios-short
+.PHONY: check fmt vet build test race bench bench-gate stress fuzz-smoke coverage differential combiner safety scenarios scenarios-short
 
 check: fmt vet build race fuzz-smoke
 
@@ -72,9 +72,18 @@ scenarios:
 	$(GO) run ./cmd/ptbench -all
 
 # The differential query-correctness sweeps (plain and budgeted) under
-# the race detector.
+# the race detector, in both topologies: flat agent→frontend merge and
+# the 2-tier combiner tree, which must agree byte-for-byte.
 differential:
-	PT_DIFF_CASES=500 $(GO) test ./pivot -race -run 'TestDifferentialPipelineMatchesOracle|TestBudgetedDifferentialTruncationAccounted'
+	PT_DIFF_CASES=500 $(GO) test ./pivot -race -run 'TestDifferentialPipelineMatchesOracle|TestBudgetedDifferentialTruncationAccounted|TestDifferentialTreeMatchesFlat|TestBudgetedDifferentialTreeTruncationAccounted'
+
+# The combiner-tier suite: partition/rendezvous unit tests, tree wiring,
+# tenant fair-share control plane, combiner-kill chaos, and the tree
+# differential sweeps at a reduced case count — all under -race.
+combiner:
+	$(GO) test ./internal/combiner ./internal/cluster ./internal/core -race
+	$(GO) test ./pivot -race -count=2 -run 'TestCombinerKillRehomesAndConservesTuples'
+	PT_DIFF_CASES=120 $(GO) test ./pivot -race -run 'TestDifferentialTreeMatchesFlat|TestBudgetedDifferentialTreeTruncationAccounted'
 
 # The safety-valve chaos suite: advice quarantine, frontend-kill lease
 # expiry, budget exhaustion accounting, and the governance unit tests —

@@ -44,7 +44,18 @@ const (
 	// volume never competes with query results, and dropped trace frames
 	// are not retained/replayed — spans are strictly best-effort.
 	TraceTopic = "pt.trace"
+	// tenantResultsPrefix prefixes the per-tenant result topics a combiner
+	// tree routes merged frames to (see TenantResultsTopic).
+	tenantResultsPrefix = "pt.results.t."
 )
+
+// TenantResultsTopic is the per-tenant results topic: a combiner tree with
+// tenant routing forwards a tenant's merged report frames here, and only
+// that tenant's frontend subscribes — so per-frontend inbound traffic
+// scales with the tree, not with the cluster.
+func TenantResultsTopic(tenant string) string {
+	return tenantResultsPrefix + tenant
+}
 
 // MetaReportTracepoint is the meta-tracepoint crossed once per report the
 // agent publishes, letting Pivot Tracing queries observe Pivot Tracing's
@@ -93,6 +104,15 @@ type Install struct {
 	TTL time.Duration
 	// Limits bounds the agent-side accumulator for this query.
 	Limits advice.Limits
+	// Tenant names the frontend that owns this query ("" = the primary
+	// frontend). Agents account per-tenant tuple usage against it, and a
+	// tenant-routing combiner learns the query→tenant mapping from it.
+	Tenant string
+	// Share is the fair-share divisor the installing frontend applied to
+	// its budgets (how many tenants split the agent's capacity); carried on
+	// the wire so agents and operators can audit the split. Zero or one
+	// means the full, unsplit budget.
+	Share int
 }
 
 // Uninstall instructs agents to remove a query's advice.
@@ -236,6 +256,34 @@ type Stats struct {
 	SpansCaptured int64 // spans recorded at tracepoint crossings
 	SpansDropped  int64 // spans overwritten in the ring before shipping
 	SpanBatches   int64 // SpanBatch frames published on TraceTopic
+
+	// Combiner counters (zero for ordinary agents). A combiner tier
+	// heartbeats with the same Stats shape so ptstat shows the whole
+	// aggregation tree in one table: reports merged in from downstream and
+	// frames forwarded upstream. Merged − forwarded traffic is the tree's
+	// whole point; both sides are counted so the reduction is auditable.
+	CombinerReportsMerged int64 // downstream reports folded into tier state
+	CombinerFramesOut     int64 // merged frames forwarded upstream
+}
+
+// TenantQuota is one tenant's resource usage at one process, as accounted
+// by its agent: live queries owned by the tenant and cumulative tuples its
+// queries emitted there. Published inside TenantUsage frames.
+type TenantQuota struct {
+	Tenant  string
+	Queries int64
+	Tuples  int64
+}
+
+// TenantUsage carries one process's per-tenant quota counters, published
+// on HealthTopic at each flush while any tenant-owned query is installed.
+// The primary frontend aggregates these into core.Status's tenants table,
+// making the fair-share split observable on the wire.
+type TenantUsage struct {
+	Host     string
+	ProcName string
+	Time     time.Duration
+	Usage    []TenantQuota // sorted by tenant
 }
 
 // Agent is the per-process Pivot Tracing runtime.
@@ -258,6 +306,13 @@ type Agent struct {
 	// ablate sharding.
 	accShards  atomic.Int64
 	batchBytes atomic.Int64 // ReportBatch size cap; <= 0 = DefaultBatchBytes
+	// reportTopic overrides the topic report batches are published on (a
+	// combiner tree assigns each agent its hash partition); nil selects
+	// ResultsTopic.
+	reportTopic atomic.Pointer[string]
+	// tenantTuples is the cumulative per-tenant tuple usage accounted at
+	// flush time (cold path, under mu — the hot emit path stays untouched).
+	tenantTuples map[string]int64
 
 	tuplesEmitted atomic.Int64
 	rowsReported  atomic.Int64
@@ -375,6 +430,7 @@ type queryState struct {
 	limits advice.Limits
 	ttl    time.Duration // lease duration; 0 = immortal
 	expiry time.Duration // agent-clock deadline; 0 = immortal
+	tenant string        // owning tenant frontend; "" = primary
 	drops  map[baggage.DropRecord]bool
 }
 
@@ -472,7 +528,7 @@ func (a *Agent) install(m Install) {
 	if _, ok := a.queries[m.QueryID]; ok {
 		return // already installed
 	}
-	qs := &queryState{programs: m.Programs, wovenTPs: make(map[string]bool), limits: m.Limits, ttl: m.TTL}
+	qs := &queryState{programs: m.Programs, wovenTPs: make(map[string]bool), limits: m.Limits, ttl: m.TTL, tenant: m.Tenant}
 	if m.TTL > 0 {
 		qs.expiry = a.now() + m.TTL
 	}
@@ -509,6 +565,27 @@ func (a *Agent) SetAccumulatorShards(n int) {
 // (alone in its own batch) — the cap splits, it never drops.
 func (a *Agent) SetBatchBytes(n int) {
 	a.batchBytes.Store(int64(n))
+}
+
+// SetReportTopic redirects the agent's report batches to topic — a
+// combiner tree assigns each agent its hash-partition topic here, so no
+// single process subscribes to every agent's traffic. Empty restores
+// ResultsTopic. Heartbeats, spans, and quarantine notices keep their own
+// topics; only result frames are partitioned.
+func (a *Agent) SetReportTopic(topic string) {
+	if topic == "" || topic == ResultsTopic {
+		a.reportTopic.Store(nil)
+		return
+	}
+	a.reportTopic.Store(&topic)
+}
+
+// ReportTopic returns the topic report batches are currently published on.
+func (a *Agent) ReportTopic() string {
+	if t := a.reportTopic.Load(); t != nil {
+		return *t
+	}
+	return ResultsTopic
 }
 
 // ensureAcc returns the query's accumulator, creating and publishing it on
@@ -681,6 +758,7 @@ func (a *Agent) Flush() {
 		acc     *advice.Accumulator // drained snapshot, exclusively owned
 		drops   []baggage.DropRecord
 		tuples  int64
+		tenant  string
 		flushNS int64
 	}
 	var out []pending
@@ -690,7 +768,7 @@ func (a *Agent) Flush() {
 			continue
 		}
 		drainStart := time.Now()
-		p := pending{id: id, tuples: qs.tuples.Swap(0)}
+		p := pending{id: id, tuples: qs.tuples.Swap(0), tenant: qs.tenant}
 		if acc != nil {
 			// Drain steals the shard contents under short per-shard locks
 			// and merges outside them; the result is exclusively ours, so
@@ -721,6 +799,33 @@ func (a *Agent) Flush() {
 		out = append(out, p)
 	}
 	nQueries := len(a.queries)
+	// Per-tenant quota accounting happens here on the cold path: fold the
+	// tuples each flush drains into the owning tenant's cumulative total,
+	// then snapshot live query counts per tenant. EmitTuple never sees any
+	// of this.
+	for _, p := range out {
+		if p.tenant == "" || p.tuples == 0 {
+			continue
+		}
+		if a.tenantTuples == nil {
+			a.tenantTuples = make(map[string]int64)
+		}
+		a.tenantTuples[p.tenant] += p.tuples
+	}
+	var usage []TenantQuota
+	if len(a.tenantTuples) > 0 {
+		queriesBy := make(map[string]int64)
+		for _, qs := range a.queries {
+			if qs.tenant != "" {
+				queriesBy[qs.tenant]++
+			}
+		}
+		usage = make([]TenantQuota, 0, len(a.tenantTuples))
+		for tenant, tuples := range a.tenantTuples {
+			usage = append(usage, TenantQuota{Tenant: tenant, Queries: queriesBy[tenant], Tuples: tuples})
+		}
+		sort.Slice(usage, func(i, j int) bool { return usage[i].Tenant < usage[j].Tenant })
+	}
 	a.mu.Unlock()
 
 	// Deterministic order across queries.
@@ -769,6 +874,14 @@ func (a *Agent) Flush() {
 		Queries:  nQueries,
 		Stats:    a.Stats(),
 	})
+	if len(usage) > 0 {
+		a.bus.Publish(HealthTopic, TenantUsage{
+			Host:     a.proc.Host,
+			ProcName: a.proc.ProcName,
+			Time:     a.now(),
+			Usage:    usage,
+		})
+	}
 	// Cross the agent.Report meta-tracepoint last, with no agent locks
 	// held: its woven advice re-enters the agent via EmitTuple, and the
 	// tuples it emits belong to the next interval.
@@ -782,13 +895,15 @@ func (a *Agent) Flush() {
 }
 
 // publishBatches coalesces this interval's reports into ReportBatch frames
-// on ResultsTopic, starting a new frame whenever adding the next report
+// on the agent's report topic (ResultsTopic unless SetReportTopic
+// partitioned it), starting a new frame whenever adding the next report
 // would push the approximate payload past the batch-size cap. A single
 // report larger than the cap still ships, alone in its own frame.
 func (a *Agent) publishBatches(reports []Report) {
 	if len(reports) == 0 {
 		return
 	}
+	topic := a.ReportTopic()
 	limit := int(a.batchBytes.Load())
 	if limit <= 0 {
 		limit = DefaultBatchBytes
@@ -803,7 +918,7 @@ func (a *Agent) publishBatches(reports []Report) {
 		if m := a.meters.Load(); m != nil {
 			m.batchesC.Inc()
 		}
-		a.bus.Publish(ResultsTopic, ReportBatch{
+		a.bus.Publish(topic, ReportBatch{
 			Host:     a.proc.Host,
 			ProcName: a.proc.ProcName,
 			Time:     a.now(),
@@ -916,6 +1031,12 @@ func (a *Agent) publishExplain(flushNS map[string]int64, now time.Duration) {
 		a.bus.Publish(TraceTopic, es)
 	}
 }
+
+// ReportSize approximates one report's encoded payload size with the
+// arithmetic size model — the same figure publishBatches splits on.
+// Combiner tiers reuse it so their upstream frames honor the identical
+// batch-size discipline.
+func ReportSize(r *Report) int { return reportSize(r) }
 
 // reportSize approximates the report's encoded payload size using the
 // arithmetic size model (tuple.SizeTuple, agg.State.EncodedSize) — no

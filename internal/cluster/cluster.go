@@ -73,6 +73,8 @@ type Cluster struct {
 	nextID  int64
 	spansOn bool
 	spanCap int
+	tenants []*core.PivotTracing // additional tenant frontends (tree.go)
+	tree    *CombinerTree        // hierarchical aggregation tiers, if enabled
 }
 
 // New creates an empty cluster.
@@ -95,7 +97,7 @@ func New(env *simtime.Env, cfg Config) *Cluster {
 	env.Go(func() {
 		for !env.Done() {
 			env.Sleep(agent.DefaultLease / 3)
-			c.PT.RenewLeases()
+			c.RenewLeases()
 		}
 	})
 	return c
@@ -250,15 +252,29 @@ func (c *Cluster) start(hostName, procName string, monitored bool) *Process {
 	c.byName[key] = p
 	c.procs = append(c.procs, p)
 	spansOn, spanCap := c.spansOn, c.spanCap
+	parts := 0
+	if c.tree != nil {
+		parts = c.tree.Partitions
+	}
+	tenants := append([]*core.PivotTracing(nil), c.tenants...)
 	c.mu.Unlock()
 	if monitored {
 		p.Agent = agent.New(c.Env, p.Info, p.Reg, c.Bus, c.cfg.ReportInterval)
 		if spansOn {
 			p.Agent.EnableSpans(uint64(p.Info.ProcID)<<32, spanCap)
 		}
-		// Replay standing queries so late-started processes participate.
+		if parts > 0 {
+			p.Agent.SetReportTopic(agentPartitionTopic(hostName, procName, parts))
+		}
+		// Replay standing queries so late-started processes participate —
+		// the primary's and every tenant frontend's.
 		for _, msg := range c.PT.Installs() {
 			p.Agent.Deliver(msg)
+		}
+		for _, t := range tenants {
+			for _, msg := range t.Installs() {
+				p.Agent.Deliver(msg)
+			}
 		}
 	}
 	// Every process has the file-stream tracepoints (the paper instruments
@@ -301,13 +317,16 @@ func (c *Cluster) Procs() []*Process {
 }
 
 // FlushAgents forces every agent to report immediately (used at experiment
-// shutdown so the final interval is not lost).
+// shutdown so the final interval is not lost). With a combiner tree
+// enabled, the tiers are flushed afterwards in dataflow order so the
+// agents' final reports reach the frontends too.
 func (c *Cluster) FlushAgents() {
 	for _, p := range c.Procs() {
 		if p.Agent != nil {
 			p.Agent.Flush()
 		}
 	}
+	c.FlushTree()
 }
 
 // WeaveAll weaves advice into the named tracepoint in every process that

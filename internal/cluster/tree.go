@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/combiner"
+	"repro/internal/core"
+)
+
+// This file wires the hierarchical-aggregation and multi-tenant layers
+// over a simulated cluster: a 2-tier combiner tree (agents → partitioned
+// mid combiners → root combiner → frontends) and additional tenant
+// frontends sharing the deployment's bus and master registry.
+
+// TreeSpec configures a combiner tree for EnableCombinerTree.
+type TreeSpec struct {
+	// MidCombiners is the mid-tier width (rack/pod aggregators); <= 0
+	// selects 4.
+	MidCombiners int
+	// Partitions is how many partition topics agent report traffic is
+	// sharded across; <= 0 selects 4 * MidCombiners (several partitions
+	// per combiner keeps rendezvous rebalancing granular).
+	Partitions int
+	// TenantRouting makes the root tier deliver each tenant's queries on
+	// that tenant's own results topic.
+	TenantRouting bool
+	// Interval is the combiner flush cadence; <= 0 selects the cluster's
+	// agent reporting interval.
+	Interval time.Duration
+}
+
+// CombinerTree is a running 2-tier aggregation tree.
+type CombinerTree struct {
+	Mid        []*combiner.Combiner
+	Root       *combiner.Combiner
+	Partitions int
+}
+
+// Stats sums merge/forward accounting across all tiers.
+func (t *CombinerTree) Stats() (reportsMerged, framesOut int64) {
+	for _, m := range t.Mid {
+		s := m.Stats()
+		reportsMerged += s.CombinerReportsMerged
+		framesOut += s.CombinerFramesOut
+	}
+	s := t.Root.Stats()
+	return reportsMerged + s.CombinerReportsMerged, framesOut + s.CombinerFramesOut
+}
+
+// EnableCombinerTree stands up a 2-tier combiner tree on the cluster bus
+// and re-points every agent (current and future) at its partition topic.
+// Agent reports then flow partition → owning mid combiner → root →
+// frontend(s), so no frontend subscription scales with agent count. Call
+// once, before or after starting processes.
+func (c *Cluster) EnableCombinerTree(spec TreeSpec) *CombinerTree {
+	if spec.MidCombiners <= 0 {
+		spec.MidCombiners = 4
+	}
+	if spec.Partitions <= 0 {
+		spec.Partitions = 4 * spec.MidCombiners
+	}
+	if spec.Interval <= 0 {
+		spec.Interval = c.cfg.ReportInterval
+	}
+
+	members := make([]string, spec.MidCombiners)
+	for i := range members {
+		members[i] = fmt.Sprintf("combiner-mid-%d", i)
+	}
+	topics := combiner.PartitionTopics(spec.Partitions)
+	tree := &CombinerTree{Partitions: spec.Partitions}
+	for _, name := range members {
+		tree.Mid = append(tree.Mid, combiner.New(c.Env, "combiners", name, c.Bus, combiner.Config{
+			Interval:  spec.Interval,
+			Subscribe: combiner.Owned(topics, members, name),
+			Upstream:  combiner.RootTopic,
+		}))
+	}
+	tree.Root = combiner.New(c.Env, "combiners", "combiner-root", c.Bus, combiner.Config{
+		Interval:      spec.Interval,
+		Subscribe:     []string{combiner.RootTopic},
+		TenantRouting: spec.TenantRouting,
+	})
+
+	c.mu.Lock()
+	c.tree = tree
+	procs := append([]*Process(nil), c.procs...)
+	c.mu.Unlock()
+	for _, p := range procs {
+		if p.Agent != nil {
+			p.Agent.SetReportTopic(agentPartitionTopic(p.Info.Host, p.Info.ProcName, spec.Partitions))
+		}
+	}
+	return tree
+}
+
+// Tree returns the cluster's combiner tree, or nil if none was enabled.
+func (c *Cluster) Tree() *CombinerTree {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tree
+}
+
+func agentPartitionTopic(host, proc string, parts int) string {
+	return combiner.PartitionTopic(combiner.Partition(host, proc, parts), parts)
+}
+
+// FlushTree flushes the tree tiers in dataflow order (mids, then root) so
+// everything agents have already published reaches the frontends. Safe to
+// call with no tree enabled.
+func (c *Cluster) FlushTree() {
+	tree := c.Tree()
+	if tree == nil {
+		return
+	}
+	for _, m := range tree.Mid {
+		m.Flush()
+	}
+	tree.Root.Flush()
+}
+
+// NewTenantFrontend creates an additional frontend for the named tenant
+// on the cluster's bus, sharing the master tracepoint registry. share is
+// the fair-share divisor applied to the tenant's install budgets
+// (normally the planned tenant count). The cluster renews the tenant's
+// leases alongside the primary's, and processes started later replay the
+// tenant's installs like the primary's.
+func (c *Cluster) NewTenantFrontend(tenant string, share int) *core.PivotTracing {
+	pt := core.NewWithOptions(c.Bus, c.PT.Registry(), core.Options{Tenant: tenant, Share: share})
+	c.mu.Lock()
+	c.tenants = append(c.tenants, pt)
+	c.mu.Unlock()
+	return pt
+}
+
+// TenantFrontends returns the live tenant frontends in creation order.
+func (c *Cluster) TenantFrontends() []*core.PivotTracing {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*core.PivotTracing(nil), c.tenants...)
+}
+
+// DropTenantFrontend disconnects a tenant frontend: it stops receiving
+// results and the cluster stops renewing its leases, so agents shed its
+// queries at lease expiry — the tenant-death story.
+func (c *Cluster) DropTenantFrontend(pt *core.PivotTracing) {
+	c.mu.Lock()
+	for i, t := range c.tenants {
+		if t == pt {
+			c.tenants = append(c.tenants[:i], c.tenants[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+	pt.Close()
+}
+
+// RenewLeases renews the primary's and every tenant frontend's query
+// leases. The cluster's renewal loop calls this on the virtual clock.
+func (c *Cluster) RenewLeases() {
+	c.PT.RenewLeases()
+	for _, t := range c.TenantFrontends() {
+		t.RenewLeases()
+	}
+}

@@ -1,0 +1,91 @@
+package combiner
+
+import "fmt"
+
+// Topic partitioning: agent report traffic is sharded across a fixed set
+// of partition topics by a stable hash of the agent's identity, so each
+// combiner owns a disjoint subscription set and no single process — bus
+// server aside — sees every agent's frames. Partition count is fixed per
+// deployment (it names the topics); combiner membership is not: ownership
+// of partitions rebalances with rendezvous hashing, which moves only the
+// partitions of the member that joined or left.
+
+// partitionPrefix prefixes every partition topic name.
+const partitionPrefix = "pt.report.p"
+
+// fnv1a is the 64-bit FNV-1a hash — dependency-free, stable across runs
+// and platforms, and mixed enough to spread sequential host names.
+func fnv1a(parts ...string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, s := range parts {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime
+		}
+		h ^= 0xff // separator so ("ab","c") and ("a","bc") differ
+		h *= prime
+	}
+	return h
+}
+
+// Partition returns which of parts partitions the agent identified by
+// host/proc publishes on. The hash is stable: the same agent always lands
+// on the same partition, so mid-tier state for its queries never splits
+// across combiners within one deployment.
+func Partition(host, proc string, parts int) int {
+	if parts <= 1 {
+		return 0
+	}
+	return int(fnv1a(host, proc) % uint64(parts))
+}
+
+// PartitionTopic names partition part of a parts-way sharding. The total
+// is baked into the name so differently-sized deployments on one bus can
+// never cross-subscribe.
+func PartitionTopic(part, parts int) string {
+	return fmt.Sprintf("%s%dof%d", partitionPrefix, part, parts)
+}
+
+// PartitionTopics returns all parts partition topic names, in order.
+func PartitionTopics(parts int) []string {
+	if parts <= 0 {
+		parts = 1
+	}
+	out := make([]string, parts)
+	for i := range out {
+		out[i] = PartitionTopic(i, parts)
+	}
+	return out
+}
+
+// Assign maps a partition topic to the combiner that owns it, by
+// rendezvous (highest-random-weight) hashing over the member names: each
+// member scores the topic and the highest score wins. When a member
+// leaves, only the partitions it owned move; when one joins, it steals
+// only the partitions it now scores highest on — no global reshuffle
+// either way. Returns "" for an empty membership.
+func Assign(topic string, members []string) string {
+	best, bestScore := "", uint64(0)
+	for _, m := range members {
+		score := fnv1a(m, topic)
+		if best == "" || score > bestScore || (score == bestScore && m < best) {
+			best, bestScore = m, score
+		}
+	}
+	return best
+}
+
+// Owned filters topics down to those Assign gives to member.
+func Owned(topics []string, members []string, member string) []string {
+	var out []string
+	for _, t := range topics {
+		if Assign(t, members) == member {
+			out = append(out, t)
+		}
+	}
+	return out
+}

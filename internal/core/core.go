@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/advice"
@@ -36,6 +37,12 @@ type PivotTracing struct {
 	nextID    int
 	agents    map[string]*agentHealth
 
+	// tenant/share configure multi-tenant operation (see tenant.go);
+	// framesIn counts inbound result frames — the per-frontend load meter.
+	tenant   string
+	share    int
+	framesIn atomic.Int64
+
 	tel           *telemetry.Registry
 	reportsMerged *telemetry.Counter
 	groupsMerged  *telemetry.Counter
@@ -54,6 +61,7 @@ type PivotTracing struct {
 	explain     map[explainKey]agent.ExplainStats
 
 	resultsSub    bus.Subscription
+	tenantSub     bus.Subscription
 	healthSub     bus.Subscription
 	statusSub     bus.Subscription
 	quarantineSub bus.Subscription
@@ -68,8 +76,14 @@ type explainKey struct {
 // New creates a frontend bound to the bus and the master tracepoint
 // registry (the shared vocabulary of tracepoint definitions).
 func New(b *bus.Bus, reg *tracepoint.Registry) *PivotTracing {
+	return NewWithOptions(b, reg, Options{})
+}
+
+// newFrontend builds the frontend state without any bus subscriptions;
+// NewWithOptions wires the subscription set the tenancy options call for.
+func newFrontend(b *bus.Bus, reg *tracepoint.Registry) *PivotTracing {
 	tel := telemetry.NewRegistry()
-	pt := &PivotTracing{
+	return &PivotTracing{
 		bus:           b,
 		reg:           reg,
 		installed:     make(map[string]*Installed),
@@ -83,12 +97,6 @@ func New(b *bus.Bus, reg *tracepoint.Registry) *PivotTracing {
 		quarantinesC:  tel.Counter("core.quarantines"),
 		firstResultNS: tel.Histogram("core.install.to.first.ns"),
 	}
-	pt.resultsSub = b.Subscribe(agent.ResultsTopic, pt.onReport)
-	pt.healthSub = b.Subscribe(agent.HealthTopic, pt.onHeartbeat)
-	pt.statusSub = b.Subscribe(agent.StatusRequestTopic, pt.onStatusRequest)
-	pt.quarantineSub = b.Subscribe(agent.QuarantineTopic, pt.onQuarantine)
-	pt.traceSub = b.Subscribe(agent.TraceTopic, pt.onTrace)
-	return pt
 }
 
 // EnableTraceCollection starts collecting agent-shipped spans into
@@ -191,7 +199,13 @@ func (pt *PivotTracing) InstallNamed(name, text string, opts plan.Options) (*Ins
 	pt.mu.Lock()
 	if name == "" {
 		pt.nextID++
-		name = fmt.Sprintf("Q%d", pt.nextID)
+		// Tenant frontends prefix their auto-names with the tenant ID so
+		// concurrent frontends allocate from disjoint namespaces.
+		if pt.tenant != "" {
+			name = fmt.Sprintf("%s.Q%d", pt.tenant, pt.nextID)
+		} else {
+			name = fmt.Sprintf("Q%d", pt.nextID)
+		}
 	}
 	if _, dup := pt.installed[name]; dup {
 		pt.mu.Unlock()
@@ -203,6 +217,11 @@ func (pt *PivotTracing) InstallNamed(name, text string, opts plan.Options) (*Ins
 		named[k] = v
 	}
 	pt.mu.Unlock()
+
+	// Fair-share the accumulator limits and baggage budget across the
+	// declared tenant count before compiling (the budget is baked into the
+	// compiled programs' safety envelope).
+	pt.applyFairShare(&opts.Limits, &opts.Safety.Budget)
 
 	p, err := plan.Compile(q, pt.reg, named, opts)
 	if err != nil {
@@ -239,6 +258,8 @@ func (pt *PivotTracing) InstallNamed(name, text string, opts plan.Options) (*Ins
 		Programs: p.Programs,
 		TTL:      lease,
 		Limits:   opts.Limits,
+		Tenant:   pt.tenant,
+		Share:    pt.share,
 	})
 	// Cross the tracepoint.Weave meta-tracepoint after the weave
 	// instructions are out and with no frontend locks held: woven advice
@@ -271,6 +292,8 @@ func (pt *PivotTracing) Installs() []agent.Install {
 			Programs: h.Plan.Programs,
 			TTL:      h.lease,
 			Limits:   h.limits,
+			Tenant:   pt.tenant,
+			Share:    pt.share,
 		})
 	}
 	return out
@@ -322,6 +345,7 @@ func (pt *PivotTracing) SetLease(name string, ttl time.Duration) error {
 // and delivered to listeners — individually, in batch order, so consumers
 // observe exactly the stream they would have seen unbatched.
 func (pt *PivotTracing) onReport(msg any) {
+	pt.framesIn.Add(1)
 	switch m := msg.(type) {
 	case agent.Report:
 		pt.mergeReport(m)
@@ -597,9 +621,11 @@ func (h *Installed) Uninstall() {
 	h.pt.bus.Publish(agent.ControlTopic, agent.Uninstall{QueryID: h.Name})
 }
 
-// Close unsubscribes the frontend from the bus.
+// Close unsubscribes the frontend from the bus. (Unsubscribing a zero
+// Subscription is a no-op, so the tenant/primary split needs no cases.)
 func (pt *PivotTracing) Close() {
 	pt.bus.Unsubscribe(pt.resultsSub)
+	pt.bus.Unsubscribe(pt.tenantSub)
 	pt.bus.Unsubscribe(pt.healthSub)
 	pt.bus.Unsubscribe(pt.statusSub)
 	pt.bus.Unsubscribe(pt.quarantineSub)

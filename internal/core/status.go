@@ -24,7 +24,8 @@ const StaleAfterIntervals = 3
 
 // agentHealth is the frontend's record of one agent, keyed by host/proc.
 type agentHealth struct {
-	hb agent.Heartbeat
+	hb    agent.Heartbeat
+	usage []agent.TenantQuota // latest per-tenant quota usage, if any
 }
 
 // AgentHealth is one agent's health as judged by the frontend.
@@ -56,24 +57,33 @@ type Status struct {
 	Now       time.Duration
 	Agents    []AgentHealth
 	Queries   []QueryStatus
+	Tenants   []TenantStatus // fleet-wide per-tenant quota usage
 	Telemetry telemetry.Snapshot
 }
 
-// onHeartbeat records an agent's liveness beacon.
+// onHeartbeat records an agent's liveness beacon; TenantUsage frames ride
+// the same topic and update the agent's per-tenant quota snapshot.
 func (pt *PivotTracing) onHeartbeat(msg any) {
-	hb, ok := msg.(agent.Heartbeat)
-	if !ok {
-		return
+	switch m := msg.(type) {
+	case agent.Heartbeat:
+		pt.mu.Lock()
+		pt.agentRecLocked(m.Host, m.ProcName).hb = m
+		pt.mu.Unlock()
+	case agent.TenantUsage:
+		pt.mu.Lock()
+		pt.agentRecLocked(m.Host, m.ProcName).usage = m.Usage
+		pt.mu.Unlock()
 	}
-	key := hb.Host + "/" + hb.ProcName
-	pt.mu.Lock()
+}
+
+func (pt *PivotTracing) agentRecLocked(host, proc string) *agentHealth {
+	key := host + "/" + proc
 	rec, ok := pt.agents[key]
 	if !ok {
 		rec = &agentHealth{}
 		pt.agents[key] = rec
 	}
-	rec.hb = hb
-	pt.mu.Unlock()
+	return rec
 }
 
 // onStatusRequest answers a bus status query with the rendered status.
@@ -99,6 +109,8 @@ func (pt *PivotTracing) Status() Status {
 func (pt *PivotTracing) StatusAt(now time.Duration) Status {
 	pt.mu.Lock()
 	agents := make([]AgentHealth, 0, len(pt.agents))
+	byTenant := make(map[string]*TenantStatus)
+	var tenantNames []string
 	for _, rec := range pt.agents {
 		hb := rec.hb
 		age := now - hb.Time
@@ -111,6 +123,21 @@ func (pt *PivotTracing) StatusAt(now time.Duration) Status {
 			Queries:  hb.Queries,
 			Stats:    hb.Stats,
 		})
+		for _, u := range rec.usage {
+			ts := byTenant[u.Tenant]
+			if ts == nil {
+				ts = &TenantStatus{Tenant: u.Tenant}
+				byTenant[u.Tenant] = ts
+				tenantNames = append(tenantNames, u.Tenant)
+			}
+			ts.Agents++
+			// Max across agents = the tenant's distinct installed query
+			// set (every agent weaves every install); tuples sum.
+			if q := int(u.Queries); q > ts.Queries {
+				ts.Queries = q
+			}
+			ts.Tuples += u.Tuples
+		}
 	}
 	handles := make([]*Installed, 0, len(pt.installed))
 	for _, h := range pt.installed {
@@ -147,10 +174,17 @@ func (pt *PivotTracing) StatusAt(now time.Duration) Status {
 	}
 	sort.Slice(queries, func(i, j int) bool { return queries[i].Name < queries[j].Name })
 
+	sort.Strings(tenantNames)
+	tenants := make([]TenantStatus, 0, len(tenantNames))
+	for _, name := range tenantNames {
+		tenants = append(tenants, *byTenant[name])
+	}
+
 	return Status{
 		Now:       now,
 		Agents:    agents,
 		Queries:   queries,
+		Tenants:   tenants,
 		Telemetry: pt.tel.Snapshot(),
 	}
 }
@@ -186,6 +220,9 @@ var statColumns = map[string]string{
 	"SpansCaptured": "spans",
 	"SpansDropped":  "spandrop",
 	"SpanBatches":   "", // framing detail; spans/spandrop carry the signal
+
+	"CombinerReportsMerged": "cmerged",
+	"CombinerFramesOut":     "cfwd",
 }
 
 // RenderStatus formats a Status as the aligned tables cmd/ptstat prints:
@@ -194,23 +231,24 @@ var statColumns = map[string]string{
 func RenderStatus(s Status) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "agents (%d):\n", len(s.Agents))
-	fmt.Fprintf(&b, "  %-24s %-12s %10s %10s %-9s %7s %9s %7s %9s %9s %7s %7s %7s %7s %7s %7s %7s %8s %8s %8s\n",
+	fmt.Fprintf(&b, "  %-24s %-12s %10s %10s %-9s %7s %9s %7s %9s %9s %7s %7s %7s %7s %7s %7s %7s %8s %8s %8s %8s %7s\n",
 		"host", "proc", "age", "interval", "health", "queries", "reports", "batches",
 		"rows", "tuples", "reconn", "replay", "drops", "expired", "quarant",
-		"rawdrop", "ovflow", "bagdrop", "spans", "spandrop")
+		"rawdrop", "ovflow", "bagdrop", "spans", "spandrop", "cmerged", "cfwd")
 	for _, a := range s.Agents {
 		health := "ok"
 		if !a.Healthy {
 			health = "UNHEALTHY"
 		}
-		fmt.Fprintf(&b, "  %-24s %-12s %10s %10s %-9s %7d %9d %7d %9d %9d %7d %7d %7d %7d %7d %7d %7d %8d %8d %8d\n",
+		fmt.Fprintf(&b, "  %-24s %-12s %10s %10s %-9s %7d %9d %7d %9d %9d %7d %7d %7d %7d %7d %7d %7d %8d %8d %8d %8d %7d\n",
 			a.Host, a.ProcName,
 			a.Age.Round(time.Millisecond), a.Interval, health, a.Queries,
 			a.Stats.Reports, a.Stats.Batches, a.Stats.RowsReported, a.Stats.TuplesEmitted,
 			a.Stats.Reconnects, a.Stats.ReportsReplayed, a.Stats.ReportsDropped,
 			a.Stats.LeasesExpired, a.Stats.Quarantines,
 			a.Stats.RawsDropped, a.Stats.GroupsOverflowed, a.Stats.BaggageBytesDropped,
-			a.Stats.SpansCaptured, a.Stats.SpansDropped)
+			a.Stats.SpansCaptured, a.Stats.SpansDropped,
+			a.Stats.CombinerReportsMerged, a.Stats.CombinerFramesOut)
 	}
 	fmt.Fprintf(&b, "\nqueries (%d):\n", len(s.Queries))
 	fmt.Fprintf(&b, "  %-16s %8s %9s %14s %12s %9s %9s %8s %8s\n",
@@ -228,6 +266,13 @@ func RenderStatus(s Status) string {
 		fmt.Fprintf(&b, "  %-16s %8d %9d %14s %12d %9d %9s %8d %8d\n",
 			q.Name, q.Rows, q.Reports, first, q.Invocations, q.TuplesEmitted,
 			lease, q.DroppedGroups, q.Quarantines)
+	}
+	if len(s.Tenants) > 0 {
+		fmt.Fprintf(&b, "\ntenants (%d):\n", len(s.Tenants))
+		fmt.Fprintf(&b, "  %-16s %7s %8s %12s\n", "tenant", "agents", "queries", "tuples")
+		for _, ten := range s.Tenants {
+			fmt.Fprintf(&b, "  %-16s %7d %8d %12d\n", ten.Tenant, ten.Agents, ten.Queries, ten.Tuples)
+		}
 	}
 	if !s.Telemetry.Empty() {
 		b.WriteString("\ntelemetry:\n")

@@ -74,6 +74,21 @@ func deploy(env *simtime.Env, r *Run, interval time.Duration) *Deployment {
 	return d
 }
 
+// EnableCombinerTree stands up a 2-tier combiner tree sized to the
+// topology — one mid combiner per rack, partitions at rack granularity —
+// so agent report traffic aggregates rack-by-rack before reaching the
+// frontends. tenantRouting turns on per-tenant delivery at the root.
+func (d *Deployment) EnableCombinerTree(tenantRouting bool) *cluster.CombinerTree {
+	racks := (d.Topo.Size() + hostsPerRack - 1) / hostsPerRack
+	if racks < 1 {
+		racks = 1
+	}
+	return d.C.EnableCombinerTree(cluster.TreeSpec{
+		MidCombiners:  racks,
+		TenantRouting: tenantRouting,
+	})
+}
+
 // WorkerNames returns the names of the first n topology hosts (all of
 // them if n <= 0 or exceeds the topology).
 func (d *Deployment) WorkerNames(n int) []string {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/hbase"
 	"repro/internal/hdfs"
 	"repro/internal/mapreduce"
@@ -25,6 +26,7 @@ func All() []*Scenario {
 		RebalancingStorm(),
 		ThunderingHerd(),
 		RollingRestarts(),
+		MultiTenantStorm(),
 	}
 }
 
@@ -723,7 +725,165 @@ func ThunderingHerd() *Scenario {
 	}
 }
 
-// ---- 7. rolling restarts ----------------------------------------------
+// ---- 7. multi-tenant storm --------------------------------------------
+
+// MultiTenantStorm stands up dozens of tenant frontends over one cluster
+// behind a rack-granularity combiner tree with tenant routing: every
+// tenant installs its own query under a fair-share budget split, results
+// arrive on per-tenant topics with exact isolation and conservation, one
+// tenant is torn down and replaced mid-storm, and the per-frontend
+// inbound frame load stays flat — the tree, not the tenant count or the
+// host count, determines what each frontend reads off the bus.
+func MultiTenantStorm() *Scenario {
+	return &Scenario{
+		ID:           "multi-tenant-storm",
+		Name:         "Multi-tenant storm",
+		Description:  "64 tenant frontends over a combiner tree; isolation, churn, flat per-frontend load",
+		DefaultHosts: 1024,
+		ShortHosts:   64,
+		Horizon:      12 * time.Second,
+		Run: func(r *Run) error {
+			d := deploy(r.Env, r, 500*time.Millisecond)
+			d.EnableCombinerTree(true)
+			hosts := d.WorkerNames(0)
+			d.StartDataNodes(hosts)
+			const readSize = 64e3
+			files := d.Dataset(len(hosts), readSize)
+
+			nTenants := 64
+			if r.Short {
+				nTenants = 8
+			}
+			// Half the tenants count DataNode ops, half sum bytes read:
+			// distinct answers per tenant make cross-tenant leakage (a
+			// report merged into the wrong frontend) break an exact
+			// conservation checkpoint instead of passing silently.
+			type tenantRun struct {
+				fe    *core.PivotTracing
+				q     *core.Installed
+				bytes bool
+			}
+			tenants := make([]*tenantRun, nTenants)
+			var installErr error
+			for i := range tenants {
+				tr := &tenantRun{
+					fe:    d.C.NewTenantFrontend(fmt.Sprintf("t%02d", i), nTenants),
+					bytes: i%2 == 1,
+				}
+				text := qDNCount
+				if tr.bytes {
+					text = qDNBytes
+				}
+				q, err := tr.fe.Install(text)
+				if err != nil && installErr == nil {
+					installErr = fmt.Errorf("tenant %d install: %w", i, err)
+				}
+				tr.q = q
+				tenants[i] = tr
+			}
+			r.Expect("tenants-installed", installErr)
+			qPrim := r.Query(qDNCount)
+
+			nClients, ops := 128, 60
+			if r.Short {
+				nClients = 16
+			}
+			clients := d.StartClients(nClients, hosts)
+			fsClients := make([]*hdfs.Client, len(clients))
+			for i, p := range clients {
+				fsClients[i] = hdfs.NewClient(p, d.NN, hdfs.ClientConfig{RandomReplicaSelection: true, Seed: r.Seed})
+			}
+			join := r.DriveAsync(clients, ops, func(i, k int, ctx context.Context, p *cluster.Process, rng *rand.Rand) error {
+				r.Env.Sleep(time.Duration(5+rng.Intn(10)) * time.Millisecond)
+				return fsClients[i].Read(ctx, files[rng.Intn(len(files))], 0, readSize)
+			})
+
+			r.Await("storm-observed", tenants[1].q, 4, func(rows []tuple.Tuple) error {
+				if got := sumVals(groupVals(rows)); got <= 0 {
+					return fmt.Errorf("tenant t01 has no rows yet")
+				}
+				return nil
+			})
+
+			// Churn: tenant 0's frontend is torn down mid-storm (its lease
+			// renewals stop; its handle freezes) and a replacement tenant
+			// joins, installs afresh, and starts seeing post-install load.
+			d.C.DropTenantFrontend(tenants[0].fe)
+			reFE := d.C.NewTenantFrontend("t00r", nTenants)
+			reQ, reErr := reFE.Install(qDNCount)
+			r.Expect("churned-tenant-reinstalls", reErr)
+			r.Await("churned-tenant-rejoins", reQ, 4, func(rows []tuple.Tuple) error {
+				if got := sumVals(groupVals(rows)); got <= 0 {
+					return fmt.Errorf("replacement tenant has no rows yet")
+				}
+				return nil
+			})
+
+			join()
+			total := float64(r.Requests())
+			r.Await("primary-conserved", qPrim, 1, func(rows []tuple.Tuple) error {
+				if got := sumVals(groupVals(rows)); got != total {
+					return fmt.Errorf("primary DN ops %v != reads issued %v", got, total)
+				}
+				return nil
+			})
+
+			// Exact per-tenant isolation: every surviving tenant's answer
+			// is exactly its own query over the full load — no missing
+			// frames (a routing gap) and no foreign rows (a leak). Tenant
+			// 0 is excluded: its handle froze at teardown.
+			var isoErr error
+			for i, tr := range tenants[1:] {
+				want := total
+				if tr.bytes {
+					want = total * readSize
+				}
+				if got := sumVals(groupVals(tr.q.Rows())); got != want {
+					isoErr = fmt.Errorf("tenant t%02d: %v != %v", i+1, got, want)
+					break
+				}
+			}
+			r.Expect("tenant-isolation-exact", isoErr)
+
+			// Flat per-frontend load: every long-lived tenant frontend read
+			// the same order of frames off the bus — its own per-interval
+			// tree output plus the shared results feed — regardless of how
+			// many hosts are reporting underneath the tree.
+			var loF, hiF int64 = -1, -1
+			for _, tr := range tenants[1:] {
+				f := tr.fe.FramesIn()
+				if loF < 0 || f < loF {
+					loF = f
+				}
+				if f > hiF {
+					hiF = f
+				}
+			}
+			var flatErr error
+			if loF <= 0 || hiF > 2*loF {
+				flatErr = fmt.Errorf("per-frontend frames in [%d, %d] spread beyond 2x", loF, hiF)
+			}
+			r.Expect("per-frontend-load-flat", flatErr)
+			secs := r.Env.Now().Seconds()
+			r.Logf("  load: %d hosts, %d tenants, per-frontend frames in [%d, %d] over %.1fs virtual (max %.1f frames/s)",
+				len(hosts), nTenants, loF, hiF, secs, float64(hiF)/secs)
+
+			// The primary's status view aggregates every tenant's quota
+			// usage from the agents' TenantUsage heartbeats.
+			st := d.C.PT.StatusAt(r.Env.Now())
+			var usageErr error
+			if len(st.Tenants) < nTenants {
+				usageErr = fmt.Errorf("status shows %d tenants, want >= %d", len(st.Tenants), nTenants)
+			}
+			r.Expect("tenant-usage-visible", usageErr)
+
+			r.SettleTo(r.horizon())
+			return nil
+		},
+	}
+}
+
+// ---- 8. rolling restarts ----------------------------------------------
 
 // RollingRestarts cycles workers through restart windows (DataNode
 // offline + NodeManager draining) under HDFS read load and a stream of

@@ -39,6 +39,17 @@ func messageSeeds(t testing.TB) map[string][]byte {
 				},
 			}},
 		}),
+		"tenant-install": mustMarshal(agent.Install{
+			QueryID: "alice.Q1", Tenant: "alice", Share: 64,
+			Programs: []*advice.Program{{
+				QueryID: "alice.Q1", Tracepoint: "Tp",
+				Observe: []int{0}, ObserveFields: tuple.Schema{"e.host"},
+				Emit: &advice.EmitOp{
+					Cols:    []advice.EmitCol{{Pos: 0}, {IsAgg: true, Pos: -1, Fn: agg.Count}},
+					GroupBy: []int{0}, Schema: tuple.Schema{"host", "COUNT"},
+				},
+			}},
+		}),
 		"uninstall": mustMarshal(agent.Uninstall{QueryID: "Q9"}),
 		"renew": mustMarshal(agent.Renew{
 			QueryIDs: []string{"Q1", "Q2"}, TTL: 30 * time.Second,
@@ -49,6 +60,23 @@ func messageSeeds(t testing.TB) map[string][]byte {
 		}),
 		"heartbeat": mustMarshal(agent.Heartbeat{
 			Host: "h", ProcName: "p", Time: time.Second, Interval: time.Second, Queries: 1,
+		}),
+		// A combiner-tier heartbeat: the merge/forward counters ride the
+		// same frame as agent heartbeats.
+		"combiner-heartbeat": mustMarshal(agent.Heartbeat{
+			Host: "combiners", ProcName: "combiner-mid-0",
+			Time: 2 * time.Second, Interval: time.Second,
+			Stats: agent.Stats{
+				RowsReported: 12, Reports: 3, Batches: 2,
+				CombinerReportsMerged: 9, CombinerFramesOut: 2,
+			},
+		}),
+		"tenant-usage": mustMarshal(agent.TenantUsage{
+			Host: "h", ProcName: "p", Time: 3 * time.Second,
+			Usage: []agent.TenantQuota{
+				{Tenant: "alice", Queries: 2, Tuples: 17},
+				{Tenant: "bob", Queries: 1, Tuples: 3},
+			},
 		}),
 		"status-request":  mustMarshal(agent.StatusRequest{ID: "s1"}),
 		"status-response": mustMarshal(agent.StatusResponse{ID: "s1", Text: "ok"}),
@@ -98,6 +126,8 @@ func messageSeeds(t testing.TB) map[string][]byte {
 		"huge-parents": {TagSpanBatch, 0x01, 'h', 0x01, 'p', 0x02, 0x01, 0x05, 0x06, 0xff, 0xff, 0xff, 0x7f, 0x00},
 		// ExplainStats claiming 2^28 ops in a one-byte body.
 		"huge-explain": {TagExplainStats, 0x01, 'q', 0x01, 'h', 0x01, 'p', 0x02, 0x04, 0xff, 0xff, 0xff, 0x7f, 0x00},
+		// TenantUsage claiming 2^28 quota entries in a one-byte body.
+		"huge-usage": {TagTenantUsage, 0x01, 'h', 0x01, 'p', 0x02, 0xff, 0xff, 0xff, 0x7f, 0x00},
 	}
 }
 

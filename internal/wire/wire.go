@@ -513,11 +513,12 @@ const (
 	TagReportBatch    = 9
 	TagSpanBatch      = 10
 	TagExplainStats   = 11
+	TagTenantUsage    = 12
 )
 
 // heartbeatInts is how many varints a Heartbeat carries after its two
 // strings: Time, Interval, Queries, then every Stats field in order.
-const heartbeatInts = 21
+const heartbeatInts = 23
 
 // opStatsInts is how many varints one OpStats carries after its tracepoint
 // name: every counter field in declaration order.
@@ -708,6 +709,8 @@ func Marshal(msg any) ([]byte, error) {
 		buf = binary.AppendVarint(buf, int64(m.TTL))
 		buf = binary.AppendVarint(buf, int64(m.Limits.MaxGroups))
 		buf = binary.AppendVarint(buf, int64(m.Limits.MaxRaws))
+		buf = appendString(buf, m.Tenant)
+		buf = binary.AppendVarint(buf, int64(m.Share))
 		buf = binary.AppendUvarint(buf, uint64(len(m.Programs)))
 		for _, p := range m.Programs {
 			buf = AppendProgram(buf, p)
@@ -755,6 +758,8 @@ func Marshal(msg any) ([]byte, error) {
 		buf = binary.AppendVarint(buf, m.Stats.SpansCaptured)
 		buf = binary.AppendVarint(buf, m.Stats.SpansDropped)
 		buf = binary.AppendVarint(buf, m.Stats.SpanBatches)
+		buf = binary.AppendVarint(buf, m.Stats.CombinerReportsMerged)
+		buf = binary.AppendVarint(buf, m.Stats.CombinerFramesOut)
 		return buf, nil
 	case agent.StatusRequest:
 		buf := []byte{TagStatusRequest}
@@ -784,6 +789,18 @@ func Marshal(msg any) ([]byte, error) {
 		buf = binary.AppendUvarint(buf, uint64(len(m.Spans)))
 		for i := range m.Spans {
 			buf = appendSpan(buf, &m.Spans[i])
+		}
+		return buf, nil
+	case agent.TenantUsage:
+		buf := []byte{TagTenantUsage}
+		buf = appendString(buf, m.Host)
+		buf = appendString(buf, m.ProcName)
+		buf = binary.AppendVarint(buf, int64(m.Time))
+		buf = binary.AppendUvarint(buf, uint64(len(m.Usage)))
+		for _, u := range m.Usage {
+			buf = appendString(buf, u.Tenant)
+			buf = binary.AppendVarint(buf, u.Queries)
+			buf = binary.AppendVarint(buf, u.Tuples)
 		}
 		return buf, nil
 	case agent.ExplainStats:
@@ -839,6 +856,15 @@ func Unmarshal(buf []byte) (any, error) {
 		}
 		m.TTL = time.Duration(hdr[0])
 		m.Limits = advice.Limits{MaxGroups: int(hdr[1]), MaxRaws: int(hdr[2])}
+		if m.Tenant, buf, err = decodeString(buf); err != nil {
+			return nil, err
+		}
+		share, k := binary.Varint(buf)
+		if k <= 0 {
+			return nil, errTruncated
+		}
+		m.Share = int(share)
+		buf = buf[k:]
 		n, k := binary.Uvarint(buf)
 		if k <= 0 {
 			return nil, errTruncated
@@ -919,6 +945,7 @@ func Unmarshal(buf []byte) (any, error) {
 			BaggageGroupsDropped: ints[15], BaggageTuplesDropped: ints[16],
 			BaggageBytesDropped: ints[17],
 			SpansCaptured:       ints[18], SpansDropped: ints[19], SpanBatches: ints[20],
+			CombinerReportsMerged: ints[21], CombinerFramesOut: ints[22],
 		}
 		return m, nil
 	case TagStatusRequest:
@@ -1000,6 +1027,45 @@ func Unmarshal(buf []byte) (any, error) {
 				return nil, err
 			}
 			m.Spans = append(m.Spans, sp)
+		}
+		return m, nil
+	case TagTenantUsage:
+		var m agent.TenantUsage
+		var err error
+		if m.Host, buf, err = decodeString(buf); err != nil {
+			return nil, err
+		}
+		if m.ProcName, buf, err = decodeString(buf); err != nil {
+			return nil, err
+		}
+		tns, k := binary.Varint(buf)
+		if k <= 0 {
+			return nil, errTruncated
+		}
+		m.Time = time.Duration(tns)
+		buf = buf[k:]
+		n, k := binary.Uvarint(buf)
+		if k <= 0 {
+			return nil, errTruncated
+		}
+		buf = buf[k:]
+		m.Usage = make([]agent.TenantQuota, 0, capHint(n, buf))
+		for i := uint64(0); i < n; i++ {
+			var u agent.TenantQuota
+			if u.Tenant, buf, err = decodeString(buf); err != nil {
+				return nil, err
+			}
+			var pair [2]int64
+			for j := range pair {
+				v, k := binary.Varint(buf)
+				if k <= 0 {
+					return nil, errTruncated
+				}
+				pair[j] = v
+				buf = buf[k:]
+			}
+			u.Queries, u.Tuples = pair[0], pair[1]
+			m.Usage = append(m.Usage, u)
 		}
 		return m, nil
 	case TagExplainStats:

@@ -1,0 +1,193 @@
+package pivot
+
+// Tree-topology differential mode: every generated case from the flat
+// sweep also runs through a 2-tier combiner tree (agents → partitioned mid
+// combiners → root → frontend), and the result set must be byte-identical
+// to both the flat pipeline and the oracle. This is the load-bearing proof
+// that reassociating the merge tree cannot corrupt aggregation: agg.State
+// merging is associative and commutative, raw rows union, and drop
+// tombstones stay exact through the extra union at each tier.
+//
+// Reproduce a failure with the seed printed in the failure message:
+//
+//	go test ./pivot -run TestDifferentialTreeMatchesFlat -seed=<N>
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/advice"
+	"repro/internal/baggage"
+	"repro/internal/cluster"
+	"repro/internal/oracle"
+	"repro/internal/plan"
+	"repro/internal/querygen"
+	"repro/internal/randtest"
+	"repro/internal/simtime"
+	"repro/internal/tuple"
+)
+
+// diffCases resolves the per-sweep case count: PT_DIFF_CASES wins, then
+// -short, then the full default.
+func diffCases(t *testing.T, full, short int) int {
+	if s := os.Getenv("PT_DIFF_CASES"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			t.Fatalf("bad PT_DIFF_CASES=%q", s)
+		}
+		return v
+	}
+	if testing.Short() {
+		return short
+	}
+	return full
+}
+
+// treeCluster builds a differential-case cluster with a 2-tier combiner
+// tree: 3 mid combiners over 12 partition topics (several per combiner, so
+// rendezvous ownership is non-trivial even with few agents), flushing on
+// the same 5ms cadence as the agents.
+func treeCluster(env *simtime.Env, cfg cluster.Config) *cluster.Cluster {
+	cl := cluster.New(env, cfg)
+	cl.EnableCombinerTree(cluster.TreeSpec{MidCombiners: 3})
+	return cl
+}
+
+// TestDifferentialTreeMatchesFlat runs the SAME seeded cases as
+// TestDifferentialPipelineMatchesOracle through the combiner tree and
+// demands byte-equality with both the flat pipeline and the oracle.
+func TestDifferentialTreeMatchesFlat(t *testing.T) {
+	n := diffCases(t, 500, 120)
+	randtest.Check(t, n, diffBaseSeed, runTreeDifferentialCase)
+}
+
+func runTreeDifferentialCase(seed int64) error {
+	c := querygen.Generate(seed)
+
+	runCase := func(tree bool) ([]tuple.Tuple, error) {
+		var got []tuple.Tuple
+		var runErr error
+		env := simtime.NewEnv()
+		env.Run(func() {
+			cfg := cluster.DefaultConfig()
+			cfg.ReportInterval = 5 * time.Millisecond
+			var cl *cluster.Cluster
+			if tree {
+				cl = treeCluster(env, cfg)
+			} else {
+				cl = cluster.New(env, cfg)
+			}
+			x := cluster.NewScriptExec(cl, c)
+			h, err := cl.PT.Install(c.QueryText)
+			if err != nil {
+				runErr = fmt.Errorf("install: %w", err)
+				return
+			}
+			if err := x.Run(); err != nil {
+				runErr = err
+				return
+			}
+			env.Sleep(3 * cfg.ReportInterval)
+			cl.FlushAgents()
+			got = h.Rows()
+		})
+		return got, runErr
+	}
+
+	gotFlat, err := runCase(false)
+	if err != nil {
+		return fmt.Errorf("flat: query %q: %w", c.QueryText, err)
+	}
+	gotTree, err := runCase(true)
+	if err != nil {
+		return fmt.Errorf("tree: query %q: %w", c.QueryText, err)
+	}
+
+	want, err := oracleRows(c)
+	if err != nil {
+		return err
+	}
+	wantC := oracle.Canonical(want)
+	if !bytes.Equal(wantC, oracle.Canonical(gotTree)) {
+		return diffError(c, "combiner tree", want, gotTree)
+	}
+	if !bytes.Equal(oracle.Canonical(gotFlat), oracle.Canonical(gotTree)) {
+		return fmt.Errorf("flat and tree topologies diverge\nquery: %s\nflat:\n%s\ntree:\n%s",
+			c.QueryText, oracle.Format(gotFlat), oracle.Format(gotTree))
+	}
+	return nil
+}
+
+// TestBudgetedDifferentialTreeTruncationAccounted runs the budgeted sweep
+// through the tree: reported groups stay byte-exact against the oracle and
+// reported + dropped reconciles exactly, i.e. the tiers' extra tombstone
+// unions neither lose nor double-count an eviction.
+func TestBudgetedDifferentialTreeTruncationAccounted(t *testing.T) {
+	n := diffCases(t, 150, 50)
+	randtest.Check(t, n, diffBudgetSeed, runBudgetedTreeDifferentialCase)
+}
+
+func runBudgetedTreeDifferentialCase(seed int64) error {
+	c := querygen.GenerateBudgeted(seed)
+	budget := 2 + int(seed%5) // same budgets as the flat budgeted sweep
+
+	var got []tuple.Tuple
+	var dropped int
+	var partial bool
+	var runErr error
+	env := simtime.NewEnv()
+	env.Run(func() {
+		cfg := cluster.DefaultConfig()
+		cfg.ReportInterval = 5 * time.Millisecond
+		cl := treeCluster(env, cfg)
+		x := cluster.NewScriptExec(cl, c)
+		h, err := cl.PT.InstallNamed("QB", c.QueryText, plan.Options{
+			Optimize: true,
+			Safety:   advice.Safety{Budget: baggage.Budget{MaxTuples: budget}},
+		})
+		if err != nil {
+			runErr = fmt.Errorf("install budgeted: %w", err)
+			return
+		}
+		if err := x.Run(); err != nil {
+			runErr = err
+			return
+		}
+		env.Sleep(3 * cfg.ReportInterval)
+		cl.FlushAgents()
+		got, dropped, partial = h.Rows(), h.DroppedGroups(), h.Partial()
+	})
+	if runErr != nil {
+		return fmt.Errorf("tree budget %d, query %q: %w", budget, c.QueryText, runErr)
+	}
+
+	want, err := oracleRows(c)
+	if err != nil {
+		return err
+	}
+	wantRow := map[string]bool{}
+	for _, r := range want {
+		wantRow[string(oracle.Canonical([]tuple.Tuple{r}))] = true
+	}
+	for _, r := range got {
+		if !wantRow[string(oracle.Canonical([]tuple.Tuple{r}))] {
+			return fmt.Errorf("tree budget %d: reported row %v is not an oracle row\nquery: %s\noracle:\n%s\npipeline:\n%s",
+				budget, r, c.QueryText, oracle.Format(want), oracle.Format(got))
+		}
+	}
+	if len(got)+dropped != len(want) {
+		return fmt.Errorf("tree budget %d: reported %d + dropped %d != oracle %d groups\nquery: %s\noracle:\n%s\npipeline:\n%s",
+			budget, len(got), dropped, len(want), c.QueryText, oracle.Format(want), oracle.Format(got))
+	}
+	if dropped > 0 && !partial {
+		return fmt.Errorf("tree budget %d: %d groups dropped but the query is not flagged partial", budget, dropped)
+	}
+	if dropped == 0 && !bytes.Equal(oracle.Canonical(want), oracle.Canonical(got)) {
+		return diffError(c, "tree budgeted (nothing dropped)", want, got)
+	}
+	return nil
+}

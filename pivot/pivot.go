@@ -285,6 +285,12 @@ type BusOptions struct {
 
 	// Dial overrides the link's dialer (fault injection in tests).
 	Dial func(addr string) (net.Conn, error)
+
+	// ReportTopic routes this worker's result reports to the given topic
+	// instead of the shared results topic — normally a partition topic
+	// owned by a combiner tier (see internal/combiner). "" keeps the
+	// default. Outage retention and replay follow the configured topic.
+	ReportTopic string
 }
 
 // DefaultBusOptions is the production posture: reconnect with the default
@@ -360,6 +366,11 @@ func (pt *PT) ConnectBus(busAddr string) (disconnect func(), err error) {
 // ConnectBusWith is ConnectBus with explicit resilience options.
 func (pt *PT) ConnectBusWith(busAddr string, opts BusOptions) (disconnect func(), err error) {
 	pt.Agent.SetRetention(opts.Retention)
+	reportTopic := agent.ResultsTopic
+	if opts.ReportTopic != "" {
+		reportTopic = opts.ReportTopic
+		pt.Agent.SetReportTopic(reportTopic)
+	}
 	lopts := opts.linkOptions(pt.Frontend.Telemetry())
 	var link *bus.Link
 	lopts.OnDrop = func(topic string, msg any) {
@@ -367,7 +378,7 @@ func (pt *PT) ConnectBusWith(busAddr string, opts BusOptions) (disconnect func()
 		// heartbeats are liveness beacons and not worth replaying. A
 		// dropped batch retains its constituent reports individually, so
 		// replay granularity (and ring accounting) stays per-report.
-		if topic == agent.ResultsTopic {
+		if topic == reportTopic {
 			switch m := msg.(type) {
 			case agent.Report:
 				pt.Agent.Retain(m)
@@ -381,7 +392,7 @@ func (pt *PT) ConnectBusWith(busAddr string, opts BusOptions) (disconnect func()
 	lopts.OnUp = func(int64) {
 		pt.Agent.NoteReconnect()
 		pt.Agent.ReplayRetained(func(r agent.Report) error {
-			return link.Send(agent.ResultsTopic, r)
+			return link.Send(reportTopic, r)
 		})
 	}
 	// TraceTopic is outbound but deliberately absent from OnDrop below:
@@ -389,7 +400,7 @@ func (pt *PT) ConnectBusWith(busAddr string, opts BusOptions) (disconnect func()
 	// replayed across an outage (the recorder's drop counter still tells
 	// the story).
 	link, err = bus.ConnectOptions(pt.Bus, busAddr, wire.BusCodec{},
-		[]string{agent.ResultsTopic, agent.HealthTopic, agent.QuarantineTopic,
+		[]string{reportTopic, agent.HealthTopic, agent.QuarantineTopic,
 			agent.TraceTopic},
 		[]string{agent.ControlTopic},
 		lopts)
