@@ -1,9 +1,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check fmt vet build test race bench bench-gate stress fuzz-smoke coverage differential combiner safety scenarios scenarios-short
+.PHONY: check fmt vet build test race bench bench-gate stress fuzz-smoke coverage differential combiner safety sampling scenarios scenarios-short
 
-check: fmt vet build race fuzz-smoke
+check: fmt vet build race fuzz-smoke sampling
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -84,6 +84,16 @@ combiner:
 	$(GO) test ./internal/combiner ./internal/cluster ./internal/core -race
 	$(GO) test ./pivot -race -count=2 -run 'TestCombinerKillRehomesAndConservesTuples'
 	PT_DIFF_CASES=120 $(GO) test ./pivot -race -run 'TestDifferentialTreeMatchesFlat|TestBudgetedDifferentialTreeTruncationAccounted'
+
+# The request-level sampling suite: the 300-case sampled differential
+# sweep against the statistical oracle, rate-1.0 byte-identity with the
+# exact path, the error-vs-rate estimator sweep, the happened-before
+# join decision-atomicity property tests, and the rate-clamp/AIMD
+# controller units — all under the race detector. Failures print the
+# seed; replay with go test ./pivot -run <Test> -seed=<N>.
+sampling:
+	$(GO) test ./pivot -race -run 'TestSampledDifferentialWithinBounds|TestSampledRateOneMatchesExactBytes|TestSampledErrorVsRate|TestHBJoinSamplingAtomicityTable|TestHBJoinSamplingAtomicityQuick'
+	$(GO) test ./internal/sampling -race
 
 # The safety-valve chaos suite: advice quarantine, frontend-kill lease
 # expiry, budget exhaustion accounting, and the governance unit tests —

@@ -292,6 +292,57 @@ func BenchmarkHereWithSpans(b *testing.B) {
 	}
 }
 
+// BenchmarkHereSampled prices request-level sampling on the woven hot
+// path. "suppressed" is the sampled-out fast path: the decision minted
+// into the request's baggage says skip, so the crossing must return
+// before acquiring fire scratch — zero allocs, at or below the plain
+// woven crossing's cost. "kept" pays the full path plus the weighted
+// fold (weight 1/rate), and "no-decision" is a request from an
+// unmonitored origin, processed exactly at weight 1 — both also 0
+// allocs/op, pinned by the bench gate.
+func BenchmarkHereSampled(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		decision float64 // rate packed into baggage; < 0 packs none
+	}{
+		{"suppressed", 0},
+		{"kept", 0.5},
+		{"no-decision", -1},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			bb := bus.New()
+			reg := tracepoint.NewRegistry()
+			tp := reg.Define("Bench.Tracepoint", "v")
+			a := agent.New(nil, tracepoint.ProcInfo{Host: "h", ProcName: "p"}, reg, bb, 0)
+			defer a.Close()
+			q, err := query.Parse(`From e In Bench.Tracepoint GroupBy e.host Select e.host, SUM(e.v) Sample 0.5`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			q.Name = "bench"
+			p, err := plan.Compile(q, reg, nil, plan.Optimized)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a.Deliver(agent.Install{QueryID: "bench", Programs: p.Programs})
+			ctx := tracepoint.WithProc(context.Background(),
+				tracepoint.ProcInfo{Host: "h", ProcName: "p"})
+			bag := baggage.New()
+			if mode.decision >= 0 {
+				bag.PackSampleDecision("bench", mode.decision)
+			}
+			ctx = baggage.NewContext(ctx, bag)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tp.Here(ctx, 1)
+			}
+			b.StopTimer()
+			a.Flush()
+		})
+	}
+}
+
 type emitterFunc func(*advice.Program, tuple.Tuple)
 
 func (f emitterFunc) EmitTuple(p *advice.Program, w tuple.Tuple) { f(p, w) }

@@ -41,7 +41,7 @@ func main() {
 		tolerance = flag.Float64("tolerance", 20, "allowed ns/op regression in percent")
 		parallel  = flag.String("parallel", "HereParallel",
 			"RunParallel benchmarks, swept across the -cpu list for the scaling curve")
-		serial = flag.String("serial", "ReportBatch|Tracepoint$|HereWithSpans|Fig10Pack|Fig10Serialize|PartialAggregation|NetsimEventQueue",
+		serial = flag.String("serial", "ReportBatch|Tracepoint$|HereWithSpans|HereSampled|Fig10Pack|Fig10Serialize|PartialAggregation|NetsimEventQueue",
 			"sequential benchmarks, run at -cpu 1 only (extra GOMAXPROCS adds scheduler noise, not information)")
 		cpu       = flag.String("cpu", "1,4,8", "go test -cpu list for the -parallel set")
 		count     = flag.Int("count", 4, "runs per benchmark; the gate keeps the best")

@@ -170,8 +170,15 @@ func (a *Accumulator) overflowGroup(rep tuple.Tuple) *Group {
 	return g
 }
 
-// Add folds one emitted working tuple.
-func (a *Accumulator) Add(w tuple.Tuple) {
+// Add folds one emitted working tuple at unit weight.
+func (a *Accumulator) Add(w tuple.Tuple) { a.AddWeighted(w, 1) }
+
+// AddWeighted folds one emitted working tuple carrying a sampling
+// weight (1/rate for tuples from a sampled request). Raw rows are
+// appended as-is — sampling a raw query thins the rows, there is
+// nothing to scale — while aggregate columns fold through the weighted
+// state path, marking the group's states inexact when weight != 1.
+func (a *Accumulator) AddWeighted(w tuple.Tuple, weight float64) {
 	if a.Op.Raw {
 		row := make(tuple.Tuple, len(a.Op.Cols))
 		for i, col := range a.Op.Cols {
@@ -208,9 +215,9 @@ func (a *Accumulator) Add(w tuple.Tuple) {
 			continue
 		}
 		if col.Pos >= 0 {
-			g.States[k].Add(w[col.Pos])
+			g.States[k].AddWeighted(w[col.Pos], weight)
 		} else {
-			g.States[k].Add(tuple.Null) // bare COUNT
+			g.States[k].AddWeighted(tuple.Null, weight) // bare COUNT
 		}
 		k++
 	}

@@ -43,7 +43,9 @@ var firePool = sync.Pool{New: func() any { return new(fireScratch) }}
 type Cost struct {
 	// Invocations counts tracepoint crossings that reached this advice.
 	Invocations atomic.Int64
-	// Sampled counts crossings skipped by sampling (§8 future work).
+	// Sampled counts crossings skipped by sampling: mod-N advice-level
+	// sampling (SampleEvery) and request-level rate sampling (SampleRate)
+	// both account here.
 	Sampled atomic.Int64
 	// DroppedByJoin counts crossings discarded because an Unpack found no
 	// causally-preceding tuples (inner-join misses).
@@ -165,6 +167,18 @@ type Program struct {
 	// Aggregates computed from sampled advice are correspondingly scaled
 	// estimates; COUNT and SUM results must be multiplied by SampleEvery.
 	SampleEvery int64
+
+	// SampleRate, when in (0, 1], enables consistent request-level
+	// sampling: the advice honors the per-request decision minted into
+	// the reserved baggage sample slot at request creation. A suppressed
+	// request is skipped before any work; an admitted one processes
+	// normally, with emitted aggregates weighted by the inverse of the
+	// decision's effective rate. Unlike SampleEvery this never splits a
+	// request: every program of the query sees the same decision at every
+	// crossing on the request's causal path. Values outside (0, 1] must
+	// be clamped to 0 (disabled) before reaching the advice path — see
+	// sampling.ClampRate.
+	SampleRate float64
 
 	// Safety bounds the program's runtime behavior (see Safety). The
 	// zero value enables every default limit.
@@ -336,6 +350,23 @@ type Emitter interface {
 	EmitTuple(p *Program, w tuple.Tuple)
 }
 
+// WeightedEmitter is an optional Emitter extension for request-level
+// sampling: tuples from a sampled request are delivered with their
+// inverse-rate weight so COUNT/SUM aggregate to unbiased estimates.
+// Emitters without it receive the tuples unweighted (and the results
+// silently under-count — agents always implement this).
+type WeightedEmitter interface {
+	// EmitTupleWeighted is EmitTuple with a sampling weight (> 1).
+	EmitTupleWeighted(p *Program, w tuple.Tuple, weight float64)
+}
+
+// SampleSink is an optional Emitter extension notified when advice
+// suppresses a crossing because the request's sampling decision said
+// "not sampled" — the agent's drop accounting for sampled-out work.
+type SampleSink interface {
+	NoteSampledOut(p *Program)
+}
+
 // Advice is a woven instance of a program bound to an emitter. It
 // implements the tracepoint.Advice interface.
 type Advice struct {
@@ -351,6 +382,27 @@ func (a *Advice) Invoke(ctx context.Context, vals tuple.Tuple) {
 	}
 	if fp := failpoint.Load(); fp != nil {
 		(*fp)(p, vals)
+	}
+	// Request-level sampling: honor the decision minted into the request's
+	// baggage at creation. A suppressed request returns before the fire
+	// scratch is even acquired — the sampled-out fast path allocates
+	// nothing. A request with no decision (e.g. one originating in an
+	// unmonitored process) is processed exactly, at weight 1.
+	weight := 1.0
+	var bag *baggage.Baggage
+	if p.SampleRate > 0 {
+		bag = baggage.FromContext(ctx)
+		if r, ok := bag.SampleRate(p.QueryID); ok {
+			if r <= 0 {
+				p.Cost.Invocations.Add(1)
+				p.Cost.Sampled.Add(1)
+				if ss, ok := a.Emitter.(SampleSink); ok {
+					ss.NoteSampledOut(p)
+				}
+				return
+			}
+			weight = 1 / r
+		}
 	}
 	if n := p.SampleEvery; n > 1 {
 		if p.Cost.Invocations.Add(1)%n != 0 {
@@ -379,8 +431,7 @@ func (a *Advice) Invoke(ctx context.Context, vals tuple.Tuple) {
 	// UNPACK: join tuples from causally-preceding advice. Missing baggage
 	// or an empty slot means no causal predecessor: inner-join semantics
 	// drop the observation.
-	var bag *baggage.Baggage
-	if len(p.Unpacks) > 0 || p.Pack != nil {
+	if bag == nil && (len(p.Unpacks) > 0 || p.Pack != nil) {
 		bag = baggage.FromContext(ctx)
 	}
 	// Deliver eviction tombstones before the unpack loop: a fully-evicted
@@ -471,8 +522,14 @@ func (a *Advice) Invoke(ctx context.Context, vals tuple.Tuple) {
 
 	// EMIT
 	if p.Emit != nil && a.Emitter != nil {
-		for _, w := range working {
-			a.Emitter.EmitTuple(p, w)
+		if we, ok := a.Emitter.(WeightedEmitter); ok && weight != 1 {
+			for _, w := range working {
+				we.EmitTupleWeighted(p, w, weight)
+			}
+		} else {
+			for _, w := range working {
+				a.Emitter.EmitTuple(p, w)
+			}
 		}
 		p.Cost.TuplesEmitted.Add(int64(len(working)))
 	}

@@ -116,11 +116,15 @@ func (s *ShardedAccumulator) pick() *accShard {
 
 // Add folds one emitted working tuple into the caller's shard. Safe for
 // concurrent use.
-func (s *ShardedAccumulator) Add(w tuple.Tuple) {
+func (s *ShardedAccumulator) Add(w tuple.Tuple) { s.AddWeighted(w, 1) }
+
+// AddWeighted folds one emitted working tuple with a sampling weight
+// into the caller's shard. Safe for concurrent use.
+func (s *ShardedAccumulator) AddWeighted(w tuple.Tuple, weight float64) {
 	s.pending.Add(1)
 	sh := s.pick()
 	sh.mu.Lock()
-	sh.acc.Add(w)
+	sh.acc.AddWeighted(w, weight)
 	sh.adds++
 	sh.mu.Unlock()
 }

@@ -8,6 +8,7 @@ package agent
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/advice"
 	"repro/internal/baggage"
 	"repro/internal/bus"
+	"repro/internal/sampling"
 	"repro/internal/simtime"
 	"repro/internal/spans"
 	"repro/internal/telemetry"
@@ -264,6 +266,17 @@ type Stats struct {
 	// whole point; both sides are counted so the reduction is auditable.
 	CombinerReportsMerged int64 // downstream reports folded into tier state
 	CombinerFramesOut     int64 // merged frames forwarded upstream
+
+	// Sampling counters. SampledOut counts crossings this process's advice
+	// suppressed because the request's sampling decision said no — the
+	// sampled-rate half of drop accounting (suppressed + reported-weight
+	// reconciles against the unsampled total). SampleRateMilli is the
+	// lowest adaptive effective rate across this agent's sampled queries,
+	// in thousandths: 1000 means everything runs exact (no backoff, or no
+	// sampled queries); 0 appears only in frames from combiner tiers,
+	// which do not sample.
+	SampledOut      int64
+	SampleRateMilli int64
 }
 
 // TenantQuota is one tenant's resource usage at one process, as accounted
@@ -341,10 +354,30 @@ type Agent struct {
 	recorder    atomic.Pointer[spans.Recorder]
 	spanBatches atomic.Int64
 
+	// Request-level sampling state. sampler holds per-query adaptive
+	// effective rates; samplingView is a copy-on-write, id-sorted list of
+	// the queries installed with a sampling rate, so MintSampleDecision
+	// iterates (and consumes randomness) in a deterministic order.
+	// pressureMark remembers the baggage-drop counter total at the last
+	// flush: any growth is budget pressure and backs the rates off.
+	sampler      *sampling.Controller
+	samplingView atomic.Pointer[[]samplingQuery]
+	sampledOut   atomic.Int64
+	pressureMark atomic.Int64
+	rngMu        sync.Mutex
+	sampleRng    *rand.Rand
+
 	meters atomic.Pointer[agentMeters]
 	metaTP atomic.Pointer[tracepoint.Tracepoint]
 
 	controlSub bus.Subscription
+}
+
+// samplingQuery is one entry of the agent's sampling view: a query
+// installed with SampleRate > 0 and that installed (base) rate.
+type samplingQuery struct {
+	id   string
+	rate float64
 }
 
 // agentMeters are the agent's self-telemetry instruments.
@@ -432,6 +465,9 @@ type queryState struct {
 	expiry time.Duration // agent-clock deadline; 0 = immortal
 	tenant string        // owning tenant frontend; "" = primary
 	drops  map[baggage.DropRecord]bool
+	// sampleRate is the query's installed request-sampling rate (0 =
+	// exact), read from its programs at install time.
+	sampleRate float64
 }
 
 type weave struct {
@@ -451,6 +487,7 @@ func New(env *simtime.Env, proc tracepoint.ProcInfo, reg *tracepoint.Registry, b
 	a := &Agent{
 		env: env, proc: proc, reg: reg, bus: b, interval: interval,
 		queries: make(map[string]*queryState),
+		sampler: sampling.NewController(),
 	}
 	a.rebuildViewLocked()
 	a.controlSub = b.Subscribe(ControlTopic, a.onControl)
@@ -532,6 +569,15 @@ func (a *Agent) install(m Install) {
 	if m.TTL > 0 {
 		qs.expiry = a.now() + m.TTL
 	}
+	for _, prog := range m.Programs {
+		if r := sampling.ClampRate(prog.SampleRate); r > 0 {
+			qs.sampleRate = r
+			break
+		}
+	}
+	if qs.sampleRate > 0 {
+		a.sampler.SetBase(m.QueryID, qs.sampleRate)
+	}
 	a.queries[m.QueryID] = qs
 	a.weaveLocked(qs)
 	a.rebuildViewLocked()
@@ -542,13 +588,20 @@ func (a *Agent) install(m Install) {
 
 // rebuildViewLocked republishes the copy-on-write query snapshot after a
 // membership change. Caller holds a.mu (New calls it before the agent is
-// shared, which is equivalent).
+// shared, which is equivalent). The sampling view is rebuilt alongside,
+// sorted by query id so decision minting is deterministic.
 func (a *Agent) rebuildViewLocked() {
 	view := make(map[string]*queryState, len(a.queries))
+	var sv []samplingQuery
 	for id, qs := range a.queries {
 		view[id] = qs
+		if qs.sampleRate > 0 {
+			sv = append(sv, samplingQuery{id: id, rate: qs.sampleRate})
+		}
 	}
+	sort.Slice(sv, func(i, j int) bool { return sv[i].id < sv[j].id })
 	a.queriesView.Store(&view)
+	a.samplingView.Store(&sv)
 }
 
 // SetAccumulatorShards fixes the shard count of per-query accumulators
@@ -645,6 +698,7 @@ func (a *Agent) uninstall(queryID string) {
 		a.rawsDroppedRetired.Add(acc.RawsDropped())
 		a.groupsOverflowedRetired.Add(acc.GroupsOverflowed())
 	}
+	a.sampler.Remove(queryID)
 	delete(a.queries, queryID)
 	a.rebuildViewLocked()
 	if m := a.meters.Load(); m != nil {
@@ -671,6 +725,70 @@ func (a *Agent) EmitTuple(p *advice.Program, w tuple.Tuple) {
 	}
 	a.ensureAcc(qs, p.Emit).Add(w)
 	qs.tuples.Add(1)
+}
+
+// EmitTupleWeighted implements advice.WeightedEmitter: EmitTuple for a
+// tuple from a sampled request, carrying its inverse-rate weight into
+// the accumulator so COUNT/SUM aggregate to unbiased estimates.
+func (a *Agent) EmitTupleWeighted(p *advice.Program, w tuple.Tuple, weight float64) {
+	a.tuplesEmitted.Add(1)
+	if m := a.meters.Load(); m != nil {
+		m.tuples.Inc()
+	}
+	view := a.queriesView.Load()
+	if view == nil {
+		return
+	}
+	qs, ok := (*view)[p.QueryID]
+	if !ok {
+		return
+	}
+	a.ensureAcc(qs, p.Emit).AddWeighted(w, weight)
+	qs.tuples.Add(1)
+}
+
+// NoteSampledOut implements advice.SampleSink: a crossing was suppressed
+// by the request's sampling decision.
+func (a *Agent) NoteSampledOut(p *advice.Program) {
+	a.sampledOut.Add(1)
+}
+
+// MintSampleDecision mints the request-level sampling decision into
+// fresh baggage, once, at request creation, in the originating process.
+// For every query installed here with a sampling rate, one draw against
+// the query's current adaptive effective rate decides the whole request:
+// the decision tuple (query, effective-rate or 0) then travels with the
+// baggage through every split, join, and process transfer, so advice at
+// every tracepoint on the causal path agrees. Queries are visited in id
+// order with a per-agent seeded RNG, keeping simulated runs
+// deterministic. With no sampled queries installed this is a single
+// atomic load.
+func (a *Agent) MintSampleDecision(bag *baggage.Baggage) {
+	view := a.samplingView.Load()
+	if view == nil || len(*view) == 0 || bag == nil {
+		return
+	}
+	a.rngMu.Lock()
+	defer a.rngMu.Unlock()
+	if a.sampleRng == nil {
+		// Seeded from the process identity: unique per process, stable per
+		// simulated run, so scenario reports stay byte-reproducible.
+		a.sampleRng = rand.New(rand.NewSource(a.proc.ProcID*0x9E3779B9 + 1))
+	}
+	for _, sq := range *view {
+		eff := a.sampler.Effective(sq.id)
+		if eff <= 0 {
+			eff = sq.rate
+		}
+		switch {
+		case eff >= 1:
+			bag.PackSampleDecision(sq.id, 1)
+		case a.sampleRng.Float64() < eff:
+			bag.PackSampleDecision(sq.id, eff)
+		default:
+			bag.PackSampleDecision(sq.id, 0)
+		}
+	}
 }
 
 // NoteQuarantine implements advice.QuarantineNotifier: the program's
@@ -752,6 +870,12 @@ func (a *Agent) reportLoop() {
 // interval).
 func (a *Agent) Flush() {
 	a.expireLeases()
+	// Adaptive sampling tick: baggage drop counters growing since the last
+	// flush means the request path is over budget — back sampling rates
+	// off. A quiet interval walks them back toward each query's base rate.
+	cur := a.baggageGroupsDropped.Load() + a.baggageTuplesDropped.Load() + a.baggageBytesDropped.Load()
+	prev := a.pressureMark.Swap(cur)
+	a.sampler.Tick(cur > prev)
 	a.mu.Lock()
 	type pending struct {
 		id      string
@@ -1255,6 +1379,8 @@ func (a *Agent) Stats() Stats {
 		BaggageTuplesDropped: a.baggageTuplesDropped.Load(),
 		BaggageBytesDropped:  a.baggageBytesDropped.Load(),
 		SpanBatches:          a.spanBatches.Load(),
+		SampledOut:           a.sampledOut.Load(),
+		SampleRateMilli:      a.sampler.MinEffectiveMilli(),
 	}
 	if rec := a.recorder.Load(); rec != nil {
 		s.SpansCaptured = rec.Captured()

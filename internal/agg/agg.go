@@ -74,6 +74,13 @@ func (f Func) Combiner() Func {
 
 // State is a mergeable partial aggregate. The zero value is not usable;
 // construct with New.
+//
+// A state fed only unit-weight values (Add) is exact and carries no
+// extra bytes on the wire. Folding any value with a weight != 1
+// (AddWeighted — inverse-sampling-rate scaling) marks the state
+// inexact; the flag and the weighted sums survive every pairwise Merge,
+// so a sampled contribution anywhere in a combiner tree labels the
+// final result approximate end to end.
 type State struct {
 	fn       Func
 	count    int64
@@ -82,6 +89,13 @@ type State struct {
 	anyFloat bool
 	minmax   tuple.Value // current MIN or MAX value
 	seen     bool
+
+	// Weighted (Horvitz-Thompson) companions to count/sum. Exact states
+	// maintain the invariant wcount == float64(count), wsum == sumF, so
+	// exact and inexact partials merge without special cases.
+	inexact bool
+	wcount  float64 // Σ weight
+	wsum    float64 // Σ weight·value (Sum/Average)
 }
 
 // New returns an empty partial state for fn.
@@ -90,18 +104,29 @@ func New(fn Func) *State { return &State{fn: fn} }
 // Fn returns the state's aggregator.
 func (s *State) Fn() Func { return s.fn }
 
-// Add folds one observed value into the state.
-func (s *State) Add(v tuple.Value) {
+// Add folds one observed value into the state with unit weight.
+func (s *State) Add(v tuple.Value) { s.AddWeighted(v, 1) }
+
+// AddWeighted folds one observed value carrying the given weight
+// (1/sampling-rate for sampled observations). A weight other than 1
+// marks the state inexact: COUNT and SUM become weighted estimates,
+// MIN/MAX/AVERAGE keep their natural fold but are labeled approximate.
+func (s *State) AddWeighted(v tuple.Value, w float64) {
 	s.count++
+	if w != 1 {
+		s.inexact = true
+	}
+	s.wcount += w
 	switch s.fn {
 	case Count:
-		// nothing but the count
+		// nothing but the counts
 	case Sum, Average:
 		if v.Kind() == tuple.KindFloat {
 			s.anyFloat = true
 		}
 		s.sumI += v.Int()
 		s.sumF += v.Float()
+		s.wsum += w * v.Float()
 	case Min:
 		if !s.seen || v.Compare(s.minmax) < 0 {
 			s.minmax = v
@@ -123,6 +148,9 @@ func (s *State) Merge(o *State) {
 		return
 	}
 	s.count += o.count
+	s.inexact = s.inexact || o.inexact
+	s.wcount += o.wcount
+	s.wsum += o.wsum
 	switch s.fn {
 	case Count:
 	case Sum, Average:
@@ -141,12 +169,21 @@ func (s *State) Merge(o *State) {
 	s.seen = true
 }
 
-// Result returns the aggregate value for the state.
+// Result returns the aggregate value for the state. Inexact states
+// report the weighted (inverse-rate-scaled) estimate for COUNT and SUM
+// and the weighted mean for AVERAGE; MIN/MAX report the observed
+// extremum (a lower bound on coverage — see Exact).
 func (s *State) Result() tuple.Value {
 	switch s.fn {
 	case Count:
+		if s.inexact {
+			return tuple.Float(s.wcount)
+		}
 		return tuple.Int(s.count)
 	case Sum:
+		if s.inexact {
+			return tuple.Float(s.wsum)
+		}
 		if s.anyFloat {
 			return tuple.Float(s.sumF)
 		}
@@ -154,6 +191,12 @@ func (s *State) Result() tuple.Value {
 	case Average:
 		if s.count == 0 {
 			return tuple.Null
+		}
+		if s.inexact {
+			if s.wcount == 0 {
+				return tuple.Null
+			}
+			return tuple.Float(s.wsum / s.wcount)
 		}
 		return tuple.Float(s.sumF / float64(s.count))
 	case Min, Max:
@@ -166,8 +209,18 @@ func (s *State) Result() tuple.Value {
 	}
 }
 
-// Count returns the number of values folded into the state.
+// Count returns the raw number of values folded into the state,
+// regardless of weights.
 func (s *State) Count() int64 { return s.count }
+
+// Exact reports whether the state saw only unit-weight contributions:
+// false means some input was sampled and Result is an estimate (for
+// MIN/MAX: an extremum over the sampled subset only).
+func (s *State) Exact() bool { return !s.inexact }
+
+// Weighted returns the weighted count and weighted sum accumulated so
+// far (for exact states these equal the raw count and sum).
+func (s *State) Weighted() (count, sum float64) { return s.wcount, s.wsum }
 
 // Clone deep-copies the state.
 func (s *State) Clone() *State {
@@ -178,6 +231,9 @@ func (s *State) Clone() *State {
 var errTruncated = errors.New("agg: truncated encoding")
 
 // Append serializes the state to buf (for baggage and bus transport).
+// The weighted fields are appended only for inexact states (flag bit
+// 4), so exact states — including every state produced at sampling
+// rate 1.0 — encode byte-identically to the pre-sampling format.
 func (s *State) Append(buf []byte) []byte {
 	buf = append(buf, byte(s.fn))
 	var flags byte
@@ -187,22 +243,36 @@ func (s *State) Append(buf []byte) []byte {
 	if s.seen {
 		flags |= 2
 	}
+	if s.inexact {
+		flags |= 4
+	}
 	buf = append(buf, flags)
 	buf = binary.AppendVarint(buf, s.count)
 	buf = binary.AppendVarint(buf, s.sumI)
 	var tmp [8]byte
 	binary.LittleEndian.PutUint64(tmp[:], floatBits(s.sumF))
 	buf = append(buf, tmp[:]...)
-	return tuple.AppendValue(buf, s.minmax)
+	buf = tuple.AppendValue(buf, s.minmax)
+	if s.inexact {
+		binary.LittleEndian.PutUint64(tmp[:], floatBits(s.wcount))
+		buf = append(buf, tmp[:]...)
+		binary.LittleEndian.PutUint64(tmp[:], floatBits(s.wsum))
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
 }
 
 // EncodedSize returns the number of bytes Append would write, computed
 // arithmetically so budget cost models never allocate a scratch encoding.
 func (s *State) EncodedSize() int {
-	return 2 + // fn + flags
+	n := 2 + // fn + flags
 		tuple.VarintLen(s.count) + tuple.VarintLen(s.sumI) +
 		8 + // sumF fixed64
 		tuple.EncodedSize(s.minmax)
+	if s.inexact {
+		n += 16 // wcount + wsum fixed64s
+	}
+	return n
 }
 
 // Decode deserializes one state from the front of buf.
@@ -214,6 +284,7 @@ func Decode(buf []byte) (*State, []byte, error) {
 	flags := buf[1]
 	s.anyFloat = flags&1 != 0
 	s.seen = flags&2 != 0
+	s.inexact = flags&4 != 0
 	rest := buf[2:]
 	var k int
 	s.count, k = binary.Varint(rest)
@@ -235,6 +306,19 @@ func Decode(buf []byte) (*State, []byte, error) {
 	s.minmax, rest, err = tuple.DecodeValue(rest)
 	if err != nil {
 		return nil, nil, err
+	}
+	if s.inexact {
+		if len(rest) < 16 {
+			return nil, nil, errTruncated
+		}
+		s.wcount = floatFromBits(binary.LittleEndian.Uint64(rest))
+		s.wsum = floatFromBits(binary.LittleEndian.Uint64(rest[8:]))
+		rest = rest[16:]
+	} else {
+		// Exact states never ship the weighted fields; rebuild the
+		// exact-state invariant so later weighted merges stay correct.
+		s.wcount = float64(s.count)
+		s.wsum = s.sumF
 	}
 	return s, rest, nil
 }

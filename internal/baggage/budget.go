@@ -207,13 +207,15 @@ func (b *Baggage) enforce(budget Budget, prefix string) (groups, tuples, bytes i
 
 // usage sums the query's content cost and stored-tuple count across every
 // instance (active and frozen) — the same contents a serialize would ship.
-// The drop slot is excluded so accounting never triggers eviction, and the
-// trace slot is excluded so span capture never charges a query's budget.
+// The drop slot is excluded so accounting never triggers eviction, the
+// trace slot is excluded so span capture never charges a query's budget,
+// and the sample slot is excluded so a request's sampling identity never
+// competes with query data for space.
 func (b *Baggage) usage(prefix string) (bytes, tuples int) {
 	b.ensureDecoded()
 	for _, in := range b.insts {
 		for _, slot := range in.order {
-			if slot == DropSlot || slot == TraceSlot || queryPrefix(slot) != prefix {
+			if slot == DropSlot || slot == TraceSlot || slot == SampleSlot || queryPrefix(slot) != prefix {
 				continue
 			}
 			s := in.slots[slot]
@@ -233,7 +235,7 @@ func (b *Baggage) victim(prefix string) (string, *Set) {
 	var bestSlot string
 	var best *Set
 	for _, slot := range act.order {
-		if slot == DropSlot || slot == TraceSlot || queryPrefix(slot) != prefix {
+		if slot == DropSlot || slot == TraceSlot || slot == SampleSlot || queryPrefix(slot) != prefix {
 			continue
 		}
 		s := act.slots[slot]

@@ -359,9 +359,15 @@ func (p *Process) Context() context.Context {
 }
 
 // NewRequest returns a context for a fresh request originating in this
-// process: identity, clock, and new empty baggage.
+// process: identity, clock, and new empty baggage. The process's agent
+// mints the request's sampling decision here — once, before the request
+// can split — so every tracepoint on its causal path sees one verdict.
 func (p *Process) NewRequest() context.Context {
-	return baggage.NewContext(p.Context(), baggage.New())
+	bag := baggage.New()
+	if p.Agent != nil {
+		p.Agent.MintSampleDecision(bag)
+	}
+	return baggage.NewContext(p.Context(), bag)
 }
 
 // In adapts a context to this process: the same request baggage, but this

@@ -520,6 +520,22 @@ func rowLess(a, b tuple.Tuple) bool {
 	return len(a) < len(b)
 }
 
+// Groups snapshots the globally merged partial groups (cloned, in
+// first-seen order), exposing the aggregate-state metadata that Rows
+// materializes away: raw fold counts, sampling weights, and the Exact
+// flag. Callers that must distinguish an exact COUNT from a weighted
+// estimate read it here.
+func (h *Installed) Groups() []*advice.Group {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	gs := h.global.Groups()
+	out := make([]*advice.Group, 0, len(gs))
+	for _, g := range gs {
+		out = append(out, g.Clone())
+	}
+	return out
+}
+
 // Schema returns the output schema of the query.
 func (h *Installed) Schema() tuple.Schema { return h.Plan.Schema }
 

@@ -223,6 +223,9 @@ var statColumns = map[string]string{
 
 	"CombinerReportsMerged": "cmerged",
 	"CombinerFramesOut":     "cfwd",
+
+	"SampledOut":      "smplout",
+	"SampleRateMilli": "srate",
 }
 
 // RenderStatus formats a Status as the aligned tables cmd/ptstat prints:
@@ -231,16 +234,17 @@ var statColumns = map[string]string{
 func RenderStatus(s Status) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "agents (%d):\n", len(s.Agents))
-	fmt.Fprintf(&b, "  %-24s %-12s %10s %10s %-9s %7s %9s %7s %9s %9s %7s %7s %7s %7s %7s %7s %7s %8s %8s %8s %8s %7s\n",
+	fmt.Fprintf(&b, "  %-24s %-12s %10s %10s %-9s %7s %9s %7s %9s %9s %7s %7s %7s %7s %7s %7s %7s %8s %8s %8s %8s %7s %7s %5s\n",
 		"host", "proc", "age", "interval", "health", "queries", "reports", "batches",
 		"rows", "tuples", "reconn", "replay", "drops", "expired", "quarant",
-		"rawdrop", "ovflow", "bagdrop", "spans", "spandrop", "cmerged", "cfwd")
+		"rawdrop", "ovflow", "bagdrop", "spans", "spandrop", "cmerged", "cfwd",
+		"smplout", "srate")
 	for _, a := range s.Agents {
 		health := "ok"
 		if !a.Healthy {
 			health = "UNHEALTHY"
 		}
-		fmt.Fprintf(&b, "  %-24s %-12s %10s %10s %-9s %7d %9d %7d %9d %9d %7d %7d %7d %7d %7d %7d %7d %8d %8d %8d %8d %7d\n",
+		fmt.Fprintf(&b, "  %-24s %-12s %10s %10s %-9s %7d %9d %7d %9d %9d %7d %7d %7d %7d %7d %7d %7d %8d %8d %8d %8d %7d %7d %5d\n",
 			a.Host, a.ProcName,
 			a.Age.Round(time.Millisecond), a.Interval, health, a.Queries,
 			a.Stats.Reports, a.Stats.Batches, a.Stats.RowsReported, a.Stats.TuplesEmitted,
@@ -248,7 +252,8 @@ func RenderStatus(s Status) string {
 			a.Stats.LeasesExpired, a.Stats.Quarantines,
 			a.Stats.RawsDropped, a.Stats.GroupsOverflowed, a.Stats.BaggageBytesDropped,
 			a.Stats.SpansCaptured, a.Stats.SpansDropped,
-			a.Stats.CombinerReportsMerged, a.Stats.CombinerFramesOut)
+			a.Stats.CombinerReportsMerged, a.Stats.CombinerFramesOut,
+			a.Stats.SampledOut, a.Stats.SampleRateMilli)
 	}
 	fmt.Fprintf(&b, "\nqueries (%d):\n", len(s.Queries))
 	fmt.Fprintf(&b, "  %-16s %8s %9s %14s %12s %9s %9s %8s %8s\n",

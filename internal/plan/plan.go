@@ -21,6 +21,7 @@ import (
 	"repro/internal/advice"
 	"repro/internal/agg"
 	"repro/internal/query"
+	"repro/internal/sampling"
 	"repro/internal/tracepoint"
 	"repro/internal/tuple"
 )
@@ -38,6 +39,16 @@ type Options struct {
 	// crossing so the happened-before join stays exact for the sampled
 	// observations; COUNT/SUM results are 1/SampleEvery-scaled estimates.
 	SampleEvery int64
+	// SampleRate, when in (0, 1), samples the query at request
+	// granularity: the originating agent mints one keep/suppress decision
+	// per request (carried in the reserved !pt.sample baggage slot), so a
+	// happened-before join never pairs a sampled tuple with an unsampled
+	// ancestor. Kept tuples carry weight 1/SampleRate; COUNT and SUM
+	// become unbiased Horvitz-Thompson estimates and results are flagged
+	// approximate. Out of range (including 1 from a query's own SAMPLE 1
+	// clause, NaN, ≤ 0, > 1) is clamped at decode; a query-level SAMPLE
+	// clause supplies the rate when this field is zero.
+	SampleRate float64
 	// Safety bounds the compiled programs' runtime behavior: baggage
 	// budget, panic circuit breaker, and per-fire cost ceiling. The zero
 	// value enables every default limit (see advice.Safety).
@@ -111,6 +122,18 @@ func Compile(q *query.Query, reg *tracepoint.Registry, named map[string]*query.Q
 	c := &compiler{reg: reg, named: named, opts: opts, rootID: rootID}
 	if err := c.compileQuery(p, a, rootID, nil); err != nil {
 		return nil, err
+	}
+	// Request-level sampling applies to every program of the query — joined
+	// sources included — so the per-request decision suppresses or keeps
+	// the whole causal slice atomically.
+	rate := sampling.ClampRate(opts.SampleRate)
+	if rate == 0 {
+		rate = sampling.ClampRate(q.Sample)
+	}
+	if rate > 0 {
+		for _, prog := range p.Programs {
+			prog.SampleRate = rate
+		}
 	}
 	return p, nil
 }

@@ -7,6 +7,7 @@ package query
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/agg"
@@ -116,6 +117,11 @@ type Query struct {
 	Where   []Expr // conjunction of predicates
 	GroupBy []FieldRef
 	Select  []SelectItem
+	// Sample is the query's request-level sampling rate from a Sample
+	// clause: in (0, 1), one keep/suppress decision is minted per request
+	// and kept tuples are weighted by 1/Sample. Zero means unsampled
+	// (exact). Rates outside (0, 1] are rejected at parse time.
+	Sample float64
 }
 
 // Aliases returns the alias names bound by the query, From first.
@@ -163,6 +169,10 @@ func (q *Query) String() string {
 			}
 			b.WriteString(s.String())
 		}
+	}
+	if q.Sample != 0 {
+		b.WriteString(" Sample ")
+		b.WriteString(strconv.FormatFloat(q.Sample, 'g', -1, 64))
 	}
 	return b.String()
 }

@@ -96,7 +96,7 @@ func (p *parser) parseQuery() (*Query, error) {
 		p.next()
 	}
 
-	seenGroupBy, seenSelect := false, false
+	seenGroupBy, seenSelect, seenSample := false, false, false
 	for {
 		t := p.peek()
 		if t.kind == tokEOF {
@@ -154,8 +154,26 @@ func (p *parser) parseQuery() (*Query, error) {
 				}
 				p.next()
 			}
+		case "Sample":
+			if seenSample {
+				return nil, errorAt(p.input, t.pos, "duplicate Sample clause")
+			}
+			seenSample = true
+			p.next()
+			nTok, err := p.expectKind(tokNumber, "sampling rate")
+			if err != nil {
+				return nil, err
+			}
+			rate, err := strconv.ParseFloat(nTok.text, 64)
+			if err != nil {
+				return nil, errorAt(p.input, nTok.pos, "bad sampling rate %q", nTok.text)
+			}
+			if !(rate > 0 && rate <= 1) {
+				return nil, errorAt(p.input, nTok.pos, "sampling rate %v out of range (0, 1]", rate)
+			}
+			q.Sample = rate
 		default:
-			return nil, errorAt(p.input, t.pos, "unexpected %s; expected Join, Where, GroupBy, or Select", t)
+			return nil, errorAt(p.input, t.pos, "unexpected %s; expected Join, Where, GroupBy, Select, or Sample", t)
 		}
 	}
 	if len(q.Select) == 0 {

@@ -96,6 +96,9 @@ type Case struct {
 	Events    []Event
 	Ops       []Op
 	QueryText string
+	// SampleRate is the request-level sampling rate the case's query
+	// declares (GenerateSampled); zero for exact cases.
+	SampleRate float64
 }
 
 // Executor realizes the trace script on some substrate. Branch ids are
@@ -312,6 +315,93 @@ func GenerateBudgeted(seed int64) *Case {
 	}
 	// Fold every branch back so the sink's causal past holds all source
 	// events and all tombstones, then fire the sink exactly once.
+	for len(branches) > 1 {
+		c.Ops = append(c.Ops, Op{Kind: OpJoin, Delay: delay(), Branch: 0, Other: len(branches) - 1})
+		branches = branches[:len(branches)-1]
+	}
+	if c.NumProcs > 1 && rng.Intn(2) == 0 {
+		p := rng.Intn(c.NumProcs)
+		c.Ops = append(c.Ops, Op{Kind: OpTransfer, Delay: delay(), Branch: 0, Proc: p})
+		branches[0].proc = p
+	}
+	fire(0, sinkTP, tuple.Int(1))
+	return c
+}
+
+// sampledRates is the pool GenerateSampled draws from: rates low enough
+// to exercise real suppression and weights large enough to matter.
+var sampledRates = []float64{0.05, 0.1, 0.2, 0.25, 0.5}
+
+// GenerateSampled builds a case tailored to sampled differential testing:
+// the same fold-everything-into-one-sink shape as GenerateBudgeted — so
+// each replay of the script is exactly one request with one sink fire
+// whose causal past holds every source event — but with a query that
+// declares a Sample clause and selects COUNT and SUM. Each replay is a
+// fresh request, so the minted keep/suppress decision varies per run; the
+// differential harness replays the script many times and checks the
+// weighted aggregates against the exact oracle within binomial confidence
+// bounds, and reconciles reported raw tuples + suppressed requests
+// against the oracle's totals.
+func GenerateSampled(seed int64) *Case {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Case{Seed: seed}
+	c.TPs = []TP{
+		{Name: "Gen.Src", Fields: []Field{{"key", tuple.KindString}, {"val", tuple.KindInt}}},
+		{Name: "Gen.Sink", Fields: []Field{{"n", tuple.KindInt}}},
+	}
+	const srcTP, sinkTP = 0, 1
+
+	c.NumProcs = 1 + rng.Intn(3)
+	nHosts := 1 + rng.Intn(c.NumProcs)
+	for p := 0; p < c.NumProcs; p++ {
+		c.Hosts = append(c.Hosts, fmt.Sprintf("h%d", p%nHosts))
+		c.ProcNames = append(c.ProcNames, fmt.Sprintf("p%d", p))
+	}
+	c.SampleRate = sampledRates[rng.Intn(len(sampledRates))]
+	c.QueryText = fmt.Sprintf(
+		"From b In Gen.Sink Join a In Gen.Src On a -> b GroupBy a.key Select a.key, COUNT, SUM(a.val) Sample %v",
+		c.SampleRate)
+
+	nKeys := 3 + rng.Intn(4)
+	nFires := nKeys + rng.Intn(2*nKeys)
+	type br struct{ proc int }
+	branches := []br{{0}}
+	delay := func() time.Duration {
+		return time.Duration(rng.Intn(5)) * 700 * time.Microsecond
+	}
+	fire := func(b, tp int, args ...tuple.Value) {
+		ev := Event{ID: len(c.Events), TP: tp, Proc: branches[b].proc, Args: args}
+		c.Events = append(c.Events, ev)
+		c.Ops = append(c.Ops, Op{Kind: OpFire, Delay: delay(), Branch: b, Event: ev.ID})
+	}
+	for fired := 0; fired < nFires; {
+		k := rng.Intn(100)
+		switch {
+		case k < 15 && len(branches) < 4:
+			b := rng.Intn(len(branches))
+			c.Ops = append(c.Ops, Op{Kind: OpSplit, Delay: delay(), Branch: b})
+			branches = append(branches, br{branches[b].proc})
+		case k < 25 && len(branches) > 1:
+			b := rng.Intn(len(branches))
+			o := rng.Intn(len(branches))
+			if o == b {
+				o = (o + 1) % len(branches)
+			}
+			c.Ops = append(c.Ops, Op{Kind: OpJoin, Delay: delay(), Branch: b, Other: o})
+			branches = append(branches[:o], branches[o+1:]...)
+		case k < 45 && c.NumProcs > 1:
+			b := rng.Intn(len(branches))
+			p := rng.Intn(c.NumProcs)
+			c.Ops = append(c.Ops, Op{Kind: OpTransfer, Delay: delay(), Branch: b, Proc: p})
+			branches[b].proc = p
+		default:
+			b := rng.Intn(len(branches))
+			fire(b, srcTP,
+				tuple.String(fmt.Sprintf("k%02d", rng.Intn(nKeys))),
+				tuple.Int(int64(1+rng.Intn(16))))
+			fired++
+		}
+	}
 	for len(branches) > 1 {
 		c.Ops = append(c.Ops, Op{Kind: OpJoin, Delay: delay(), Branch: 0, Other: len(branches) - 1})
 		branches = branches[:len(branches)-1]

@@ -45,6 +45,44 @@ func TestGeneratedQueriesParseAnalyzeAndCompile(t *testing.T) {
 	})
 }
 
+func TestGenerateSampledCasesAreWellFormed(t *testing.T) {
+	rates := map[float64]bool{}
+	for _, r := range sampledRates {
+		rates[r] = true
+	}
+	randtest.Check(t, 100, 11000, func(seed int64) error {
+		c := GenerateSampled(seed)
+		if !rates[c.SampleRate] {
+			return fmt.Errorf("SampleRate %v not drawn from the sampled pool", c.SampleRate)
+		}
+		reg := tracepoint.NewRegistry()
+		c.Define(reg)
+		q, err := query.Parse(c.QueryText)
+		if err != nil {
+			return fmt.Errorf("parse %q: %w", c.QueryText, err)
+		}
+		if q.Sample != c.SampleRate {
+			return fmt.Errorf("query text declares Sample %v, case says %v", q.Sample, c.SampleRate)
+		}
+		if _, err := plan.Compile(q, reg, nil, plan.Optimized); err != nil {
+			return fmt.Errorf("compile %q: %w", c.QueryText, err)
+		}
+		if c2 := GenerateSampled(seed); !reflect.DeepEqual(c, c2) {
+			return fmt.Errorf("two sampled generations from seed %d differ", seed)
+		}
+		// The script must replay: every event fired, on the right branch.
+		x := &recExec{proc: map[int]int{0: 0}}
+		c.Execute(x)
+		if x.err != nil {
+			return x.err
+		}
+		if x.fires != len(c.Events) {
+			return fmt.Errorf("executed %d fires for %d events", x.fires, len(c.Events))
+		}
+		return nil
+	})
+}
+
 // recExec records what Execute feeds it and cross-checks the generator's
 // per-event process assignment against its own transfer bookkeeping.
 type recExec struct {

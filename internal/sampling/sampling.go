@@ -1,0 +1,124 @@
+// Package sampling implements consistent request-level sampling for
+// Pivot Tracing queries. A sampling decision is minted exactly once per
+// request — by the agent of the process that creates the request — and
+// travels in a reserved baggage slot, so every tracepoint on the
+// request's causal path sees the same verdict: a happened-before join
+// never pairs a sampled tuple with an unsampled ancestor.
+//
+// The package owns the two pure pieces of the mechanism: rate
+// validation (ClampRate — the only gate through which wire- or
+// user-supplied rates reach the advice path) and the adaptive
+// per-query rate controller that backs the effective rate off under
+// baggage-budget pressure and restores it when the pressure clears.
+package sampling
+
+import (
+	"math"
+	"sync"
+)
+
+// ClampRate validates a sampling rate from an untrusted source (wire
+// decode, user options, query text). A rate is usable iff it is a real
+// number in (0, 1] whose inverse — the tuple weight — is still a finite
+// float64; anything else — zero, negative, above one, NaN, ±Inf, or a
+// subnormal so small that 1/r overflows to +Inf — returns 0, which means
+// "sampling disabled" (the exact path). NaN fails the r > 0 comparison,
+// so no special case is needed.
+func ClampRate(r float64) float64 {
+	if r > 0 && r <= 1 && !math.IsInf(1/r, 1) {
+		return r
+	}
+	return 0
+}
+
+// backoffFloor divides the base rate to give the lowest effective rate
+// adaptive control may reach: pressure can shed up to ~98% of a query's
+// sampled requests, but never silences the query entirely.
+const backoffFloor = 64
+
+// Controller tracks the adaptive effective sampling rate of each
+// installed query on one agent. Rates halve (toward base/backoffFloor)
+// on every pressure tick and double (toward base) on every idle tick —
+// classic AIMD-style multiplicative backoff, driven by the agent's
+// baggage-budget meters.
+type Controller struct {
+	mu      sync.Mutex
+	queries map[string]*ctlState
+}
+
+type ctlState struct {
+	base float64 // installed rate, the ceiling
+	eff  float64 // current effective rate
+}
+
+// NewController returns an empty controller.
+func NewController() *Controller {
+	return &Controller{queries: make(map[string]*ctlState)}
+}
+
+// SetBase registers (or re-registers) a query's installed rate. The
+// effective rate starts at the base; a rate outside (0, 1] removes the
+// query. Re-installing with the same base preserves any backoff in
+// progress.
+func (c *Controller) SetBase(query string, rate float64) {
+	rate = ClampRate(rate)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rate == 0 {
+		delete(c.queries, query)
+		return
+	}
+	if st, ok := c.queries[query]; ok && st.base == rate {
+		return
+	}
+	c.queries[query] = &ctlState{base: rate, eff: rate}
+}
+
+// Remove forgets a query (uninstall).
+func (c *Controller) Remove(query string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.queries, query)
+}
+
+// Effective returns the query's current effective rate, or 0 if the
+// query is not under sampling control.
+func (c *Controller) Effective(query string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.queries[query]; ok {
+		return st.eff
+	}
+	return 0
+}
+
+// Tick advances the controller one reporting interval. Under pressure
+// every effective rate halves, floored at base/backoffFloor; when idle
+// every rate doubles, capped at its base.
+func (c *Controller) Tick(pressure bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, st := range c.queries {
+		if pressure {
+			st.eff = math.Max(st.base/backoffFloor, st.eff/2)
+		} else {
+			st.eff = math.Min(st.base, st.eff*2)
+		}
+	}
+}
+
+// MinEffectiveMilli returns the lowest effective rate across all
+// controlled queries, in thousandths (a rate of 0.05 reports 50). With
+// no sampled queries it returns 1000: everything runs exact. This is
+// the single gauge the agent ships in heartbeats.
+func (c *Controller) MinEffectiveMilli() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	min := 1.0
+	for _, st := range c.queries {
+		if st.eff < min {
+			min = st.eff
+		}
+	}
+	return int64(math.Round(min * 1000))
+}

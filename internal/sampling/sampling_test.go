@@ -1,0 +1,111 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClampRate(t *testing.T) {
+	cases := []struct {
+		in, want float64
+	}{
+		{0.5, 0.5},
+		{1, 1},
+		{0.001, 0.001},
+		{0, 0},
+		{-0.5, 0},
+		{1.5, 0},
+		{math.NaN(), 0},
+		{math.Inf(1), 0},
+		{math.Inf(-1), 0},
+		{math.MaxFloat64, 0},
+		// Subnormal: in (0, 1] but 1/r overflows to +Inf — the weight
+		// would poison every aggregate it touches.
+		{5e-324, 0},
+		{1e-300, 1e-300}, // tiny but usable: the weight 1e300 is finite
+	}
+	for _, c := range cases {
+		if got := ClampRate(c.in); got != c.want {
+			t.Errorf("ClampRate(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestControllerBackoffAndRestore(t *testing.T) {
+	c := NewController()
+	c.SetBase("q", 0.5)
+	if got := c.Effective("q"); got != 0.5 {
+		t.Fatalf("effective after install = %v, want 0.5", got)
+	}
+	// Pressure halves per tick, floored at base/64.
+	for i := 0; i < 20; i++ {
+		c.Tick(true)
+	}
+	floor := 0.5 / 64
+	if got := c.Effective("q"); got != floor {
+		t.Fatalf("effective after sustained pressure = %v, want floor %v", got, floor)
+	}
+	// One pressure tick halves exactly.
+	c.SetBase("q2", 0.8)
+	c.Tick(true)
+	if got := c.Effective("q2"); got != 0.4 {
+		t.Fatalf("one pressure tick: effective = %v, want 0.4", got)
+	}
+	// Idle ticks double back up to the base, never past it.
+	for i := 0; i < 20; i++ {
+		c.Tick(false)
+	}
+	if got := c.Effective("q"); got != 0.5 {
+		t.Fatalf("effective after recovery = %v, want base 0.5", got)
+	}
+	if got := c.Effective("q2"); got != 0.8 {
+		t.Fatalf("q2 effective after recovery = %v, want base 0.8", got)
+	}
+}
+
+func TestControllerSetBaseValidation(t *testing.T) {
+	c := NewController()
+	c.SetBase("bad", math.NaN())
+	if got := c.Effective("bad"); got != 0 {
+		t.Fatalf("NaN base registered: effective = %v", got)
+	}
+	c.SetBase("q", 0.25)
+	c.Tick(true) // eff = 0.125
+	c.SetBase("q", 0.25)
+	if got := c.Effective("q"); got != 0.125 {
+		t.Fatalf("re-install same base reset backoff: effective = %v, want 0.125", got)
+	}
+	c.SetBase("q", 0.5) // changed base resets
+	if got := c.Effective("q"); got != 0.5 {
+		t.Fatalf("changed base: effective = %v, want 0.5", got)
+	}
+	c.SetBase("q", -1) // invalid base removes
+	if got := c.Effective("q"); got != 0 {
+		t.Fatalf("invalid base kept query: effective = %v", got)
+	}
+}
+
+func TestControllerRemove(t *testing.T) {
+	c := NewController()
+	c.SetBase("q", 0.1)
+	c.Remove("q")
+	if got := c.Effective("q"); got != 0 {
+		t.Fatalf("effective after remove = %v", got)
+	}
+}
+
+func TestMinEffectiveMilli(t *testing.T) {
+	c := NewController()
+	if got := c.MinEffectiveMilli(); got != 1000 {
+		t.Fatalf("empty controller milli = %d, want 1000", got)
+	}
+	c.SetBase("a", 1)
+	c.SetBase("b", 0.05)
+	if got := c.MinEffectiveMilli(); got != 50 {
+		t.Fatalf("milli = %d, want 50", got)
+	}
+	c.Tick(true)
+	if got := c.MinEffectiveMilli(); got != 25 {
+		t.Fatalf("milli after pressure = %d, want 25", got)
+	}
+}

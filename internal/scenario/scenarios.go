@@ -3,15 +3,20 @@ package scenario
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
+	"repro/internal/advice"
+	"repro/internal/baggage"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/hbase"
 	"repro/internal/hdfs"
 	"repro/internal/mapreduce"
 	"repro/internal/netsim"
+	"repro/internal/plan"
+	"repro/internal/tracepoint"
 	"repro/internal/tuple"
 	"repro/internal/yarn"
 )
@@ -27,6 +32,7 @@ func All() []*Scenario {
 		ThunderingHerd(),
 		RollingRestarts(),
 		MultiTenantStorm(),
+		SamplingStorm(),
 	}
 }
 
@@ -1036,6 +1042,249 @@ Select j.id, COUNT`)
 			r.Await("jobs-observed", qJob, 1, func(rows []tuple.Tuple) error {
 				if got := sumVals(groupVals(rows)); got != float64(jobs) {
 					return fmt.Errorf("%v job completions != %d", got, jobs)
+				}
+				return nil
+			})
+			r.SettleTo(r.horizon())
+			return nil
+		},
+	}
+}
+
+// ---- 9. sampling storm ------------------------------------------------
+
+const qStormOps = `From o In Storm.Op
+GroupBy o.key
+Select o.key, COUNT, SUM(o.val)`
+
+const qStormOpsSampled = qStormOps + `
+Sample 0.05`
+
+// qStormSqueeze exists purely to generate baggage-budget pressure: the
+// happened-before join packs per-key Storm.Op groups, and under a
+// MaxTuples budget of 1 nearly every pack evicts — the drop stream that
+// drives the agents' adaptive sampling controllers into backoff.
+const qStormSqueeze = `From d In Storm.Done
+Join o In Storm.Op On o -> d
+GroupBy o.key
+Select o.key, COUNT`
+
+// countVals maps each row's group key to its COUNT column (the middle
+// column of the key, COUNT, SUM(...) selects above). For a sampled query
+// the value is the weighted Horvitz-Thompson estimate.
+func countVals(rows []tuple.Tuple) map[string]float64 {
+	out := make(map[string]float64, len(rows))
+	for _, row := range rows {
+		if len(row) < 3 {
+			continue
+		}
+		out[row[0].Str()] = row[1].Float()
+	}
+	return out
+}
+
+// SamplingStorm runs a thundering herd of monitored request generators
+// under an exact query and its Sample 0.05 twin, then squeezes the
+// baggage budget mid-run: the adaptive controllers back the effective
+// rate off toward the floor, and releasing the squeeze restores it.
+// Checkpoints pin the statistical contract (weighted estimate within a
+// 5-sigma relative-error bound of the exact answer, drop accounting
+// reconciling kept + suppressed to requests issued) and the exactness
+// flag flip (exact rows exact, sampled rows flagged approximate).
+func SamplingStorm() *Scenario {
+	return &Scenario{
+		ID:           "sampling-storm",
+		Name:         "Sampling storm",
+		Description:  "herd at rate 0.05; budget squeeze backs the rate off, release restores it",
+		DefaultHosts: 1024,
+		ShortHosts:   64,
+		Horizon:      20 * time.Second,
+		Run: func(r *Run) error {
+			d := deploy(r.Env, r, 500*time.Millisecond)
+			d.EnableCombinerTree(false)
+			hosts := d.WorkerNames(0)
+
+			nGen, ops1, ops2 := 384, 75, 60
+			if r.Short {
+				nGen = 32
+			}
+			const (
+				rate       = 0.05
+				baseMilli  = 50 // rate in thousandths, as agents gauge it
+				firesPerOp = 6  // Storm.Op crossings per request
+				nKeys      = 8
+			)
+			// The generators are MONITORED processes: the sampling decision
+			// is minted by the agent of the process that originates the
+			// request, so unmonitored client procs (StartClients) would run
+			// every request down the exact path.
+			gens := make([]*cluster.Process, nGen)
+			opTPs := make([]*tracepoint.Tracepoint, nGen)
+			doneTPs := make([]*tracepoint.Tracepoint, nGen)
+			for i := range gens {
+				p := d.C.Start(hosts[i%len(hosts)], fmt.Sprintf("Storm%02d", i/len(hosts)))
+				gens[i] = p
+				opTPs[i] = p.Define("Storm.Op", "key", "val")
+				doneTPs[i] = p.Define("Storm.Done", "n")
+			}
+			stormRates := func() (lo, hi int64) {
+				lo, hi = -1, -1
+				for _, p := range gens {
+					m := p.Agent.Stats().SampleRateMilli
+					if lo < 0 || m < lo {
+						lo = m
+					}
+					if m > hi {
+						hi = m
+					}
+				}
+				return
+			}
+			suppressed := func() int64 {
+				var n int64
+				for _, p := range gens {
+					n += p.Agent.Stats().SampledOut
+				}
+				return n
+			}
+
+			qExact := r.Query(qStormOps)
+			qSampled := r.Query(qStormOpsSampled)
+
+			stormOp := func(i, k int, ctx context.Context, p *cluster.Process, rng *rand.Rand) error {
+				r.Env.Sleep(time.Duration(20+rng.Intn(16)) * time.Millisecond)
+				for f := 0; f < firesPerOp; f++ {
+					opTPs[i].Here(ctx, fmt.Sprintf("k%02d", rng.Intn(nKeys)), int64(1+rng.Intn(9)))
+				}
+				doneTPs[i].Here(ctx, int64(firesPerOp))
+				return nil
+			}
+
+			// Phase 1: the herd at a steady effective rate (no pressure
+			// source exists yet, so the controllers sit at the base).
+			join := r.DriveAsync(gens, ops1, stormOp)
+			want1 := float64(nGen * ops1 * firesPerOp)
+			r.Await("storm-observed", qExact, 4, func(rows []tuple.Tuple) error {
+				if got := sumVals(countVals(rows)); got < want1/20 {
+					return fmt.Errorf("only %v exact ops observed", got)
+				}
+				return nil
+			})
+			join()
+			requests1 := float64(nGen * ops1)
+
+			r.Await("exact-conserved-p1", qExact, 1, func(rows []tuple.Tuple) error {
+				if got := sumVals(countVals(rows)); got != want1 {
+					return fmt.Errorf("exact COUNT %v != %v fired", got, want1)
+				}
+				return nil
+			})
+			// Every phase-1 request was minted at the fixed base rate, so
+			// the weighted COUNT is a Horvitz-Thompson estimate whose
+			// relative error concentrates within 5 sigma of the binomial
+			// request-count estimate (the 6 tuples of one request share its
+			// keep/suppress verdict, so they add no independent variance).
+			errBound := 5 * math.Sqrt((1-rate)/(requests1*rate))
+			var est1 float64
+			r.Await("estimate-within-bound", qSampled, 1, func(rows []tuple.Tuple) error {
+				est1 = sumVals(countVals(rows))
+				relErr := math.Abs(est1-want1) / want1
+				if est1 <= 0 || relErr > errBound {
+					return fmt.Errorf("sampled estimate %v vs exact %v: relative error %.3f > bound %.3f",
+						est1, want1, relErr, errBound)
+				}
+				return nil
+			})
+
+			// Drop accounting reconciles: suppression is all-or-nothing per
+			// request (firesPerOp crossings at a time), and kept requests —
+			// recovered from the weighted estimate at the known fixed rate —
+			// plus suppressed requests account for every request issued.
+			sup1 := suppressed()
+			var recErr error
+			kept := math.Round(est1 * rate / firesPerOp)
+			switch {
+			case sup1%firesPerOp != 0:
+				recErr = fmt.Errorf("%d suppressed crossings not divisible by %d per request", sup1, firesPerOp)
+			case kept+float64(sup1/firesPerOp) != requests1:
+				recErr = fmt.Errorf("kept %v + suppressed %d != %v requests", kept, sup1/firesPerOp, requests1)
+			}
+			r.Expect("drops-reconcile", recErr)
+
+			// Exactness flags flip: the exact query's groups stay exact, the
+			// sampled twin's are all flagged approximate.
+			var flagErr error
+			exGroups, saGroups := qExact.Groups(), qSampled.Groups()
+			if len(exGroups) == 0 || len(saGroups) == 0 {
+				flagErr = fmt.Errorf("no groups to check (%d exact, %d sampled)", len(exGroups), len(saGroups))
+			}
+			for _, g := range exGroups {
+				for _, st := range g.States {
+					if !st.Exact() {
+						flagErr = fmt.Errorf("exact query group %q flagged approximate", g.Key)
+					}
+				}
+			}
+			for _, g := range saGroups {
+				for _, st := range g.States {
+					if st.Exact() {
+						flagErr = fmt.Errorf("sampled query group %q not flagged approximate", g.Key)
+					}
+				}
+			}
+			r.Expect("flags-flip", flagErr)
+
+			// Phase 2: the budget squeeze. More herd load runs while the
+			// squeeze query's evictions feed the pressure signal.
+			squeeze, sqErr := d.C.PT.InstallNamed("", qStormSqueeze, plan.Options{
+				Optimize: true,
+				Safety:   advice.Safety{Budget: baggage.Budget{MaxTuples: 1}},
+			})
+			r.Expect("squeeze-installs", sqErr)
+			join2 := r.DriveAsync(gens, ops2, stormOp)
+
+			// Backoff detection deliberately avoids FlushAgents: a manual
+			// flush with no new drops since the report-loop flush an instant
+			// earlier reads as an idle tick and doubles the rate straight
+			// back, masking the backoff it is trying to observe. Only the
+			// agents' own report loops tick the controllers here.
+			// Requiring < baseMilli/2 demands at least two halvings, so the
+			// restore leg below exercises more than a single doubling.
+			backedOff := int64(-1)
+			for i := 0; i < 8 && backedOff < 0; i++ {
+				r.sleepToNextInterval()
+				if lo, _ := stormRates(); lo < baseMilli/2 {
+					backedOff = lo
+				}
+			}
+			var boErr error
+			if backedOff < 0 {
+				boErr = fmt.Errorf("no generator backed off below %d milli under budget pressure", baseMilli/2)
+			}
+			r.Expect("rate-backs-off", boErr)
+			r.Logf("  squeeze: min effective rate %d milli at t=%s", backedOff, r.Env.Now())
+
+			// Release: uninstalling the squeeze stops the drop stream, and
+			// idle ticks double every controller back to the base.
+			squeeze.Uninstall()
+			join2()
+			restored := false
+			for i := 0; i < 14 && !restored; i++ {
+				r.sleepToNextInterval()
+				lo, hi := stormRates()
+				restored = lo == baseMilli && hi == baseMilli
+			}
+			var resErr error
+			if !restored {
+				lo, hi := stormRates()
+				resErr = fmt.Errorf("rates stuck in [%d, %d] milli after squeeze release, want %d", lo, hi, baseMilli)
+			}
+			r.Expect("rate-restores", resErr)
+
+			want2 := want1 + float64(nGen*ops2*firesPerOp)
+			r.Await("exact-conserved-final", qExact, 1, func(rows []tuple.Tuple) error {
+				if got := sumVals(countVals(rows)); got != want2 {
+					return fmt.Errorf("exact COUNT %v != %v fired", got, want2)
 				}
 				return nil
 			})

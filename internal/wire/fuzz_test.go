@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"math"
 	"testing"
 	"time"
 
@@ -27,6 +28,25 @@ func messageSeeds(t testing.TB) map[string][]byte {
 	}
 	st := agg.New(agg.Sum)
 	st.Add(tuple.Int(42))
+	wst := agg.New(agg.Sum)
+	wst.AddWeighted(tuple.Int(5), 10) // inexact state with weighted fields
+	// sampledInstall builds an install whose single program carries rate:
+	// the hostile-rate seeds below feed the decoder rates it must clamp
+	// to "unsampled" rather than propagate into tuple weights.
+	sampledInstall := func(rate float64) agent.Install {
+		return agent.Install{
+			QueryID: "QS",
+			Programs: []*advice.Program{{
+				QueryID: "QS", Tracepoint: "Tp",
+				Observe: []int{0}, ObserveFields: tuple.Schema{"e.host"},
+				SampleRate: rate,
+				Emit: &advice.EmitOp{
+					Cols:    []advice.EmitCol{{Pos: 0}, {IsAgg: true, Pos: -1, Fn: agg.Count}},
+					GroupBy: []int{0}, Schema: tuple.Schema{"host", "COUNT"},
+				},
+			}},
+		}
+	}
 	return map[string][]byte{
 		"install": mustMarshal(agent.Install{
 			QueryID: "Q1",
@@ -50,7 +70,18 @@ func messageSeeds(t testing.TB) map[string][]byte {
 				},
 			}},
 		}),
-		"uninstall": mustMarshal(agent.Uninstall{QueryID: "Q9"}),
+		"sampled-install": mustMarshal(sampledInstall(0.1)),
+		// Hostile sampling rates: the decoder clamps every one of these to
+		// 0 (unsampled), so re-marshaling yields the canonical zero bits —
+		// the fuzz fixpoint proves the clamp, not just the parse.
+		"hostile-rate-zero-neg": mustMarshal(sampledInstall(math.Copysign(0, -1))),
+		"hostile-rate-negative": mustMarshal(sampledInstall(-0.5)),
+		"hostile-rate-gt1":      mustMarshal(sampledInstall(1.5)),
+		"hostile-rate-nan":      mustMarshal(sampledInstall(math.NaN())),
+		"hostile-rate-inf":      mustMarshal(sampledInstall(math.Inf(1))),
+		// Subnormal rate whose inverse weight overflows to +Inf.
+		"hostile-rate-huge-weight": mustMarshal(sampledInstall(5e-324)),
+		"uninstall":                mustMarshal(agent.Uninstall{QueryID: "Q9"}),
 		"renew": mustMarshal(agent.Renew{
 			QueryIDs: []string{"Q1", "Q2"}, TTL: 30 * time.Second,
 		}),
@@ -87,6 +118,15 @@ func messageSeeds(t testing.TB) map[string][]byte {
 				States: []*agg.State{st},
 			}},
 			Raws: []tuple.Tuple{{tuple.Float(1.5)}},
+		}),
+		// A weighted (sampled) report: the inexact flag and the weighted
+		// count/sum fields ride the state encoding.
+		"weighted-report": mustMarshal(agent.Report{
+			QueryID: "QS", Host: "h", ProcName: "p", Time: 5 * time.Second,
+			Groups: []*advice.Group{{
+				Key: "k", Rep: tuple.Tuple{tuple.String("h"), tuple.Int(1)},
+				States: []*agg.State{wst},
+			}},
 		}),
 		"report-batch": mustMarshal(agent.ReportBatch{
 			Host: "h", ProcName: "p", Time: 5 * time.Second,

@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/advice"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/baggage"
 	"repro/internal/query"
+	"repro/internal/sampling"
 	"repro/internal/spans"
 	"repro/internal/tuple"
 )
@@ -295,6 +297,7 @@ func AppendProgram(buf []byte, p *advice.Program) []byte {
 	buf = appendInts(buf, p.Observe)
 	buf = appendStrings(buf, p.ObserveFields)
 	buf = binary.AppendVarint(buf, p.SampleEvery)
+	buf = binary.AppendUvarint(buf, math.Float64bits(p.SampleRate))
 	buf = binary.AppendVarint(buf, int64(p.Safety.Budget.MaxBytes))
 	buf = binary.AppendVarint(buf, int64(p.Safety.Budget.MaxTuples))
 	buf = binary.AppendVarint(buf, p.Safety.FaultLimit)
@@ -370,6 +373,14 @@ func DecodeProgram(buf []byte) (*advice.Program, []byte, error) {
 		return nil, nil, errTruncated
 	}
 	p.SampleEvery = se
+	buf = buf[k:]
+	srBits, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return nil, nil, errTruncated
+	}
+	// Hostile rates (NaN, negative, zero, > 1, absurd weights) are clamped
+	// to "unsampled" here so a corrupt frame can never inflate weights.
+	p.SampleRate = sampling.ClampRate(math.Float64frombits(srBits))
 	buf = buf[k:]
 	var safety [4]int64
 	for i := range safety {
@@ -518,7 +529,7 @@ const (
 
 // heartbeatInts is how many varints a Heartbeat carries after its two
 // strings: Time, Interval, Queries, then every Stats field in order.
-const heartbeatInts = 23
+const heartbeatInts = 25
 
 // opStatsInts is how many varints one OpStats carries after its tracepoint
 // name: every counter field in declaration order.
@@ -760,6 +771,8 @@ func Marshal(msg any) ([]byte, error) {
 		buf = binary.AppendVarint(buf, m.Stats.SpanBatches)
 		buf = binary.AppendVarint(buf, m.Stats.CombinerReportsMerged)
 		buf = binary.AppendVarint(buf, m.Stats.CombinerFramesOut)
+		buf = binary.AppendVarint(buf, m.Stats.SampledOut)
+		buf = binary.AppendVarint(buf, m.Stats.SampleRateMilli)
 		return buf, nil
 	case agent.StatusRequest:
 		buf := []byte{TagStatusRequest}
@@ -946,6 +959,7 @@ func Unmarshal(buf []byte) (any, error) {
 			BaggageBytesDropped: ints[17],
 			SpansCaptured:       ints[18], SpansDropped: ints[19], SpanBatches: ints[20],
 			CombinerReportsMerged: ints[21], CombinerFramesOut: ints[22],
+			SampledOut: ints[23], SampleRateMilli: ints[24],
 		}
 		return m, nil
 	case TagStatusRequest:

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/advice"
 	"repro/internal/agent"
 	"repro/internal/baggage"
 	"repro/internal/bus"
@@ -53,6 +54,11 @@ type Tracepoint = tracepoint.Tracepoint
 
 // Query is a handle to an installed query.
 type Query = core.Installed
+
+// Group is one globally merged group-by bucket with its partial aggregate
+// states (see Query.Groups); callers use it to inspect aggregate-state
+// metadata such as sampling exactness.
+type Group = advice.Group
 
 // Report is one interval's partial results from one process.
 type Report = agent.Report
@@ -103,9 +109,16 @@ func (pt *PT) Context(ctx context.Context) context.Context {
 }
 
 // NewRequest returns a context for a fresh request entering this process:
-// process identity plus new empty baggage.
+// process identity plus new baggage carrying the request's sampling
+// decision (when any installed query samples), minted once here so every
+// downstream tracepoint — across splits, joins, and process transfers —
+// agrees whether this request is kept.
 func (pt *PT) NewRequest(ctx context.Context) context.Context {
-	return NewRequest(pt.Context(ctx))
+	bag := baggage.New()
+	if pt.Agent != nil {
+		pt.Agent.MintSampleDecision(bag)
+	}
+	return baggage.NewContext(pt.Context(ctx), bag)
 }
 
 // Define declares a tracepoint exporting the named variables (in addition
